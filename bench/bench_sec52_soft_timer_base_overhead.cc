@@ -1,0 +1,67 @@
+// Section 5.2: base overhead of soft timers.
+//
+// A null-handler soft event is scheduled at the maximal possible frequency
+// (T = 0, rescheduled from its own handler, so it fires at every trigger
+// state) on the saturated Apache testbed. The paper: "The soft timer handler
+// invocations caused no observable difference in the Web server's
+// throughput", with the handler called every 31.5 us on average - while a
+// hardware timer at that rate (~33.3 kHz) would cost ~15%.
+
+#include <cstdio>
+#include <functional>
+
+#include "bench/bench_util.h"
+#include "src/httpsim/http_testbed.h"
+
+namespace softtimer {
+namespace {
+
+int Main(int argc, char** argv) {
+  BenchOptions opt = ParseBenchOptions(argc, argv);
+  SimDuration warmup = SimDuration::Millis(300);
+  SimDuration window = SimDuration::Seconds(2.0 * opt.scale);
+
+  PrintBanner("Base overhead of soft timers (null handler at max frequency)",
+              "Section 5.2");
+
+  // Baseline.
+  HttpTestbed::Config cfg;
+  cfg.profile = MachineProfile::PentiumII300();
+  HttpTestbed base(cfg);
+  double base_xput = base.Measure(warmup, window).conn_per_sec;
+
+  // Soft timer fired at every trigger state.
+  HttpTestbed soft(cfg);
+  uint64_t fires = 0;
+  SoftTimerFacility& st = soft.kernel().soft_timers();
+  std::function<void(const SoftTimerFacility::FireInfo&)> null_handler =
+      [&](const SoftTimerFacility::FireInfo&) {
+        ++fires;
+        st.ScheduleSoftEvent(0, null_handler);
+      };
+  st.ScheduleSoftEvent(0, null_handler);
+  HttpTestbed::RunResult rs = soft.Measure(warmup, window);
+  // Fires accumulate over warmup + window.
+  double fire_interval_us = (warmup + window).ToMicros() / static_cast<double>(fires);
+
+  // Hardware timer at roughly the same rate, for contrast.
+  HttpTestbed hw(cfg);
+  hw.kernel().AddPeriodicHardwareTimer(33'333, SimDuration::Zero());
+  double hw_xput = hw.Measure(warmup, window).conn_per_sec;
+
+  TextTable t({"Configuration", "Xput (conn/s)", "Overhead (%)"});
+  t.AddRow({"baseline", Fmt("%.0f", base_xput), "0.0"});
+  t.AddRow({"soft timer, every trigger state", Fmt("%.0f", rs.conn_per_sec),
+            Fmt("%.1f  (paper: ~0)", 100.0 * (1.0 - rs.conn_per_sec / base_xput))});
+  t.AddRow({"hardware timer @ 33.3 kHz", Fmt("%.0f", hw_xput),
+            Fmt("%.1f  (paper: ~15)", 100.0 * (1.0 - hw_xput / base_xput))});
+  t.Print();
+  std::printf("\nsoft handler fired every %.1f us on average (paper: 31.5 us)\n",
+              fire_interval_us);
+  return 0;
+}
+
+}  // namespace
+}  // namespace softtimer
+
+int main(int argc, char** argv) { return softtimer::Main(argc, argv); }

@@ -1,0 +1,75 @@
+// Table 3: overhead of rate-based clocking, soft timers vs hardware timers.
+//
+// The Web server (Apache and Flash) transmits every response packet through
+// a pacing queue. With soft timers, a T=0 soft event sends one pending
+// packet per trigger state; with hardware timers, an 8253 programmed at
+// 50 kHz (one interrupt per 20 us) sends one pending packet per interrupt.
+// The paper's result: 2-6% overhead with soft timers vs 28-36% with the
+// hardware timer, and an average transmission interval near the trigger
+// interval (soft) / the programmed period plus lost ticks (hard).
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/httpsim/http_testbed.h"
+
+namespace softtimer {
+namespace {
+
+struct PaperCol {
+  double base, hw_xput, hw_ovhd, hw_intvl, soft_xput, soft_ovhd, soft_intvl;
+};
+
+void RunServer(HttpServerModel::ServerKind kind, const char* label, const PaperCol& paper,
+               SimDuration warmup, SimDuration window) {
+  auto make = [&](HttpServerModel::TxDiscipline tx) {
+    HttpTestbed::Config cfg;
+    cfg.profile = MachineProfile::PentiumII300();
+    cfg.server.kind = kind;
+    cfg.server.tx = tx;
+    return cfg;
+  };
+
+  HttpTestbed base(make(HttpServerModel::TxDiscipline::kImmediate));
+  HttpTestbed::RunResult rb = base.Measure(warmup, window);
+
+  HttpTestbed hw(make(HttpServerModel::TxDiscipline::kHardPaced));
+  HttpTestbed::RunResult rh = hw.Measure(warmup, window);
+
+  HttpTestbed soft(make(HttpServerModel::TxDiscipline::kSoftPaced));
+  HttpTestbed::RunResult rs = soft.Measure(warmup, window);
+
+  double hw_ovhd = 100.0 * (1.0 - rh.conn_per_sec / rb.conn_per_sec);
+  double soft_ovhd = 100.0 * (1.0 - rs.conn_per_sec / rb.conn_per_sec);
+
+  std::printf("\n%s:\n", label);
+  TextTable t({"", "measured", "paper"});
+  t.AddRow({"Base throughput (conn/s)", Fmt("%.0f", rb.conn_per_sec), Fmt("%.0f", paper.base)});
+  t.AddRow({"HW timer throughput (conn/s)", Fmt("%.0f", rh.conn_per_sec), Fmt("%.0f", paper.hw_xput)});
+  t.AddRow({"HW timer overhead (%)", Fmt("%.0f", hw_ovhd), Fmt("%.0f", paper.hw_ovhd)});
+  t.AddRow({"HW timer avg xmit intvl (us)", Fmt("%.0f", rh.paced_interval_mean_us),
+            Fmt("%.0f", paper.hw_intvl)});
+  t.AddRow({"Soft timer throughput (conn/s)", Fmt("%.0f", rs.conn_per_sec), Fmt("%.0f", paper.soft_xput)});
+  t.AddRow({"Soft timer overhead (%)", Fmt("%.0f", soft_ovhd), Fmt("%.0f", paper.soft_ovhd)});
+  t.AddRow({"Soft timer avg xmit intvl (us)", Fmt("%.0f", rs.paced_interval_mean_us),
+            Fmt("%.0f", paper.soft_intvl)});
+  t.Print();
+}
+
+int Main(int argc, char** argv) {
+  BenchOptions opt = ParseBenchOptions(argc, argv);
+  SimDuration warmup = SimDuration::Millis(300);
+  SimDuration window = SimDuration::Seconds(2.0 * opt.scale);
+
+  PrintBanner("Rate-based clocking: timer overhead", "Table 3, Section 5.6");
+  RunServer(HttpServerModel::ServerKind::kApache, "Apache", {774, 560, 28, 31, 756, 2, 34},
+            warmup, window);
+  RunServer(HttpServerModel::ServerKind::kFlash, "Flash", {1303, 827, 36, 35, 1224, 6, 24},
+            warmup, window);
+  return 0;
+}
+
+}  // namespace
+}  // namespace softtimer
+
+int main(int argc, char** argv) { return softtimer::Main(argc, argv); }

@@ -1,0 +1,85 @@
+#include "bench/bench_util.h"
+
+#include <cstdarg>
+#include <cstdlib>
+#include <cstring>
+
+namespace softtimer {
+
+TextTable::TextTable(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void TextTable::AddRow(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+void TextTable::Print() const {
+  std::vector<size_t> width(headers_.size());
+  for (size_t i = 0; i < headers_.size(); ++i) {
+    width[i] = headers_[i].size();
+  }
+  for (const auto& row : rows_) {
+    for (size_t i = 0; i < row.size() && i < width.size(); ++i) {
+      if (row[i].size() > width[i]) {
+        width[i] = row[i].size();
+      }
+    }
+  }
+  auto print_rule = [&] {
+    for (size_t i = 0; i < width.size(); ++i) {
+      std::printf("+");
+      for (size_t k = 0; k < width[i] + 2; ++k) {
+        std::printf("-");
+      }
+    }
+    std::printf("+\n");
+  };
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    for (size_t i = 0; i < width.size(); ++i) {
+      const std::string& c = i < cells.size() ? cells[i] : std::string();
+      std::printf("| %-*s ", static_cast<int>(width[i]), c.c_str());
+    }
+    std::printf("|\n");
+  };
+  print_rule();
+  print_row(headers_);
+  print_rule();
+  for (const auto& row : rows_) {
+    print_row(row);
+  }
+  print_rule();
+}
+
+std::string Fmt(const char* fmt, ...) {
+  char buf[256];
+  va_list ap;
+  va_start(ap, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, ap);
+  va_end(ap);
+  return buf;
+}
+
+BenchOptions ParseBenchOptions(int argc, char** argv) {
+  BenchOptions opt;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--fast") == 0) {
+      opt.scale = 0.3;
+    } else if (std::strcmp(argv[i], "--full") == 0) {
+      opt.scale = 4.0;
+      opt.full = true;
+    } else if (std::strncmp(argv[i], "--scale=", 8) == 0) {
+      opt.scale = std::atof(argv[i] + 8);
+    } else if (std::strncmp(argv[i], "--dump-dir=", 11) == 0) {
+      opt.dump_dir = argv[i] + 11;
+    }
+  }
+  return opt;
+}
+
+void PrintBanner(const std::string& title, const std::string& paper_ref) {
+  std::printf("\n================================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("Reproduces: %s  (Aron & Druschel, \"Soft Timers\", SOSP '99)\n", paper_ref.c_str());
+  std::printf("================================================================================\n");
+}
+
+}  // namespace softtimer

@@ -1,0 +1,49 @@
+// Shared helpers for the reproduction benchmarks: fixed-width table printing
+// in the style of the paper's tables, paper-vs-measured annotation, and a
+// tiny command-line parser (--fast / --full / --seconds=N) so the default
+// `for b in build/bench/*; do $b; done` sweep stays quick while full-fidelity
+// runs remain one flag away.
+
+#ifndef SOFTTIMER_BENCH_BENCH_UTIL_H_
+#define SOFTTIMER_BENCH_BENCH_UTIL_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace softtimer {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> cells);
+  void Print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// printf-style float formatting into std::string.
+std::string Fmt(const char* fmt, ...);
+
+// Benchmark scale options.
+struct BenchOptions {
+  // Multiplier on run lengths / sample targets. --fast = 0.3, --full = 4.0.
+  double scale = 1.0;
+  bool full = false;
+  // --dump-dir=PATH: benches with plottable outputs write CSVs there.
+  std::string dump_dir;
+};
+
+BenchOptions ParseBenchOptions(int argc, char** argv);
+
+// Standard banner naming the experiment and the paper artifact it
+// regenerates.
+void PrintBanner(const std::string& title, const std::string& paper_ref);
+
+}  // namespace softtimer
+
+#endif  // SOFTTIMER_BENCH_BENCH_UTIL_H_

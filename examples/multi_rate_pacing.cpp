@@ -1,0 +1,77 @@
+// Example: clocking several flows at different rates simultaneously.
+//
+// Section 5.7 observes that "only a single hardware timer device is
+// available in most systems. It is impossible, therefore, to use a hardware
+// timer to simultaneously clock multiple transmissions at different rates,
+// unless one rate is a multiple of the other." Soft timers have no such
+// limit: this example paces three flows at 25 / 60 / 140 us target intervals
+// on one busy server, each with its own AdaptivePacer, and shows every flow
+// holding its own rate.
+
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/core/adaptive_pacer.h"
+#include "src/stats/summary_stats.h"
+#include "src/workload/trigger_workload.h"
+
+using namespace softtimer;
+
+namespace {
+
+struct Flow {
+  Flow(uint64_t target, uint64_t burst) : pacer({target, burst}), target_us(target) {}
+  AdaptivePacer pacer;
+  uint64_t target_us;
+  SummaryStats intervals;
+  SimTime last_send;
+  bool have_last = false;
+};
+
+}  // namespace
+
+int main() {
+  std::printf("three flows paced on one ST-Apache machine (soft timers only)\n\n");
+
+  auto wl = MakeTriggerWorkload(WorkloadKind::kApache, MachineProfile::PentiumII300(), 42);
+  wl->Start();
+  wl->sim().RunFor(SimDuration::Millis(300));
+  SoftTimerFacility& st = wl->kernel().soft_timers();
+
+  std::vector<std::unique_ptr<Flow>> flows;
+  flows.push_back(std::make_unique<Flow>(25, 12));
+  flows.push_back(std::make_unique<Flow>(60, 12));
+  flows.push_back(std::make_unique<Flow>(140, 12));
+
+  std::function<void(Flow*)> send = [&](Flow* f) {
+    SimTime now = wl->sim().now();
+    if (f->have_last) {
+      f->intervals.Add((now - f->last_send).ToMicros());
+    }
+    f->last_send = now;
+    f->have_last = true;
+    uint64_t delta = f->pacer.OnPacketSent(st.MeasureTime());
+    st.ScheduleSoftEvent(delta, [&, f](const SoftTimerFacility::FireInfo&) { send(f); });
+  };
+  for (auto& f : flows) {
+    f->pacer.StartTrain(st.MeasureTime());
+    send(f.get());
+  }
+
+  wl->sim().RunFor(SimDuration::Seconds(2));
+
+  std::printf("%-12s %-14s %-14s %-10s %s\n", "target (us)", "achieved (us)", "stddev (us)",
+              "packets", "catch-up decisions");
+  for (auto& f : flows) {
+    std::printf("%-12llu %-14.1f %-14.1f %-10llu %llu\n",
+                (unsigned long long)f->target_us, f->intervals.mean(), f->intervals.stddev(),
+                (unsigned long long)f->pacer.packets_sent(),
+                (unsigned long long)f->pacer.catchup_decisions());
+  }
+  std::printf(
+      "\nA single 8253 cannot produce 25/60/140 us periods at once; the soft-timer\n"
+      "facility schedules all three against the same trigger-state stream.\n");
+  return 0;
+}

@@ -1,0 +1,93 @@
+#include "src/appsim/compile_job_model.h"
+
+#include <utility>
+
+namespace softtimer {
+
+CompileJobModel::CompileJobModel(Kernel* kernel, Config config)
+    : kernel_(kernel), config_(config), rng_(config.rng_seed),
+      disk_(kernel->sim(), config.disk) {}
+
+void CompileJobModel::Start() { StartJob(); }
+
+void CompileJobModel::StartJob() {
+  ++stats_.jobs;
+  // fork/exec: syscall + page-fault storm.
+  RunStorm(config_.exec_storm_ops, [this] { ReadSource([this] { RunPhase(config_.phases_per_job); }); });
+}
+
+void CompileJobModel::RunStorm(int remaining, std::function<void()> next) {
+  if (remaining <= 0) {
+    next();
+    return;
+  }
+  TriggerSource src = rng_.Bernoulli(config_.storm_trap_fraction) ? TriggerSource::kTrap
+                                                                  : TriggerSource::kSyscall;
+  SimDuration cost = rng_.LogNormalDuration(config_.storm_op_median, config_.storm_op_sigma);
+  kernel_->KernelOp(src, cost, [this, remaining, next = std::move(next)]() mutable {
+    RunStorm(remaining - 1, std::move(next));
+  });
+}
+
+void CompileJobModel::ReadSource(std::function<void()> next) {
+  // open + read syscalls; a cache miss goes to the platter.
+  kernel_->KernelOp(TriggerSource::kSyscall, rng_.LogNormalDuration(SimDuration::Micros(3), 0.4),
+                    [this, next = std::move(next)]() mutable {
+    if (rng_.Bernoulli(config_.source_readahead)) {
+      // Readahead already in flight: the disk works while compilation
+      // proceeds; only the completion interrupt touches the CPU.
+      ++stats_.disk_reads;
+      disk_.SubmitRead(config_.source_bytes, [this] {
+        kernel_->RaiseInterrupt(TriggerSource::kOtherIntr, SimDuration::Micros(11));
+      });
+      next();
+      return;
+    }
+    if (!rng_.Bernoulli(config_.source_cache_miss)) {
+      next();
+      return;
+    }
+    // Rare blocking miss: the CPU idles until the platter answers.
+    ++stats_.disk_reads;
+    disk_.SubmitRead(config_.source_bytes, [this, next = std::move(next)]() mutable {
+      kernel_->RaiseInterrupt(TriggerSource::kOtherIntr, SimDuration::Micros(11));
+      kernel_->KernelOp(TriggerSource::kSyscall,
+                        rng_.LogNormalDuration(SimDuration::Micros(12), 0.4),
+                        std::move(next));
+    });
+  });
+}
+
+void CompileJobModel::RunPhase(int remaining) {
+  if (remaining <= 0) {
+    WriteObject();
+    return;
+  }
+  // The compute run: parsing/optimizing, heavy-tailed, no kernel entry.
+  SimDuration compute = rng_.LogNormalDuration(config_.compute_median, config_.compute_sigma);
+  if (compute > config_.compute_cap) {
+    compute = config_.compute_cap;
+  }
+  kernel_->cpu(0).Submit(kernel_->profile().Work(compute), [this, remaining] {
+    // Then a short burst of syscalls/faults.
+    RunStorm(config_.burst_ops, [this, remaining] { RunPhase(remaining - 1); });
+  });
+}
+
+void CompileJobModel::WriteObject() {
+  kernel_->KernelOp(TriggerSource::kSyscall, rng_.LogNormalDuration(SimDuration::Micros(8), 0.5),
+                    [this] {
+    // The buffer cache absorbs the object; write-back hits the platter in
+    // batches, asynchronously, while the next job already runs.
+    if (stats_.jobs % static_cast<uint64_t>(config_.jobs_per_writeback) == 0) {
+      ++stats_.disk_writes;
+      disk_.SubmitWrite(config_.object_bytes * static_cast<uint32_t>(config_.jobs_per_writeback),
+                        [this] {
+        kernel_->RaiseInterrupt(TriggerSource::kOtherIntr, SimDuration::Micros(9));
+      });
+    }
+    StartJob();
+  });
+}
+
+}  // namespace softtimer

@@ -1,0 +1,86 @@
+// Kernel-build model: the mechanistic substrate for the ST-kernel-build
+// workload of Table 1 ("extensive computation (compilation, etc.) as well as
+// disk I/O").
+//
+// A `make`-style driver runs compile jobs back to back. Each job:
+//   1. fork/exec - a storm of short syscalls and page faults as the
+//      compiler's image and its first pages come in;
+//   2. reads its source through the buffer cache, sometimes missing to disk
+//      (DiskModel read + completion interrupt);
+//   3. alternates parsing/optimization - user-mode compute runs with a heavy
+//      tail (big functions) - with short syscall/page-fault bursts;
+//   4. writes the object file (syscalls + an asynchronous disk write).
+//
+// The compute runs give the distribution its long intervals (clipped at
+// 1 ms by the backup interrupt, as in the paper's max = 1000 us), while the
+// exec/IO storms supply the 2 us median.
+
+#ifndef SOFTTIMER_SRC_APPSIM_COMPILE_JOB_MODEL_H_
+#define SOFTTIMER_SRC_APPSIM_COMPILE_JOB_MODEL_H_
+
+#include "src/machine/kernel.h"
+#include "src/sim/random.h"
+#include "src/storage/disk_model.h"
+
+namespace softtimer {
+
+class CompileJobModel {
+ public:
+  struct Config {
+    DiskModel::Config disk;
+    // fork/exec storm: short syscalls + page faults.
+    int exec_storm_ops = 40;
+    SimDuration storm_op_median = SimDuration::Micros(1.9);
+    double storm_op_sigma = 0.45;
+    double storm_trap_fraction = 0.3;
+    // Compilation phases per job.
+    int phases_per_job = 60;
+    // Each phase: a compute run with a heavy tail, then a short burst of
+    // syscalls/faults (symbol table spills, buffer flushes).
+    SimDuration compute_median = SimDuration::Micros(7);
+    double compute_sigma = 1.8;
+    SimDuration compute_cap = SimDuration::Micros(980);
+    int burst_ops = 6;
+    // Source/object file I/O. Reads almost always hit the buffer cache
+    // (make's readahead); a blocking miss that parks the CPU is rare.
+    double source_cache_miss = 0.01;
+    // Fraction of jobs whose source read goes to disk asynchronously
+    // (readahead in flight while compilation proceeds).
+    double source_readahead = 0.08;
+    uint32_t source_bytes = 24 * 1024;
+    uint32_t object_bytes = 16 * 1024;
+    // The buffer cache batches object write-backs: one disk write per this
+    // many jobs (keeps the spindle lightly loaded, as update(8) would).
+    int jobs_per_writeback = 16;
+    uint64_t rng_seed = 53;
+  };
+
+  CompileJobModel(Kernel* kernel, Config config);
+
+  void Start();
+
+  struct Stats {
+    uint64_t jobs = 0;
+    uint64_t disk_reads = 0;
+    uint64_t disk_writes = 0;
+  };
+  const Stats& stats() const { return stats_; }
+  DiskModel& disk() { return disk_; }
+
+ private:
+  void StartJob();
+  void RunStorm(int remaining, std::function<void()> next);
+  void ReadSource(std::function<void()> next);
+  void RunPhase(int remaining);
+  void WriteObject();
+
+  Kernel* kernel_;
+  Config config_;
+  Rng rng_;
+  DiskModel disk_;
+  Stats stats_;
+};
+
+}  // namespace softtimer
+
+#endif  // SOFTTIMER_SRC_APPSIM_COMPILE_JOB_MODEL_H_

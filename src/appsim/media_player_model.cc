@@ -1,0 +1,56 @@
+#include "src/appsim/media_player_model.h"
+
+namespace softtimer {
+
+MediaPlayerModel::MediaPlayerModel(Kernel* kernel, Config config)
+    : kernel_(kernel), config_(config), rng_(config.rng_seed) {}
+
+void MediaPlayerModel::Start() {
+  DecodeUnit();
+  ScheduleStreamPacket();
+  ScheduleAudioInterrupt();
+}
+
+void MediaPlayerModel::DecodeUnit() {
+  ++stats_.decode_units;
+  // Occasional soft fault on lazily-paged codec data.
+  if (rng_.Bernoulli(config_.trap_probability)) {
+    kernel_->KernelOp(TriggerSource::kTrap,
+                      rng_.LogNormalDuration(SimDuration::Micros(4), 0.5),
+                      [this] { DecodeUnit(); });
+    return;
+  }
+  // The bracketing syscall: A/V clock reads, non-blocking socket polls, and
+  // periodically the audio-device write.
+  bool audio_write = (stats_.decode_units %
+                      static_cast<uint64_t>(config_.syscalls_per_audio_write)) == 0;
+  SimDuration syscall = rng_.LogNormalDuration(
+      audio_write ? config_.audio_write_median : config_.syscall_median,
+      config_.syscall_sigma);
+  kernel_->KernelOp(TriggerSource::kSyscall, syscall, [this] {
+    // User-mode decode stretch: pure compute, no kernel entry.
+    SimDuration decode = rng_.LogNormalDuration(config_.decode_median, config_.decode_sigma);
+    if (decode > config_.decode_cap) {
+      decode = config_.decode_cap;
+    }
+    kernel_->cpu(0).Submit(kernel_->profile().Work(decode), [this] { DecodeUnit(); });
+  });
+}
+
+void MediaPlayerModel::ScheduleStreamPacket() {
+  kernel_->sim()->ScheduleAfter(rng_.ExpDuration(config_.stream_packet_interval), [this] {
+    ++stats_.stream_packets;
+    kernel_->RaiseInterrupt(TriggerSource::kIpIntr, config_.stream_rx_work);
+    ScheduleStreamPacket();
+  });
+}
+
+void MediaPlayerModel::ScheduleAudioInterrupt() {
+  kernel_->sim()->ScheduleAfter(config_.audio_buffer_period, [this] {
+    ++stats_.audio_interrupts;
+    kernel_->RaiseInterrupt(TriggerSource::kOtherIntr, config_.audio_intr_work);
+    ScheduleAudioInterrupt();
+  });
+}
+
+}  // namespace softtimer

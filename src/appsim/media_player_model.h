@@ -1,0 +1,77 @@
+// Media-player model: the mechanistic substrate for the ST-real-audio
+// workload of Table 1.
+//
+//   "The RealPlayer was included because it is an example of an application
+//    that saturates the CPU. Despite the fact that this workload performs
+//    mostly user-mode processing and generates a relatively low rate of
+//    interrupts, it yields a distribution of trigger state intervals with
+//    very low mean, due to the many system calls that RealPlayer performs."
+//
+// The model is a decode pipeline: stream packets arrive from the network at
+// a modest rate (a live audio source); the player loops over small decode
+// units, each a user-mode compute burst bracketed by the short syscalls a
+// 1999 player issued constantly (gettimeofday for A/V clocking, non-blocking
+// socket reads, audio-device writes/ioctls). The sound card raises a buffer
+// interrupt at its period. Decode work is sized to saturate the CPU, as in
+// the paper.
+
+#ifndef SOFTTIMER_SRC_APPSIM_MEDIA_PLAYER_MODEL_H_
+#define SOFTTIMER_SRC_APPSIM_MEDIA_PLAYER_MODEL_H_
+
+#include "src/machine/kernel.h"
+#include "src/sim/random.h"
+
+namespace softtimer {
+
+class MediaPlayerModel {
+ public:
+  struct Config {
+    // Incoming audio stream (RealAudio-era: small packets, low rate).
+    SimDuration stream_packet_interval = SimDuration::Millis(8);
+    SimDuration stream_rx_work = SimDuration::Micros(10);
+    // Sound-card buffer interrupt period.
+    SimDuration audio_buffer_period = SimDuration::Millis(12);
+    SimDuration audio_intr_work = SimDuration::Micros(8);
+    // Decode unit structure: a short syscall (clocking/reads/writes) then a
+    // user-mode compute stretch, log-normal jittered.
+    SimDuration syscall_median = SimDuration::Micros(3.4);
+    double syscall_sigma = 0.55;
+    // One in `syscalls_per_audio_write` decode units ends in an audio-device
+    // write (slightly longer syscall).
+    int syscalls_per_audio_write = 6;
+    SimDuration audio_write_median = SimDuration::Micros(6);
+    // The compute stretch between kernel entries.
+    SimDuration decode_median = SimDuration::Micros(2.0);
+    double decode_sigma = 1.35;
+    SimDuration decode_cap = SimDuration::Micros(400);
+    // Fraction of decode units that begin with a soft page fault (codec
+    // tables paged in lazily).
+    double trap_probability = 0.05;
+    uint64_t rng_seed = 41;
+  };
+
+  MediaPlayerModel(Kernel* kernel, Config config);
+
+  void Start();
+
+  struct Stats {
+    uint64_t decode_units = 0;
+    uint64_t stream_packets = 0;
+    uint64_t audio_interrupts = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  void DecodeUnit();
+  void ScheduleStreamPacket();
+  void ScheduleAudioInterrupt();
+
+  Kernel* kernel_;
+  Config config_;
+  Rng rng_;
+  Stats stats_;
+};
+
+}  // namespace softtimer
+
+#endif  // SOFTTIMER_SRC_APPSIM_MEDIA_PLAYER_MODEL_H_

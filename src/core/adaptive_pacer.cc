@@ -1,0 +1,45 @@
+#include "src/core/adaptive_pacer.h"
+
+#include <cassert>
+
+namespace softtimer {
+
+AdaptivePacer::AdaptivePacer(Config config) : config_(config) {
+  assert(config_.target_interval_ticks > 0);
+  assert(config_.min_burst_interval_ticks > 0);
+  assert(config_.min_burst_interval_ticks <= config_.target_interval_ticks);
+}
+
+void AdaptivePacer::StartTrain(uint64_t now_tick) {
+  train_start_tick_ = now_tick;
+  packets_sent_ = 0;
+}
+
+uint64_t AdaptivePacer::OnPacketSent(uint64_t now_tick) {
+  ++packets_sent_;
+  // Average achieved interval since the train started. The first packet goes
+  // out at the train start, so after n packets the elapsed time covers n - 1
+  // ideal intervals... the paper phrases the test in terms of rates; we use
+  // the equivalent "are we behind the target schedule" formulation: packet n
+  // is on schedule if it left no later than train_start + (n-1) * target.
+  uint64_t on_schedule_tick =
+      train_start_tick_ + (packets_sent_ - 1) * config_.target_interval_ticks;
+  if (now_tick > on_schedule_tick) {
+    ++catchup_decisions_;
+    return config_.min_burst_interval_ticks;
+  }
+  return config_.target_interval_ticks;
+}
+
+void FixedPacer::StartTrain(uint64_t now_tick) {
+  (void)now_tick;
+  packets_sent_ = 0;
+}
+
+uint64_t FixedPacer::OnPacketSent(uint64_t now_tick) {
+  (void)now_tick;
+  ++packets_sent_;
+  return target_interval_ticks_;
+}
+
+}  // namespace softtimer

@@ -1,0 +1,81 @@
+// AdaptivePacer - the rate-based clocking scheduler of Section 4.1.
+//
+// The paper schedules only one transmission event at a time and adapts the
+// next interval to smooth out soft-timer delay jitter:
+//
+//   "The algorithm uses two parameters, the target transmission rate and the
+//    maximal allowable burst transmission rate. The algorithm keeps track of
+//    the average transmission rate since the beginning of the current train
+//    of transmitted packets. Normally, the next transmission event is
+//    scheduled at an interval appropriate for achieving the target
+//    transmission rate. However, when the actual transmission rate falls
+//    behind the target transmission rate due to soft timer delays, then the
+//    next transmission is scheduled at an interval corresponding to the
+//    maximal allowable burst transmission rate."
+//
+// Intervals are expressed in measurement-clock ticks. The class is pure
+// arithmetic: the caller transmits a packet, reports the send with
+// OnPacketSent(now), and schedules the next soft event with the returned
+// delay. A FixedPacer with the same interface is provided for the ablation
+// bench (fixed-interval scheduling, which the paper argues causes bursts).
+
+#ifndef SOFTTIMER_SRC_CORE_ADAPTIVE_PACER_H_
+#define SOFTTIMER_SRC_CORE_ADAPTIVE_PACER_H_
+
+#include <cstdint>
+
+namespace softtimer {
+
+class AdaptivePacer {
+ public:
+  struct Config {
+    // Desired average inter-packet interval (ticks). E.g. 40 us.
+    uint64_t target_interval_ticks = 0;
+    // Smallest interval the pacer may schedule when catching up; corresponds
+    // to the maximal allowable burst rate (e.g. 12 us = 1500 B at 1 Gbps).
+    uint64_t min_burst_interval_ticks = 0;
+  };
+
+  explicit AdaptivePacer(Config config);
+
+  // Marks the start of a packet train. The caller typically transmits the
+  // first packet immediately afterwards.
+  void StartTrain(uint64_t now_tick);
+
+  // Records a packet transmission at `now_tick` and returns the delay (in
+  // ticks) at which the next transmission event should be scheduled.
+  uint64_t OnPacketSent(uint64_t now_tick);
+
+  uint64_t packets_sent() const { return packets_sent_; }
+  // How often the catch-up (burst) branch was taken.
+  uint64_t catchup_decisions() const { return catchup_decisions_; }
+
+ private:
+  Config config_;
+  uint64_t train_start_tick_ = 0;
+  uint64_t packets_sent_ = 0;
+  uint64_t catchup_decisions_ = 0;
+};
+
+// Schedules every transmission at the fixed target interval regardless of
+// achieved rate: the strawman of Section 4.1 ("scheduling a series of
+// transmission events at fixed intervals ... can lead to occasional bursty
+// transmissions"). Used by the ablation bench.
+class FixedPacer {
+ public:
+  explicit FixedPacer(uint64_t target_interval_ticks)
+      : target_interval_ticks_(target_interval_ticks) {}
+
+  void StartTrain(uint64_t now_tick);
+  uint64_t OnPacketSent(uint64_t now_tick);
+
+  uint64_t packets_sent() const { return packets_sent_; }
+
+ private:
+  uint64_t target_interval_ticks_;
+  uint64_t packets_sent_ = 0;
+};
+
+}  // namespace softtimer
+
+#endif  // SOFTTIMER_SRC_CORE_ADAPTIVE_PACER_H_

@@ -1,0 +1,23 @@
+#include "src/core/clock_source.h"
+
+namespace softtimer {
+
+uint64_t SimClockSource::NowTicks() const {
+  // ticks = floor(ns * hz / 1e9), computed in 128-bit to avoid overflow for
+  // multi-hour runs at GHz resolutions.
+  __uint128_t ns = static_cast<__uint128_t>(sim_->now().nanos_since_origin());
+  return static_cast<uint64_t>(ns * hz_ / 1'000'000'000ULL);
+}
+
+SimDuration SimClockSource::TickPeriod() const {
+  return SimDuration::Nanos(static_cast<int64_t>(1'000'000'000ULL / hz_));
+}
+
+SimTime SimClockSource::TimeOfTick(uint64_t tick) const {
+  // Smallest ns with floor(ns * hz / 1e9) >= tick: ceil(tick * 1e9 / hz).
+  __uint128_t num = static_cast<__uint128_t>(tick) * 1'000'000'000ULL;
+  uint64_t ns = static_cast<uint64_t>((num + hz_ - 1) / hz_);
+  return SimTime::FromNanos(static_cast<int64_t>(ns));
+}
+
+}  // namespace softtimer

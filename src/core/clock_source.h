@@ -1,0 +1,52 @@
+// Measurement clock abstraction for the soft-timer facility.
+//
+// The paper's facility reads "the clock (usually a CPU register)" - a cheap
+// high-resolution cycle counter - and expresses all scheduling in ticks of
+// that clock (measure_resolution(), typically 1 MHz in 1999-era systems).
+// ClockSource is the narrow interface the facility needs; SimClockSource maps
+// simulated nanoseconds onto ticks. A production port would back this with
+// rdtsc/CLOCK_MONOTONIC_RAW instead.
+
+#ifndef SOFTTIMER_SRC_CORE_CLOCK_SOURCE_H_
+#define SOFTTIMER_SRC_CORE_CLOCK_SOURCE_H_
+
+#include <cstdint>
+
+#include "src/sim/simulator.h"
+#include "src/sim/time.h"
+
+namespace softtimer {
+
+class ClockSource {
+ public:
+  virtual ~ClockSource() = default;
+
+  // Ticks elapsed since an arbitrary origin. Monotone non-decreasing.
+  virtual uint64_t NowTicks() const = 0;
+
+  // Tick rate in Hz (the paper's measure_resolution()).
+  virtual uint64_t ResolutionHz() const = 0;
+};
+
+// Reads the simulator's virtual time. Tick = floor(now * hz / 1e9).
+class SimClockSource : public ClockSource {
+ public:
+  SimClockSource(const Simulator* sim, uint64_t hz) : sim_(sim), hz_(hz) {}
+
+  uint64_t NowTicks() const override;
+  uint64_t ResolutionHz() const override { return hz_; }
+
+  // Duration of one tick (rounded to nanoseconds).
+  SimDuration TickPeriod() const;
+
+  // Earliest simulated time at which NowTicks() reaches `tick`.
+  SimTime TimeOfTick(uint64_t tick) const;
+
+ private:
+  const Simulator* sim_;
+  uint64_t hz_;
+};
+
+}  // namespace softtimer
+
+#endif  // SOFTTIMER_SRC_CORE_CLOCK_SOURCE_H_

@@ -1,0 +1,69 @@
+#include "src/core/poll_governor.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace softtimer {
+
+PollGovernor::PollGovernor(Config config)
+    : config_(config),
+      interval_(config.initial_interval_ticks),
+      found_ewma_(config.ewma_alpha) {
+  assert(config_.aggregation_quota > 0.0);
+  assert(config_.min_interval_ticks >= 1);
+  assert(config_.min_interval_ticks <= config_.max_interval_ticks);
+  assert(config_.max_step_factor > 1.0);
+  assert(config_.window_polls >= 1);
+  interval_ = std::clamp(interval_, config_.min_interval_ticks, config_.max_interval_ticks);
+}
+
+void PollGovernor::ResetRate() {
+  window_.clear();
+  window_pos_ = 0;
+  window_found_sum_ = 0;
+  window_elapsed_sum_ = 0;
+}
+
+double PollGovernor::rate_estimate() const {
+  if (window_elapsed_sum_ == 0) {
+    return 0.0;
+  }
+  return static_cast<double>(window_found_sum_) / static_cast<double>(window_elapsed_sum_);
+}
+
+uint64_t PollGovernor::OnPoll(size_t packets_found, uint64_t elapsed_ticks) {
+  ++polls_;
+  packets_total_ += packets_found;
+  if (elapsed_ticks == 0) {
+    elapsed_ticks = 1;
+  }
+  found_ewma_.Observe(static_cast<double>(packets_found));
+  PollRecord rec{packets_found, elapsed_ticks};
+  if (window_.size() < config_.window_polls) {
+    window_.push_back(rec);
+  } else {
+    window_found_sum_ -= window_[window_pos_].found;
+    window_elapsed_sum_ -= window_[window_pos_].elapsed;
+    window_[window_pos_] = rec;
+    window_pos_ = (window_pos_ + 1) % config_.window_polls;
+  }
+  window_found_sum_ += rec.found;
+  window_elapsed_sum_ += rec.elapsed;
+
+  // Aim the interval so that `quota` packets arrive per poll on average, at
+  // the estimated rate; step changes are bounded so one convoy cannot swing
+  // the interval wildly.
+  double rate = std::max(rate_estimate(), 1e-9);
+  double target = config_.aggregation_quota / rate;
+  double lo = static_cast<double>(interval_) / config_.max_step_factor;
+  double hi = static_cast<double>(interval_) * config_.max_step_factor;
+  double next = std::clamp(target, lo, hi);
+  next = std::clamp(next, static_cast<double>(config_.min_interval_ticks),
+                    static_cast<double>(config_.max_interval_ticks));
+  interval_ = std::clamp(static_cast<uint64_t>(std::llround(next)),
+                         config_.min_interval_ticks, config_.max_interval_ticks);
+  return interval_;
+}
+
+}  // namespace softtimer

@@ -1,0 +1,85 @@
+// PollGovernor - adaptive poll-interval control for soft-timer network
+// polling (Section 4.2).
+//
+//   "In general, the soft timer poll interval can be dynamically chosen so as
+//    to attempt to find a certain number of packets per poll, on average. We
+//    call this number the aggregation quota."
+//
+// The governor estimates the packet arrival rate as a ratio of sums
+// (packets found / time elapsed) over a sliding window of recent polls and
+// sets the interval to quota / rate, clamped to [min_interval,
+// max_interval]. The ratio-of-sums estimator stays unbiased under the bursty
+// arrival patterns of closed-loop web clients, where per-poll packet counts
+// alternate between zero and whole convoys (an EWMA of per-poll ratios does
+// not).
+
+#ifndef SOFTTIMER_SRC_CORE_POLL_GOVERNOR_H_
+#define SOFTTIMER_SRC_CORE_POLL_GOVERNOR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/stats/rate_ewma.h"
+
+namespace softtimer {
+
+class PollGovernor {
+ public:
+  struct Config {
+    // Desired average packets found per poll.
+    double aggregation_quota = 1.0;
+    // Interval clamp (ticks). min is typically the line-rate packet
+    // interval; max the backup-interrupt period.
+    uint64_t min_interval_ticks = 1;
+    uint64_t max_interval_ticks = 1'000;
+    // Starting interval.
+    uint64_t initial_interval_ticks = 100;
+    // Sliding-window length (polls) for the rate estimate.
+    size_t window_polls = 32;
+    // EWMA weight for the found-per-poll diagnostic.
+    double ewma_alpha = 0.25;
+    // Per-step multiplicative bound on interval change.
+    double max_step_factor = 2.0;
+  };
+
+  explicit PollGovernor(Config config);
+
+  // Reports the outcome of one poll; returns the interval (ticks) to the
+  // next poll. `elapsed_ticks` is the time since the previous poll (used for
+  // rate estimation; pass the interval actually elapsed, which may exceed
+  // the requested one when the soft event fired late).
+  uint64_t OnPoll(size_t packets_found, uint64_t elapsed_ticks);
+
+  // Forgets rate history (call when polling resumes after a pause, so the
+  // off-time does not read as a low arrival rate).
+  void ResetRate();
+
+  uint64_t current_interval_ticks() const { return interval_; }
+  // Estimated packet arrival rate, packets per tick.
+  double rate_estimate() const;
+  double found_ewma() const { return found_ewma_.primed() ? found_ewma_.value() : 0.0; }
+  uint64_t polls() const { return polls_; }
+  uint64_t packets_found_total() const { return packets_total_; }
+
+ private:
+  struct PollRecord {
+    uint64_t found;
+    uint64_t elapsed;
+  };
+
+  Config config_;
+  uint64_t interval_;
+  RateEwma found_ewma_;
+  // Circular buffer of the last window_polls observations.
+  std::vector<PollRecord> window_;
+  size_t window_pos_ = 0;
+  uint64_t window_found_sum_ = 0;
+  uint64_t window_elapsed_sum_ = 0;
+  uint64_t polls_ = 0;
+  uint64_t packets_total_ = 0;
+};
+
+}  // namespace softtimer
+
+#endif  // SOFTTIMER_SRC_CORE_POLL_GOVERNOR_H_

@@ -1,0 +1,62 @@
+#include "src/core/soft_timer_facility.h"
+
+#include <cassert>
+#include <utility>
+
+namespace softtimer {
+
+SoftTimerFacility::SoftTimerFacility(const ClockSource* clock, Config config)
+    : clock_(clock), config_(config) {
+  assert(clock_ != nullptr);
+  assert(config_.interrupt_clock_hz > 0);
+  assert(clock_->ResolutionHz() >= config_.interrupt_clock_hz);
+  queue_ = MakeTimerQueue(config_.queue_kind);
+}
+
+uint64_t SoftTimerFacility::ticks_per_backup_interval() const {
+  return clock_->ResolutionHz() / config_.interrupt_clock_hz;
+}
+
+SoftEventId SoftTimerFacility::ScheduleSoftEvent(uint64_t delta_ticks, Handler handler) {
+  uint64_t scheduled_tick = MeasureTime();
+  // Fire when measure_time() exceeds the scheduled value by at least T + 1;
+  // the +1 covers the event not being scheduled exactly on a tick boundary.
+  uint64_t deadline = scheduled_tick + delta_ticks + 1;
+  ++stats_.scheduled;
+  TimerId tid = queue_->Schedule(
+      deadline,
+      [this, scheduled_tick, delta_ticks, handler = std::move(handler)]() {
+        FireInfo info;
+        info.scheduled_tick = scheduled_tick;
+        info.delta_ticks = delta_ticks;
+        info.fired_tick = MeasureTime();
+        info.source = dispatch_source_;
+        ++stats_.dispatches;
+        ++stats_.dispatches_by_source[static_cast<size_t>(dispatch_source_)];
+        stats_.lateness_ticks.Add(static_cast<double>(info.lateness_ticks()));
+        if (dispatch_observer_) {
+          dispatch_observer_(info);
+        }
+        handler(info);
+      });
+  if (schedule_observer_) {
+    schedule_observer_();
+  }
+  return SoftEventId{tid.value};
+}
+
+bool SoftTimerFacility::CancelSoftEvent(SoftEventId id) {
+  bool ok = queue_->Cancel(TimerId{id.value});
+  if (ok) {
+    ++stats_.cancelled;
+  }
+  return ok;
+}
+
+size_t SoftTimerFacility::OnTriggerState(TriggerSource source) {
+  ++stats_.checks;
+  dispatch_source_ = source;
+  return queue_->ExpireUpTo(MeasureTime());
+}
+
+}  // namespace softtimer

@@ -1,0 +1,147 @@
+// SoftTimerFacility - the paper's contribution (Section 3).
+//
+// Provides the paper's four operations:
+//
+//   measure_resolution()         -> MeasureResolution()
+//   measure_time()               -> MeasureTime()
+//   interrupt_clock_resolution() -> InterruptClockResolution()
+//   schedule_soft_event(T, h)    -> ScheduleSoftEvent(T, h)
+//
+// An event scheduled with delay T at tick S fires at the first *trigger
+// state* (or backup interrupt) whose tick is >= S + T + 1; the "+1" accounts
+// for S not being tick-aligned, giving the paper's bound
+//
+//      T  <  ActualEventTime  <  T + X + 1,     X = measure/interrupt ratio,
+//
+// which the backup interrupt enforces on the high side (it calls
+// OnBackupInterrupt() every X ticks and dispatches anything overdue).
+//
+// The facility is pure scheduling logic over a ClockSource and a TimerQueue:
+// it consumes no CPU-time model of its own. The host environment (in this
+// repository, machine::Kernel) is responsible for (a) calling
+// OnTriggerState() at every trigger state, (b) calling OnBackupInterrupt()
+// from the periodic timer interrupt, and (c) charging whatever per-check and
+// per-dispatch costs apply via the observer hooks.
+
+#ifndef SOFTTIMER_SRC_CORE_SOFT_TIMER_FACILITY_H_
+#define SOFTTIMER_SRC_CORE_SOFT_TIMER_FACILITY_H_
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+
+#include "src/core/clock_source.h"
+#include "src/core/trigger.h"
+#include "src/stats/summary_stats.h"
+#include "src/timer/timer_queue.h"
+
+namespace softtimer {
+
+// Identifies one scheduled soft event; default-constructed ids are invalid.
+struct SoftEventId {
+  uint64_t value = 0;
+  bool valid() const { return value != 0; }
+};
+
+class SoftTimerFacility {
+ public:
+  struct Config {
+    // Backup periodic interrupt rate (the paper's interrupt_clock_resolution,
+    // typically 1 kHz). The host must actually call OnBackupInterrupt() at
+    // this rate; the facility only uses the value for bookkeeping/X.
+    uint64_t interrupt_clock_hz = 1'000;
+    // Timer data structure holding pending events (the paper uses a modified
+    // timing wheel).
+    TimerQueueKind queue_kind = TimerQueueKind::kHashedWheel;
+  };
+
+  // Context passed to a firing handler.
+  struct FireInfo {
+    uint64_t scheduled_tick;  // MeasureTime() when the event was scheduled
+    uint64_t delta_ticks;     // the T passed to ScheduleSoftEvent
+    uint64_t fired_tick;      // MeasureTime() at dispatch
+    TriggerSource source;     // which trigger state (or backup) fired it
+    // Lateness beyond the scheduled delay: fired - scheduled - T. Always
+    // >= 1 because of the +1 rounding tick; the paper's d = lateness - 1.
+    uint64_t lateness_ticks() const { return fired_tick - scheduled_tick - delta_ticks; }
+  };
+  using Handler = std::function<void(const FireInfo&)>;
+
+  SoftTimerFacility(const ClockSource* clock, Config config);
+
+  // --- The paper's API -------------------------------------------------
+  uint64_t MeasureResolution() const { return clock_->ResolutionHz(); }
+  uint64_t MeasureTime() const { return clock_->NowTicks(); }
+  uint64_t InterruptClockResolution() const { return config_.interrupt_clock_hz; }
+
+  // Schedules `handler` to be called at least `delta_ticks` ticks in the
+  // future (at the first trigger state or backup interrupt past the bound).
+  SoftEventId ScheduleSoftEvent(uint64_t delta_ticks, Handler handler);
+
+  // Cancels a pending event; false if it fired or was already cancelled.
+  bool CancelSoftEvent(SoftEventId id);
+
+  // --- Host integration points ----------------------------------------
+  // The "check for pending soft timer events" performed in a trigger state:
+  // reads the clock, compares against the earliest deadline, and dispatches
+  // anything due. Returns the number of handlers invoked.
+  size_t OnTriggerState(TriggerSource source);
+
+  // Called from the periodic backup timer interrupt; dispatches overdue
+  // events that no trigger state picked up.
+  size_t OnBackupInterrupt() { return OnTriggerState(TriggerSource::kBackupIntr); }
+
+  // Observer invoked once per dispatched handler (before the handler), so a
+  // host can charge per-dispatch CPU cost. May be empty.
+  void set_dispatch_observer(std::function<void(const FireInfo&)> obs) {
+    dispatch_observer_ = std::move(obs);
+  }
+
+  // Observer invoked after each ScheduleSoftEvent. The host's idle loop uses
+  // this to resume polling when a new event lands while the CPU is idle
+  // (Section 5.2's halt condition (a) can newly fail).
+  void set_schedule_observer(std::function<void()> obs) {
+    schedule_observer_ = std::move(obs);
+  }
+
+  // --- Introspection ----------------------------------------------------
+  // Earliest pending deadline (absolute tick), if any. The idle loop uses
+  // this to decide whether to halt (Section 5.2: halt when nothing is due
+  // before the next backup interrupt).
+  std::optional<uint64_t> NextDeadlineTick() const { return queue_->EarliestDeadline(); }
+
+  size_t pending_count() const { return queue_->size(); }
+
+  // X = measurement ticks per backup-interrupt period.
+  uint64_t ticks_per_backup_interval() const;
+
+  struct Stats {
+    uint64_t checks = 0;            // OnTriggerState calls
+    uint64_t dispatches = 0;        // handlers invoked
+    uint64_t scheduled = 0;
+    uint64_t cancelled = 0;
+    // Dispatches broken down by the trigger source that performed them.
+    std::array<uint64_t, kNumTriggerSources> dispatches_by_source{};
+    // Distribution of handler lateness (FireInfo::lateness_ticks), in ticks.
+    SummaryStats lateness_ticks;
+  };
+  const Stats& stats() const { return stats_; }
+  void ResetStats() { stats_ = Stats{}; }
+
+ private:
+  const ClockSource* clock_;
+  Config config_;
+  std::unique_ptr<TimerQueue> queue_;
+  std::function<void(const FireInfo&)> dispatch_observer_;
+  std::function<void()> schedule_observer_;
+  // Trigger source of the OnTriggerState call currently dispatching, so the
+  // per-event callbacks can attribute their FireInfo (single-threaded).
+  TriggerSource dispatch_source_ = TriggerSource::kBackupIntr;
+  Stats stats_;
+};
+
+}  // namespace softtimer
+
+#endif  // SOFTTIMER_SRC_CORE_SOFT_TIMER_FACILITY_H_

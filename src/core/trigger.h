@@ -1,0 +1,60 @@
+// Trigger-state sources (Section 3 and Table 2 of the paper).
+//
+// A trigger state is a point in kernel execution where invoking a soft-timer
+// handler costs no more than a function call. The enum mirrors the paper's
+// event-source accounting for the ST-Apache workload (Table 2) plus the two
+// sources the paper treats specially (the idle loop and the backup periodic
+// interrupt).
+
+#ifndef SOFTTIMER_SRC_CORE_TRIGGER_H_
+#define SOFTTIMER_SRC_CORE_TRIGGER_H_
+
+#include <array>
+#include <cstdint>
+
+namespace softtimer {
+
+enum class TriggerSource : uint8_t {
+  kSyscall = 0,     // system-call entry/exit
+  kIpOutput = 1,    // IP packet transmission loop
+  kIpIntr = 2,      // network-interface interrupt tail
+  kTcpIpOthers = 3, // other network-subsystem loops (TCP timer processing, ...)
+  kTrap = 4,        // exceptions: page fault, arithmetic, ...
+  kIdleLoop = 5,    // idle-loop poll
+  kBackupIntr = 6,  // periodic backup timer interrupt tail
+  kOtherIntr = 7,   // non-network device interrupt tail (disk, ...)
+};
+
+inline constexpr size_t kNumTriggerSources = 8;
+
+// The five sources the paper's Table 2 accounts for.
+inline constexpr std::array<TriggerSource, 5> kTable2Sources = {
+    TriggerSource::kSyscall, TriggerSource::kIpOutput, TriggerSource::kIpIntr,
+    TriggerSource::kTcpIpOthers, TriggerSource::kTrap,
+};
+
+constexpr const char* TriggerSourceName(TriggerSource s) {
+  switch (s) {
+    case TriggerSource::kSyscall:
+      return "syscalls";
+    case TriggerSource::kIpOutput:
+      return "ip-output";
+    case TriggerSource::kIpIntr:
+      return "ip-intr";
+    case TriggerSource::kTcpIpOthers:
+      return "tcpip-others";
+    case TriggerSource::kTrap:
+      return "traps";
+    case TriggerSource::kIdleLoop:
+      return "idle-loop";
+    case TriggerSource::kBackupIntr:
+      return "backup-intr";
+    case TriggerSource::kOtherIntr:
+      return "other-intr";
+  }
+  return "?";
+}
+
+}  // namespace softtimer
+
+#endif  // SOFTTIMER_SRC_CORE_TRIGGER_H_

@@ -1,0 +1,155 @@
+#include "src/httpsim/http_client_farm.h"
+
+#include <cassert>
+#include <utility>
+
+namespace softtimer {
+
+HttpClientFarm::HttpClientFarm(Simulator* sim, Link* uplink, Config config)
+    : sim_(sim), uplink_(uplink), config_(config), rng_(config.rng_seed) {
+  assert(config_.concurrent_clients > 0);
+  clients_.resize(static_cast<size_t>(config_.concurrent_clients));
+  for (int i = 0; i < config_.concurrent_clients; ++i) {
+    clients_[static_cast<size_t>(i)].index = i;
+  }
+}
+
+SimDuration HttpClientFarm::Reaction() {
+  if (config_.reaction_jitter_sigma <= 0) {
+    return config_.reaction_delay;
+  }
+  return rng_.LogNormalDuration(config_.reaction_delay, config_.reaction_jitter_sigma);
+}
+
+uint64_t HttpClientFarm::MakeFlow(const VirtualClient& vc) const {
+  return (static_cast<uint64_t>(config_.farm_id) << 48) |
+         (static_cast<uint64_t>(vc.index) << 32) | vc.serial;
+}
+
+void HttpClientFarm::Start() {
+  if (config_.open_loop_conn_per_sec > 0) {
+    ScheduleOpenLoopArrival();
+    return;
+  }
+  for (auto& vc : clients_) {
+    // Stagger connection starts slightly so SYNs do not collide on one tick.
+    sim_->ScheduleAfter(Reaction(), [this, idx = vc.index] {
+      StartConnection(&clients_[static_cast<size_t>(idx)]);
+    });
+  }
+}
+
+void HttpClientFarm::ScheduleOpenLoopArrival() {
+  SimDuration gap = rng_.ExpDuration(
+      SimDuration::Seconds(1.0 / config_.open_loop_conn_per_sec));
+  sim_->ScheduleAfter(gap, [this] {
+    // Round-robin over the client slots; an open-loop client abandons its
+    // previous connection when its turn comes around again.
+    VirtualClient* vc = &clients_[static_cast<size_t>(open_loop_next_)];
+    open_loop_next_ = (open_loop_next_ + 1) % config_.concurrent_clients;
+    flow_to_client_.erase(vc->flow);
+    StartConnection(vc);
+    ScheduleOpenLoopArrival();
+  });
+}
+
+void HttpClientFarm::StartConnection(VirtualClient* vc) {
+  ++vc->serial;
+  vc->requests_done = 0;
+  vc->unacked_segments = 0;
+  vc->flow = MakeFlow(*vc);
+  flow_to_client_[vc->flow] = vc->index;
+  SendToServer(vc, Packet::Kind::kSyn, kAckPacketBytes);
+}
+
+void HttpClientFarm::SendToServer(VirtualClient* vc, Packet::Kind kind, uint32_t size_bytes) {
+  Packet p;
+  p.flow_id = vc->flow;
+  p.kind = kind;
+  p.size_bytes = size_bytes;
+  p.sent_at = sim_->now();
+  uplink_->Send(p);
+}
+
+void HttpClientFarm::SendRequest(VirtualClient* vc) {
+  vc->request_sent_at = sim_->now();
+  vc->unacked_segments = 0;
+  SendToServer(vc, Packet::Kind::kRequest, config_.workload.request_bytes);
+}
+
+void HttpClientFarm::FinishConnection(VirtualClient* vc) {
+  ++stats_.connections_completed;
+  flow_to_client_.erase(vc->flow);
+  SendToServer(vc, Packet::Kind::kFin, kAckPacketBytes);
+  if (config_.open_loop_conn_per_sec > 0) {
+    return;  // arrivals are driven by the open-loop process
+  }
+  // Closed loop: start the next connection after client-side processing,
+  // with a wide jitter that desynchronizes the client population.
+  SimDuration restart =
+      rng_.LogNormalDuration(config_.restart_delay_median, config_.restart_jitter_sigma);
+  sim_->ScheduleAfter(restart, [this, idx = vc->index] {
+    StartConnection(&clients_[static_cast<size_t>(idx)]);
+  });
+}
+
+void HttpClientFarm::OnPacket(const Packet& p) {
+  auto it = flow_to_client_.find(p.flow_id);
+  if (it == flow_to_client_.end()) {
+    return;  // packet for a finished connection
+  }
+  VirtualClient* vc = &clients_[static_cast<size_t>(it->second)];
+
+  switch (p.kind) {
+    case Packet::Kind::kSynAck: {
+      sim_->ScheduleAfter(Reaction(), [this, flow = vc->flow] {
+        auto f = flow_to_client_.find(flow);
+        if (f != flow_to_client_.end()) {
+          SendRequest(&clients_[static_cast<size_t>(f->second)]);
+        }
+      });
+      return;
+    }
+    case Packet::Kind::kData: {
+      ++vc->unacked_segments;
+      bool end_of_response = p.fin;
+      if (vc->unacked_segments >= config_.ack_every ||
+          (end_of_response && !config_.workload.persistent)) {
+        // The final segment of a non-persistent response is covered by the
+        // FIN below; mid-stream segments get a cumulative ACK.
+        if (!end_of_response) {
+          vc->unacked_segments = 0;
+          ++stats_.acks_sent;
+          SendToServer(vc, Packet::Kind::kAck, kAckPacketBytes);
+        }
+      }
+      if (end_of_response) {
+        ++vc->requests_done;
+        ++stats_.responses_completed;
+        response_time_us_.Add((sim_->now() - vc->request_sent_at).ToMicros());
+        if (config_.workload.persistent &&
+            vc->requests_done < config_.workload.requests_per_connection) {
+          // ACK the response tail, then issue the next request.
+          vc->unacked_segments = 0;
+          ++stats_.acks_sent;
+          SendToServer(vc, Packet::Kind::kAck, kAckPacketBytes);
+          sim_->ScheduleAfter(Reaction(), [this, flow = vc->flow] {
+            auto f = flow_to_client_.find(flow);
+            if (f != flow_to_client_.end()) {
+              SendRequest(&clients_[static_cast<size_t>(f->second)]);
+            }
+          });
+        } else {
+          FinishConnection(vc);
+        }
+      }
+      return;
+    }
+    case Packet::Kind::kAck:
+      return;  // server's ACK of our request/FIN
+    default:
+      return;
+  }
+}
+
+}  // namespace softtimer

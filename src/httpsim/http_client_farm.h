@@ -1,0 +1,106 @@
+// Closed-loop HTTP client farm: the three (or four) client machines of the
+// paper's testbed, each saturating the server through its own Fast Ethernet
+// link. Every virtual client runs request-after-request with no think time;
+// the number of simultaneous clients is "set such that the server machine
+// [is] saturated" (Section 5.1).
+//
+// The farm implements the client half of the scripted LAN exchange: SYN ->
+// (SYN-ACK) -> request -> data packets (ACK every other segment) -> FIN on
+// response end (or further requests on a persistent connection).
+
+#ifndef SOFTTIMER_SRC_HTTPSIM_HTTP_CLIENT_FARM_H_
+#define SOFTTIMER_SRC_HTTPSIM_HTTP_CLIENT_FARM_H_
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "src/httpsim/http_types.h"
+#include "src/net/link.h"
+#include "src/net/packet.h"
+#include "src/sim/random.h"
+#include "src/sim/simulator.h"
+#include "src/stats/summary_stats.h"
+
+namespace softtimer {
+
+class HttpClientFarm {
+ public:
+  struct Config {
+    int concurrent_clients = 8;
+    // Open-loop mode: ignore responses for pacing and fire new connections
+    // at this aggregate rate (0 = closed loop). Used by the receiver-
+    // livelock experiment, where offered load must exceed capacity.
+    double open_loop_conn_per_sec = 0;
+    HttpWorkload workload;
+    // Upper 32 bits of this farm's flow ids; must be unique per farm.
+    uint32_t farm_id = 0;
+    // Client-side processing time before reacting to a received packet.
+    SimDuration reaction_delay = SimDuration::Micros(30);
+    double reaction_jitter_sigma = 0.5;
+    // Delay before a client opens its next connection; spread widely to
+    // break up closed-loop convoys (real client machines desynchronize via
+    // scheduling and network noise).
+    SimDuration restart_delay_median = SimDuration::Micros(250);
+    double restart_jitter_sigma = 1.1;
+    int ack_every = 2;
+    uint64_t rng_seed = 3;
+  };
+
+  // `uplink` carries client -> server packets. Wire the reverse link with
+  //   downlink.set_receiver([&farm](const Packet& p) { farm.OnPacket(p); });
+  HttpClientFarm(Simulator* sim, Link* uplink, Config config);
+
+  // Launches all virtual clients.
+  void Start();
+
+  // Ingress from the server.
+  void OnPacket(const Packet& p);
+
+  struct Stats {
+    uint64_t connections_completed = 0;
+    uint64_t responses_completed = 0;
+    uint64_t acks_sent = 0;
+  };
+  const Stats& stats() const { return stats_; }
+  void ResetStats() {
+    stats_ = Stats{};
+    response_time_us_.Reset();
+  }
+
+  // Request -> last-response-byte latency, microseconds.
+  const SummaryStats& response_time_us() const { return response_time_us_; }
+
+ private:
+  struct VirtualClient {
+    int index = 0;
+    uint64_t flow = 0;
+    uint32_t serial = 0;
+    uint32_t requests_done = 0;
+    int unacked_segments = 0;
+    SimTime request_sent_at;
+  };
+
+  uint64_t MakeFlow(const VirtualClient& vc) const;
+  void ScheduleOpenLoopArrival();
+  void StartConnection(VirtualClient* vc);
+  void SendToServer(VirtualClient* vc, Packet::Kind kind, uint32_t size_bytes);
+  void SendRequest(VirtualClient* vc);
+  void FinishConnection(VirtualClient* vc);
+  SimDuration Reaction();
+
+  Simulator* sim_;
+  Link* uplink_;
+  Config config_;
+  Rng rng_;
+  std::vector<VirtualClient> clients_;
+  int open_loop_next_ = 0;
+  std::unordered_map<uint64_t, int> flow_to_client_;
+  Stats stats_;
+  SummaryStats response_time_us_;
+};
+
+}  // namespace softtimer
+
+#endif  // SOFTTIMER_SRC_HTTPSIM_HTTP_CLIENT_FARM_H_

@@ -1,0 +1,416 @@
+#include "src/httpsim/http_server_model.h"
+
+#include <cassert>
+#include <utility>
+
+namespace softtimer {
+
+namespace {
+
+constexpr uint32_t kSynAckBytes = 58;
+
+// Packet actions attached to script ops.
+constexpr int kActionNone = 0;
+constexpr int kActionTxSynAck = 1;
+constexpr int kActionTxServerAck = 2;
+constexpr int kActionTxDataPacket = 3;
+constexpr int kActionEnqueuePacedResponse = 4;
+constexpr int kActionConnectionDone = 5;
+
+SimDuration Us(double v) { return SimDuration::Micros(v); }
+
+}  // namespace
+
+HttpServerModel::HttpServerModel(Kernel* kernel, Config config)
+    : kernel_(kernel), config_(config), rng_(config.rng_seed) {
+  // Resolve per-server-kind calibrated defaults (see DESIGN.md section 5.7
+  // and EXPERIMENTS.md for the calibration targets).
+  const bool apache = config_.kind == ServerKind::kApache;
+  if (config_.op_jitter_sigma < 0) {
+    config_.op_jitter_sigma = apache ? 0.80 : 0.70;
+  }
+  if (config_.op_cost_cap <= SimDuration::Zero()) {
+    config_.op_cost_cap = SimDuration::Micros(apache ? 240 : 160);
+  }
+  if (config_.op_scale <= 0) {
+    config_.op_scale = apache ? 1.11 : 1.25;
+  }
+  if (config_.paced_tx_extra_soft < SimDuration::Zero()) {
+    config_.paced_tx_extra_soft = SimDuration::Micros(apache ? 2.5 : 5.0);
+  }
+  if (config_.paced_tx_extra_hard < SimDuration::Zero()) {
+    config_.paced_tx_extra_hard = SimDuration::Micros(apache ? 13.0 : 20.0);
+  }
+  if (config_.tx == TxDiscipline::kSoftPaced) {
+    StartSoftPacer();
+  } else if (config_.tx == TxDiscipline::kHardPaced) {
+    StartHardPacer();
+  }
+}
+
+int HttpServerModel::AttachNic(Nic* nic) {
+  nics_.push_back(nic);
+  return static_cast<int>(nics_.size()) - 1;
+}
+
+SimDuration HttpServerModel::PerPacketOutputCost() const {
+  // Must match the kImmediate per-data-packet op in AppendRequestOps so the
+  // pacing disciplines move the output work rather than changing it.
+  return Us(config_.kind == ServerKind::kApache ? 26 : 11);
+}
+
+SimDuration HttpServerModel::PacedHandoffCost() const {
+  // In paced mode, segmentation/checksum/copy happen when the burst is
+  // queued (tcp_output at writev time); only the driver handoff remains to
+  // be paid per packet at the pacing event.
+  return Us(config_.kind == ServerKind::kApache ? 8 : 6);
+}
+
+SimDuration HttpServerModel::JitteredCost(SimDuration median) {
+  SimDuration scaled = median * config_.op_scale;
+  if (config_.op_jitter_sigma <= 0) {
+    return scaled;
+  }
+  SimDuration d = rng_.LogNormalDuration(scaled, config_.op_jitter_sigma);
+  if (d > config_.op_cost_cap) {
+    d = config_.op_cost_cap;
+  }
+  return d;
+}
+
+// --- Scripts ---------------------------------------------------------------
+//
+// Costs are medians in microseconds at PII-300 reference speed; per-op
+// log-normal jitter (sigma ~1) supplies the right-skewed interval shape of
+// Figure 4. Counts per connection are chosen to land near the paper's
+// Table 2 source mix for the ST-Apache workload (syscalls 47.7%, ip-output
+// 28%, ip-intr 16.4%, tcpip-others 5.4%, traps 2.5%).
+
+void HttpServerModel::AppendConnSetupOps(Connection* c) {
+  const bool apache = config_.kind == ServerKind::kApache;
+  // Connection establishment is the expensive part of serving small static
+  // files (visible in Table 8: P-HTTP throughput is 1.6x / 3.2x the HTTP
+  // throughput for Apache / Flash). The SYN arrived via an ip-intr; the
+  // kernel completes the handshake and the server accepts.
+  c->ops.push_back({TriggerSource::kTcpIpOthers, true, Us(20), kActionNone});  // SYN: PCB alloc
+  c->ops.push_back({TriggerSource::kIpOutput, true, Us(14), kActionTxSynAck});
+  if (apache) {
+    c->ops.push_back({TriggerSource::kSyscall, true, Us(24), kActionNone});  // select wakeup
+    c->ops.push_back({TriggerSource::kSyscall, true, Us(46), kActionNone});  // accept
+    // Worker process gets scheduled in.
+    c->ops.push_back({TriggerSource::kSyscall, false, kernel_->profile().context_switch_cost, kActionNone});
+    c->ops.push_back({TriggerSource::kSyscall, true, Us(26), kActionNone});  // fcntl/sockopt
+    c->ops.push_back({TriggerSource::kSyscall, true, Us(24), kActionNone});  // getsockname
+    c->ops.push_back({TriggerSource::kSyscall, true, Us(28), kActionNone});  // scoreboard/sched
+  } else {
+    c->ops.push_back({TriggerSource::kSyscall, true, Us(44), kActionNone});  // accept
+    c->ops.push_back({TriggerSource::kSyscall, true, Us(36), kActionNone});  // fd + sockopt setup
+    c->ops.push_back({TriggerSource::kSyscall, true, Us(34), kActionNone});  // event registration
+    c->ops.push_back({TriggerSource::kTcpIpOthers, true, Us(24), kActionNone});  // 3WHS completion
+  }
+}
+
+void HttpServerModel::AppendRequestOps(Connection* c) {
+  const bool apache = config_.kind == ServerKind::kApache;
+  const uint32_t total_bytes =
+      config_.workload.file_bytes + config_.workload.response_header_bytes;
+  const uint32_t data_packets = (total_bytes + kDefaultMss - 1) / kDefaultMss;
+  c->response_packets_left = data_packets;
+
+  if (apache) {
+    c->ops.push_back({TriggerSource::kSyscall, true, Us(14), kActionNone});  // sigprocmask
+    c->ops.push_back({TriggerSource::kSyscall, true, Us(16), kActionNone});  // alarm (timeout)
+  }
+  c->ops.push_back({TriggerSource::kSyscall, true, Us(apache ? 34 : 15), kActionNone});  // read request
+  c->ops.push_back({TriggerSource::kIpOutput, true, Us(8), kActionTxServerAck});  // ack the request
+  if (apache) {
+    c->ops.push_back({TriggerSource::kSyscall, true, Us(22), kActionNone});  // stat
+    c->ops.push_back({TriggerSource::kSyscall, true, Us(24), kActionNone});  // open
+    if (rng_.Bernoulli(config_.trap_probability)) {
+      c->ops.push_back({TriggerSource::kTrap, true, Us(12), kActionNone});  // page fault
+    }
+    c->ops.push_back({TriggerSource::kSyscall, true, Us(30), kActionNone});  // read file
+    c->ops.push_back({TriggerSource::kSyscall, true, Us(20), kActionNone});  // mmap/copy
+    c->ops.push_back({TriggerSource::kSyscall, true, Us(24), kActionNone});  // header build/log prep
+  } else {
+    // Flash hits its mapped-file and stat caches.
+    c->ops.push_back({TriggerSource::kSyscall, true, Us(10), kActionNone});  // cache-hit stat
+    if (rng_.Bernoulli(config_.trap_probability * 0.5)) {
+      c->ops.push_back({TriggerSource::kTrap, true, Us(10), kActionNone});
+    }
+  }
+  c->ops.push_back({TriggerSource::kSyscall, true, Us(apache ? 44 : 18), kActionNone});  // writev
+
+  if (config_.tx == TxDiscipline::kImmediate) {
+    for (uint32_t i = 0; i < data_packets; ++i) {
+      c->ops.push_back({TriggerSource::kIpOutput, true, Us(apache ? 26 : 11), kActionTxDataPacket});
+    }
+  } else {
+    // Paced output: tcp_output does the segmentation work up front and hands
+    // the burst to the pacing queue; only the per-packet driver handoff is
+    // paid later, from the pacing handler.
+    SimDuration enqueue_cost =
+        Us(12) + (PerPacketOutputCost() - PacedHandoffCost()) * static_cast<int64_t>(data_packets);
+    c->ops.push_back({TriggerSource::kTcpIpOthers, true, enqueue_cost, kActionEnqueuePacedResponse});
+  }
+
+  // Pure-ACK traffic back to the client (delayed ACK of the request body,
+  // window update as the socket buffer drains).
+  c->ops.push_back({TriggerSource::kIpOutput, true, Us(6), kActionTxServerAck});
+  c->ops.push_back({TriggerSource::kIpOutput, true, Us(6), kActionTxServerAck});
+  c->ops.push_back({TriggerSource::kTcpIpOthers, true, Us(12), kActionNone});  // TCP timers/delack
+  if (apache) {
+    c->ops.push_back({TriggerSource::kSyscall, true, Us(14), kActionNone});  // time() for log
+    c->ops.push_back({TriggerSource::kSyscall, true, Us(32), kActionNone});  // write access log
+    c->ops.push_back({TriggerSource::kSyscall, true, Us(18), kActionNone});   // close file
+    c->ops.push_back({TriggerSource::kSyscall, true, Us(14), kActionNone});  // sigprocmask restore
+    c->ops.push_back({TriggerSource::kSyscall, false, kernel_->profile().context_switch_cost, kActionNone});
+    c->ops.push_back({TriggerSource::kSyscall, true, Us(22), kActionNone});  // back in select
+  } else {
+    c->ops.push_back({TriggerSource::kSyscall, true, Us(12), kActionNone});  // event loop turn
+  }
+}
+
+void HttpServerModel::AppendTeardownOps(Connection* c) {
+  const bool apache = config_.kind == ServerKind::kApache;
+  c->ops.push_back({TriggerSource::kSyscall, true, Us(apache ? 30 : 34), kActionNone});  // close socket
+  c->ops.push_back({TriggerSource::kIpOutput, true, Us(8), kActionTxServerAck});  // ack client FIN
+  c->ops.push_back({TriggerSource::kTcpIpOthers, true, Us(apache ? 24 : 40), kActionNone});  // PCB teardown + timers
+  if (apache) {
+    c->ops.push_back({TriggerSource::kSyscall, true, Us(13), kActionNone});  // waitpid/bookkeeping
+    c->ops.push_back({TriggerSource::kSyscall, false, kernel_->profile().context_switch_cost, kActionNone});
+    c->ops.push_back({TriggerSource::kSyscall, true, Us(18), kActionNone});  // select again
+  } else {
+    c->ops.push_back({TriggerSource::kSyscall, true, Us(26), kActionNone});  // event dereg
+  }
+  c->ops.push_back({TriggerSource::kSyscall, true, Us(0.5), kActionConnectionDone});
+}
+
+// --- Packet ingress ----------------------------------------------------------
+
+void HttpServerModel::OnPacket(int nic_index, const Packet& p) {
+  switch (p.kind) {
+    case Packet::Kind::kSyn: {
+      if (config_.max_connections != 0 && conns_.size() >= config_.max_connections) {
+        ++stats_.syns_rejected;  // listen backlog full: shed before any work
+        return;
+      }
+      Connection& c = conns_[p.flow_id];
+      c.flow = p.flow_id;
+      c.nic = nic_index;
+      AppendConnSetupOps(&c);
+      PumpScript(&c);
+      return;
+    }
+    case Packet::Kind::kRequest: {
+      auto it = conns_.find(p.flow_id);
+      if (it == conns_.end()) {
+        return;  // stray
+      }
+      AppendRequestOps(&it->second);
+      PumpScript(&it->second);
+      return;
+    }
+    case Packet::Kind::kFin: {
+      auto it = conns_.find(p.flow_id);
+      if (it == conns_.end()) {
+        return;
+      }
+      AppendTeardownOps(&it->second);
+      PumpScript(&it->second);
+      return;
+    }
+    case Packet::Kind::kAck:
+    case Packet::Kind::kData:
+    case Packet::Kind::kSynAck:
+      // ACK processing cost is part of the NIC's per-packet protocol
+      // service; nothing further happens at the application.
+      return;
+  }
+}
+
+void HttpServerModel::PumpScript(Connection* c) {
+  if (c->script_running || c->ops.empty()) {
+    return;
+  }
+  c->script_running = true;
+  ScriptOp op = c->ops.front();
+  c->ops.pop_front();
+  SimDuration cost = JitteredCost(op.cost);
+  uint64_t flow = c->flow;
+  auto cont = [this, flow, op] {
+    auto it = conns_.find(flow);
+    if (it == conns_.end()) {
+      return;
+    }
+    Connection* conn = &it->second;
+    conn->script_running = false;
+    RunOpAction(conn, op);
+    // RunOpAction may have erased the connection (kActionConnectionDone).
+    auto again = conns_.find(flow);
+    if (again != conns_.end()) {
+      PumpScript(&again->second);
+    }
+  };
+  if (op.is_trigger) {
+    kernel_->KernelOp(op.source, cost, std::move(cont));
+  } else {
+    kernel_->cpu(0).Submit(kernel_->profile().Work(cost), std::move(cont));
+  }
+}
+
+void HttpServerModel::RunOpAction(Connection* c, const ScriptOp& op) {
+  switch (op.action) {
+    case kActionNone:
+      return;
+    case kActionTxSynAck:
+      TxControl(c, Packet::Kind::kSynAck, kSynAckBytes);
+      return;
+    case kActionTxServerAck:
+      TxControl(c, Packet::Kind::kAck, kAckPacketBytes);
+      return;
+    case kActionTxDataPacket:
+      TxNextDataPacket(c);
+      return;
+    case kActionEnqueuePacedResponse: {
+      const uint32_t total_bytes =
+          config_.workload.file_bytes + config_.workload.response_header_bytes;
+      uint32_t remaining = total_bytes;
+      while (c->response_packets_left > 0) {
+        uint32_t payload = remaining > kDefaultMss ? kDefaultMss : remaining;
+        Packet p;
+        p.flow_id = c->flow;
+        p.kind = Packet::Kind::kData;
+        p.payload = payload;
+        p.size_bytes = payload + kTcpIpHeaderBytes;
+        remaining -= payload;
+        --c->response_packets_left;
+        p.fin = (c->response_packets_left == 0);  // end-of-response marker
+        EnqueuePaced(c->nic, p);
+      }
+      ++c->requests_served;
+      ++stats_.responses_completed;
+      return;
+    }
+    case kActionConnectionDone:
+      ++stats_.connections_completed;
+      conns_.erase(c->flow);
+      return;
+  }
+}
+
+void HttpServerModel::TxControl(Connection* c, Packet::Kind kind, uint32_t size_bytes) {
+  Packet p;
+  p.flow_id = c->flow;
+  p.kind = kind;
+  p.size_bytes = size_bytes;
+  EmitOnWire(c, p);
+}
+
+void HttpServerModel::TxNextDataPacket(Connection* c) {
+  if (c->response_packets_left == 0) {
+    return;
+  }
+  const uint32_t total_bytes =
+      config_.workload.file_bytes + config_.workload.response_header_bytes;
+  uint32_t idx_from_end = c->response_packets_left;
+  uint32_t last_payload = total_bytes % kDefaultMss;
+  if (last_payload == 0) {
+    last_payload = kDefaultMss;
+  }
+  Packet p;
+  p.flow_id = c->flow;
+  p.kind = Packet::Kind::kData;
+  p.payload = (idx_from_end == 1) ? last_payload : kDefaultMss;
+  p.size_bytes = p.payload + kTcpIpHeaderBytes;
+  --c->response_packets_left;
+  p.fin = (c->response_packets_left == 0);  // end-of-response marker
+  ++stats_.data_packets_sent;
+  if (p.fin) {
+    ++c->requests_served;
+    ++stats_.responses_completed;
+  }
+  EmitOnWire(c, p);
+}
+
+void HttpServerModel::EmitOnWire(Connection* c, Packet p) {
+  p.sent_at = kernel_->sim()->now();
+  nics_[static_cast<size_t>(c->nic)]->Transmit(p);
+}
+
+// --- Pacing -------------------------------------------------------------------
+
+void HttpServerModel::EnqueuePaced(int nic_index, Packet p) {
+  paced_queue_.emplace_back(nic_index, p);
+}
+
+void HttpServerModel::StartSoftPacer() {
+  if (soft_pacer_started_) {
+    return;
+  }
+  soft_pacer_started_ = true;
+  // T = 0: due at the very next trigger state (the Section 5.6 setup: "the
+  // soft timer was programmed to generate an event every time the system
+  // reaches a trigger state").
+  kernel_->soft_timers().ScheduleSoftEvent(
+      0, [this](const SoftTimerFacility::FireInfo&) { OnSoftPaceFire(); });
+}
+
+void HttpServerModel::OnSoftPaceFire() {
+  if (!paced_queue_.empty()) {
+    auto [nic_index, p] = paced_queue_.front();
+    paced_queue_.pop_front();
+    // Driver handoff plus the (small) cache effect of running it from a
+    // foreign trigger state.
+    kernel_->cpu(0).Steal(kernel_->profile().Work(
+        JitteredCost(PacedHandoffCost()) + config_.paced_tx_extra_soft));
+    ++stats_.paced_packets;
+    ++stats_.data_packets_sent;
+    p.sent_at = kernel_->sim()->now();
+    RecordPacedSend(!paced_queue_.empty());
+    nics_[static_cast<size_t>(nic_index)]->Transmit(p);
+  }
+  // Re-arm for the next trigger state.
+  kernel_->soft_timers().ScheduleSoftEvent(
+      0, [this](const SoftTimerFacility::FireInfo&) { OnSoftPaceFire(); });
+}
+
+void HttpServerModel::StartHardPacer() {
+  // The paper's comparator: the 8253 interrupt dispatches a BSD software
+  // interrupt thread that transmits one pending packet. The swi runs after
+  // the interrupted work completes (which is what stretches the average
+  // transmission interval past the programmed period), with the extra cache
+  // pollution Table 3 attributes to hardware-timer pacing.
+  kernel_->AddPeriodicHardwareTimer(config_.hard_pace_hz, SimDuration::Zero(), [this] {
+    if (paced_queue_.empty()) {
+      return;
+    }
+    auto [nic_index, p] = paced_queue_.front();
+    paced_queue_.pop_front();
+    bool more_pending = !paced_queue_.empty();
+    // The software interrupt preempts user work: the transmit happens right
+    // after the hardware interrupt, with the extra cache pollution Table 3
+    // attributes to output work in interrupt context.
+    kernel_->cpu(0).Steal(kernel_->profile().Work(
+        JitteredCost(PacedHandoffCost()) + config_.paced_tx_extra_hard));
+    ++stats_.paced_packets;
+    ++stats_.data_packets_sent;
+    p.sent_at = kernel_->sim()->now();
+    RecordPacedSend(more_pending);
+    nics_[static_cast<size_t>(nic_index)]->Transmit(p);
+  });
+}
+
+void HttpServerModel::RecordPacedSend(bool more_pending) {
+  // Record the interval only between *back-to-back* paced sends (the queue
+  // stayed non-empty across them): Table 3's "avg xmit intvl" characterizes
+  // the pacing process, not the request arrival process.
+  SimTime now = kernel_->sim()->now();
+  if (have_last_paced_tx_) {
+    paced_intervals_.Add((now - last_paced_tx_).ToMicros());
+  }
+  have_last_paced_tx_ = more_pending;
+  last_paced_tx_ = now;
+}
+
+}  // namespace softtimer

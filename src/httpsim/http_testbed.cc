@@ -1,0 +1,97 @@
+#include "src/httpsim/http_testbed.h"
+
+#include <utility>
+
+namespace softtimer {
+
+HttpTestbed::HttpTestbed(Config config) : config_(std::move(config)) {
+  Kernel::Config kc;
+  kc.profile = config_.profile;
+  kc.interrupt_clock_hz = config_.interrupt_clock_hz;
+  kc.idle_behavior = config_.idle_behavior;
+  kc.rng_seed = config_.rng_seed;
+  kernel_ = std::make_unique<Kernel>(&sim_, kc);
+
+  config_.server.workload = config_.workload;
+  config_.server.rng_seed = config_.rng_seed ^ 0x5e5e5e5eULL;
+  server_ = std::make_unique<HttpServerModel>(kernel_.get(), config_.server);
+
+  Link::Config lan;
+  lan.bandwidth_bps = config_.lan_bandwidth_bps;
+  lan.propagation_delay = config_.lan_delay;
+
+  for (int i = 0; i < config_.num_links; ++i) {
+    uplinks_.push_back(std::make_unique<Link>(&sim_, lan));
+    downlinks_.push_back(std::make_unique<Link>(&sim_, lan));
+    nics_.push_back(std::make_unique<Nic>(&sim_, kernel_.get(), downlinks_.back().get(),
+                                          config_.nic));
+    Nic* nic = nics_.back().get();
+    int idx = server_->AttachNic(nic);
+    nic->set_rx_handler([this, idx](const Packet& p) { server_->OnPacket(idx, p); });
+    uplinks_.back()->set_receiver([nic](const Packet& p) { nic->OnWireRx(p); });
+
+    HttpClientFarm::Config fc;
+    fc.concurrent_clients = config_.clients_per_link;
+    fc.open_loop_conn_per_sec = config_.open_loop_conn_per_sec_per_link;
+    fc.workload = config_.workload;
+    fc.farm_id = static_cast<uint32_t>(i + 1);
+    fc.rng_seed = config_.rng_seed + static_cast<uint64_t>(i) * 77'777 + 13;
+    farms_.push_back(std::make_unique<HttpClientFarm>(&sim_, uplinks_.back().get(), fc));
+    HttpClientFarm* farm = farms_.back().get();
+    downlinks_.back()->set_receiver([farm](const Packet& p) { farm->OnPacket(p); });
+  }
+
+  if (config_.polling) {
+    std::vector<Nic*> nic_ptrs;
+    for (auto& n : nics_) {
+      nic_ptrs.push_back(n.get());
+    }
+    poller_ = std::make_unique<SoftTimerNetPoller>(kernel_.get(), std::move(nic_ptrs),
+                                                   *config_.polling);
+  }
+}
+
+void HttpTestbed::Start() {
+  if (started_) {
+    return;
+  }
+  started_ = true;
+  for (auto& farm : farms_) {
+    farm->Start();
+  }
+  if (poller_) {
+    poller_->Start();
+  }
+}
+
+HttpTestbed::RunResult HttpTestbed::Measure(SimDuration warmup, SimDuration window) {
+  Start();
+  sim_.RunFor(warmup);
+
+  server_->ResetStats();
+  kernel_->ResetTriggerStats();
+  for (auto& farm : farms_) {
+    farm->ResetStats();
+  }
+  SimDuration stolen_before = kernel_->cpu(0).stolen_time();
+
+  sim_.RunFor(window);
+
+  RunResult r;
+  double secs = window.ToSeconds();
+  r.conn_per_sec = static_cast<double>(server_->stats().connections_completed) / secs;
+  r.req_per_sec = static_cast<double>(server_->stats().responses_completed) / secs;
+  r.cpu_stolen_fraction =
+      (kernel_->cpu(0).stolen_time() - stolen_before).ToSeconds() / secs;
+  SummaryStats resp;
+  for (auto& farm : farms_) {
+    resp.Merge(farm->response_time_us());
+  }
+  r.mean_response_us = resp.mean();
+  r.triggers = kernel_->stats().triggers;
+  r.paced_interval_mean_us = server_->paced_intervals().mean();
+  r.paced_interval_stddev_us = server_->paced_intervals().stddev();
+  return r;
+}
+
+}  // namespace softtimer

@@ -1,0 +1,91 @@
+// One-stop wiring for the LAN web-server experiments: a server machine
+// (Kernel + NICs) fed by client farms over per-NIC duplex Fast Ethernet
+// links, exactly the testbed topology of Sections 5.1-5.7 (three client
+// machines) and 5.9 (four).
+//
+//   farm[i] --uplink[i]--> nic[i] --> HttpServerModel --> nic[i] --downlink[i]--> farm[i]
+//
+// Measure() runs a warmup, clears counters, runs a measurement window and
+// reports throughput plus CPU accounting - the quantity every table in the
+// paper's Sections 5.1-5.7/5.9 is built from.
+
+#ifndef SOFTTIMER_SRC_HTTPSIM_HTTP_TESTBED_H_
+#define SOFTTIMER_SRC_HTTPSIM_HTTP_TESTBED_H_
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "src/httpsim/http_client_farm.h"
+#include "src/httpsim/http_server_model.h"
+#include "src/machine/kernel.h"
+#include "src/net/link.h"
+#include "src/net/nic.h"
+#include "src/net/soft_timer_net_poller.h"
+#include "src/sim/simulator.h"
+
+namespace softtimer {
+
+class HttpTestbed {
+ public:
+  struct Config {
+    MachineProfile profile = MachineProfile::PentiumII300();
+    HttpServerModel::Config server;
+    HttpWorkload workload;
+    int num_links = 3;
+    int clients_per_link = 8;
+    // Open-loop offered load per link, connections/s (0 = closed loop).
+    double open_loop_conn_per_sec_per_link = 0;
+    // Fast Ethernet segments.
+    double lan_bandwidth_bps = 100e6;
+    SimDuration lan_delay = SimDuration::Micros(5);
+    Nic::Config nic;
+    uint64_t interrupt_clock_hz = 1'000;
+    Kernel::IdleBehavior idle_behavior = Kernel::IdleBehavior::kHaltPolicy;
+    // When set, NICs run under soft-timer polling with this governor config
+    // (Table 8); otherwise they stay in interrupt mode.
+    std::optional<SoftTimerNetPoller::Config> polling;
+    uint64_t rng_seed = 1234;
+  };
+
+  explicit HttpTestbed(Config config);
+
+  // Launches the client farms (and the poller, if configured).
+  void Start();
+
+  struct RunResult {
+    double conn_per_sec = 0;
+    double req_per_sec = 0;
+    double cpu_stolen_fraction = 0;  // stolen CPU time / window
+    double mean_response_us = 0;
+    uint64_t triggers = 0;
+    double paced_interval_mean_us = 0;
+    double paced_interval_stddev_us = 0;
+  };
+  // Runs `warmup`, resets all counters, runs `window`, and reports.
+  RunResult Measure(SimDuration warmup, SimDuration window);
+
+  Simulator& sim() { return sim_; }
+  Kernel& kernel() { return *kernel_; }
+  HttpServerModel& server() { return *server_; }
+  Nic& nic(int i) { return *nics_[static_cast<size_t>(i)]; }
+  HttpClientFarm& farm(int i) { return *farms_[static_cast<size_t>(i)]; }
+  SoftTimerNetPoller* poller() { return poller_ ? poller_.get() : nullptr; }
+  int num_links() const { return config_.num_links; }
+
+ private:
+  Config config_;
+  Simulator sim_;
+  std::unique_ptr<Kernel> kernel_;
+  std::vector<std::unique_ptr<Link>> uplinks_;
+  std::vector<std::unique_ptr<Link>> downlinks_;
+  std::vector<std::unique_ptr<Nic>> nics_;
+  std::unique_ptr<HttpServerModel> server_;
+  std::vector<std::unique_ptr<HttpClientFarm>> farms_;
+  std::unique_ptr<SoftTimerNetPoller> poller_;
+  bool started_ = false;
+};
+
+}  // namespace softtimer
+
+#endif  // SOFTTIMER_SRC_HTTPSIM_HTTP_TESTBED_H_

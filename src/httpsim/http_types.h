@@ -1,0 +1,33 @@
+// Shared types for the HTTP server/client simulation.
+//
+// The LAN web-server experiments (Sections 5.1-5.7, 5.9) use this scripted
+// HTTP-over-TCP exchange rather than the full src/tcp state machines: on a
+// LAN, FreeBSD's TCP does not slow-start (Section 5.6), responses leave as
+// back-to-back bursts, and what matters to the paper's measurements is the
+// *kernel-entry structure* of serving a request (syscalls, ip-output,
+// network interrupts) and its CPU cost. The WAN experiments (Section 5.8)
+// use the real TcpSender/TcpReceiver.
+
+#ifndef SOFTTIMER_SRC_HTTPSIM_HTTP_TYPES_H_
+#define SOFTTIMER_SRC_HTTPSIM_HTTP_TYPES_H_
+
+#include <cstdint>
+
+namespace softtimer {
+
+struct HttpWorkload {
+  // Response body size; the paper's experiments serve a 6 KB file.
+  uint32_t file_bytes = 6144;
+  // HTTP response header bytes prepended to the body.
+  uint32_t response_header_bytes = 250;
+  // Request packet wire size.
+  uint32_t request_bytes = 300;
+  // Persistent-connection HTTP (Section 5.9's P-HTTP rows): the connection
+  // is set up once and carries `requests_per_connection` requests.
+  bool persistent = false;
+  uint32_t requests_per_connection = 10;
+};
+
+}  // namespace softtimer
+
+#endif  // SOFTTIMER_SRC_HTTPSIM_HTTP_TYPES_H_

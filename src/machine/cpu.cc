@@ -1,0 +1,74 @@
+#include "src/machine/cpu.h"
+
+#include <utility>
+
+namespace softtimer {
+
+Cpu::Cpu(Simulator* sim, int index) : sim_(sim), index_(index) {}
+
+void Cpu::SetBusy(bool b) {
+  if (busy_ == b) {
+    return;
+  }
+  busy_ = b;
+  if (state_observer_) {
+    state_observer_(b);
+  }
+}
+
+void Cpu::Submit(SimDuration work, std::function<void()> on_done,
+                 std::function<void()> on_start) {
+  if (work < SimDuration::Zero()) {
+    work = SimDuration::Zero();
+  }
+  queue_.push_back(Job{work, std::move(on_done), std::move(on_start)});
+  SetBusy(true);
+  if (!running_current_) {
+    StartNext();
+  }
+}
+
+void Cpu::StartNext() {
+  Job j = std::move(queue_.front());
+  queue_.pop_front();
+  running_current_ = true;
+  work_accum_ += j.work;
+  current_done_ = std::move(j.on_done);
+  current_end_ = sim_->now() + j.work;
+  completion_ = sim_->ScheduleAt(current_end_, [this] { FinishCurrent(); });
+  if (j.on_start) {
+    // May Steal() (e.g. a trigger-state check), which postpones current_end_.
+    j.on_start();
+  }
+}
+
+void Cpu::FinishCurrent() {
+  running_current_ = false;
+  ++jobs_completed_;
+  std::function<void()> done = std::move(current_done_);
+  current_done_ = nullptr;
+  if (done) {
+    done();  // may Submit() more work re-entrantly
+  }
+  if (!running_current_) {
+    if (!queue_.empty()) {
+      StartNext();
+    } else {
+      SetBusy(false);
+    }
+  }
+}
+
+void Cpu::Steal(SimDuration d) {
+  if (d <= SimDuration::Zero()) {
+    return;
+  }
+  stolen_accum_ += d;
+  if (running_current_) {
+    sim_->Cancel(completion_);
+    current_end_ += d;
+    completion_ = sim_->ScheduleAt(current_end_, [this] { FinishCurrent(); });
+  }
+}
+
+}  // namespace softtimer

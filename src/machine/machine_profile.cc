@@ -1,0 +1,39 @@
+#include "src/machine/machine_profile.h"
+
+namespace softtimer {
+
+MachineProfile MachineProfile::PentiumII300() {
+  MachineProfile p;
+  p.name = "PII-300";
+  p.relative_speed = 1.0;
+  p.hard_interrupt_overhead = SimDuration::Micros(4.45);  // Section 5.1
+  return p;
+}
+
+MachineProfile MachineProfile::PentiumII333() {
+  MachineProfile p;
+  p.name = "PII-333";
+  p.relative_speed = 333.0 / 300.0;
+  p.hard_interrupt_overhead = SimDuration::Micros(4.45);  // same core as PII-300
+  return p;
+}
+
+MachineProfile MachineProfile::PentiumIII500Xeon() {
+  MachineProfile p;
+  p.name = "PIII-500-Xeon";
+  // Table 1: the ST-Apache trigger interval mean drops from 31.52 us to
+  // 19.41 us, "a factor that roughly reflects the CPU clock speed ratio".
+  p.relative_speed = 500.0 / 300.0;
+  p.hard_interrupt_overhead = SimDuration::Micros(4.36);  // Section 5.1
+  return p;
+}
+
+MachineProfile MachineProfile::Alpha21164_500() {
+  MachineProfile p;
+  p.name = "Alpha-21164-500";
+  p.relative_speed = 500.0 / 300.0;
+  p.hard_interrupt_overhead = SimDuration::Micros(8.64);  // Section 5.1
+  return p;
+}
+
+}  // namespace softtimer

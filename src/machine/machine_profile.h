@@ -1,0 +1,84 @@
+// Calibrated cost constants for the simulated server machines.
+//
+// Every constant that comes from a measurement in the paper cites the section
+// it is taken from. Work costs (syscalls, packet processing, application
+// compute) scale inversely with `relative_speed`; interrupt overhead does
+// NOT, reflecting the paper's finding that "interrupt overhead does not scale
+// with CPU speed" (Section 5.1: 4.45 us on a 300 MHz PII vs 4.36 us on a
+// 500 MHz PIII).
+
+#ifndef SOFTTIMER_SRC_MACHINE_MACHINE_PROFILE_H_
+#define SOFTTIMER_SRC_MACHINE_MACHINE_PROFILE_H_
+
+#include <string>
+
+#include "src/sim/time.h"
+
+namespace softtimer {
+
+struct MachineProfile {
+  std::string name;
+
+  // CPU speed relative to the 300 MHz Pentium II reference machine.
+  double relative_speed = 1.0;
+
+  // Total cost of taking one hardware interrupt: state save/restore plus the
+  // secondary cache/TLB pollution measured on a busy server (Section 5.1).
+  SimDuration hard_interrupt_overhead = SimDuration::Micros(4.45);
+
+  // Reading the clock and comparing against the earliest soft-timer deadline
+  // (Section 3: "very efficient ... a CPU register read and a comparison").
+  SimDuration trigger_check_cost = SimDuration::Micros(0.05);
+
+  // Invoking a (null) soft-timer handler from a trigger state: "costs no
+  // more than a function call" (Section 3); Section 5.2 measured no
+  // observable throughput impact at one dispatch per 31.5 us.
+  SimDuration soft_dispatch_cost = SimDuration::Micros(0.15);
+
+  // One iteration of the idle loop's poll (read NIC/clock state and loop).
+  // Calibrated from the ST-nfs trigger interval (Table 1: median 2 us on a
+  // 90%-idle machine, where the idle loop is the dominant trigger source).
+  SimDuration idle_poll_interval = SimDuration::Micros(2.0);
+
+  // Process context switch, including the locality shift (mid-1990s
+  // measurements put this at several microseconds on x86).
+  SimDuration context_switch_cost = SimDuration::Micros(6.0);
+
+  // Kernel protocol processing for one received packet (device interrupt
+  // handler body + IP/TCP input). Appendix A.3 notes "packet processing time
+  // can take more than 100 us" end-to-end on a PII-300; the in-kernel
+  // portion modeled here is a fraction of that.
+  SimDuration rx_packet_service = SimDuration::Micros(13.0);
+
+  // Protocol processing for a pure ACK (no payload, no socket-buffer work).
+  SimDuration rx_ack_service = SimDuration::Micros(5.0);
+
+  // Driver + IP output path for one transmitted packet.
+  SimDuration tx_packet_service = SimDuration::Micros(6.0);
+
+  // Fraction of rx_packet_service saved when the packet is processed from a
+  // poll at a trigger state rather than an asynchronous interrupt (improved
+  // memory access locality; Section 4.2).
+  double poll_locality_discount = 0.45;
+
+  // Additional per-packet discount for the 2nd..Nth packet processed in one
+  // poll batch (aggregation of packet processing; Section 4.2).
+  double batch_locality_discount = 0.60;
+
+  // Returns `base` scaled to this machine's speed (work costs only).
+  SimDuration Work(SimDuration base) const { return base * (1.0 / relative_speed); }
+
+  // --- The machines of the paper's evaluation --------------------------
+  // 300 MHz Pentium II, FreeBSD 2.2.6 (Sections 5.1-5.8).
+  static MachineProfile PentiumII300();
+  // 333 MHz Pentium II with 4 Fast Ethernet NICs (Section 5.9, Table 8).
+  static MachineProfile PentiumII333();
+  // 500 MHz Pentium III Xeon, FreeBSD 3.3 (Sections 5.1, 5.3).
+  static MachineProfile PentiumIII500Xeon();
+  // 500 MHz Alpha 21164 (AlphaStation 500au), FreeBSD 4.0-beta (Section 5.1).
+  static MachineProfile Alpha21164_500();
+};
+
+}  // namespace softtimer
+
+#endif  // SOFTTIMER_SRC_MACHINE_MACHINE_PROFILE_H_

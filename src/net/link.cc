@@ -1,0 +1,38 @@
+#include "src/net/link.h"
+
+#include <cassert>
+#include <utility>
+
+namespace softtimer {
+
+Link::Link(Simulator* sim, Config config) : sim_(sim), config_(config) {
+  assert(config_.bandwidth_bps > 0);
+}
+
+SimDuration Link::SerializationDelay(uint32_t bytes) const {
+  return SimDuration::Seconds(static_cast<double>(bytes) * 8.0 / config_.bandwidth_bps);
+}
+
+bool Link::Send(Packet p) {
+  if (in_flight_tx_ >= config_.queue_limit_packets) {
+    ++stats_.dropped;
+    return false;
+  }
+  SimTime now = sim_->now();
+  SimTime start = tx_free_at_ > now ? tx_free_at_ : now;
+  SimTime done_serializing = start + SerializationDelay(p.size_bytes);
+  tx_free_at_ = done_serializing;
+  ++in_flight_tx_;
+  ++stats_.sent;
+  stats_.bytes_sent += p.size_bytes;
+  SimTime arrival = done_serializing + config_.propagation_delay;
+  sim_->ScheduleAt(done_serializing, [this] { --in_flight_tx_; });
+  sim_->ScheduleAt(arrival, [this, p] {
+    if (receiver_) {
+      receiver_(p);
+    }
+  });
+  return true;
+}
+
+}  // namespace softtimer

@@ -1,0 +1,65 @@
+// Point-to-point simplex link: serialization at a configured bandwidth, a
+// fixed propagation delay, and a drop-tail transmit queue.
+//
+// Two of these back a duplex Ethernet segment; a slower one with a large
+// delay is the paper's "WAN emulator" bottleneck (Section 5.8).
+
+#ifndef SOFTTIMER_SRC_NET_LINK_H_
+#define SOFTTIMER_SRC_NET_LINK_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "src/net/packet.h"
+#include "src/sim/simulator.h"
+#include "src/sim/time.h"
+
+namespace softtimer {
+
+class Link {
+ public:
+  struct Config {
+    double bandwidth_bps = 100e6;
+    SimDuration propagation_delay = SimDuration::Micros(1);
+    // Transmit queue bound, in packets (drop-tail). Counts packets that have
+    // not yet finished serializing.
+    size_t queue_limit_packets = 1024;
+  };
+
+  Link(Simulator* sim, Config config);
+
+  // Destination callback, invoked at packet arrival time.
+  void set_receiver(std::function<void(const Packet&)> rx) { receiver_ = std::move(rx); }
+
+  // Queues `p` for transmission. Returns false (and drops) when the queue is
+  // full.
+  bool Send(Packet p);
+
+  // Time to serialize a packet of `bytes` onto this link.
+  SimDuration SerializationDelay(uint32_t bytes) const;
+
+  // Packets currently queued or serializing.
+  size_t queue_depth() const { return in_flight_tx_; }
+
+  struct Stats {
+    uint64_t sent = 0;
+    uint64_t dropped = 0;
+    uint64_t bytes_sent = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+  const Config& config() const { return config_; }
+
+ private:
+  Simulator* sim_;
+  Config config_;
+  std::function<void(const Packet&)> receiver_;
+  // Time the transmitter becomes free.
+  SimTime tx_free_at_;
+  size_t in_flight_tx_ = 0;
+  Stats stats_;
+};
+
+}  // namespace softtimer
+
+#endif  // SOFTTIMER_SRC_NET_LINK_H_

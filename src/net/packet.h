@@ -1,0 +1,52 @@
+// Simulated network packet.
+//
+// One flat struct serves every layer of the simulation: link-level fields
+// (size), demux fields (flow id), and the TCP segment fields used by the
+// src/tcp state machines. Non-TCP users leave the segment fields zero. This
+// is a deliberate simulation simplification - a real stack would nest
+// headers - kept flat so packets stay trivially copyable and allocation-free.
+
+#ifndef SOFTTIMER_SRC_NET_PACKET_H_
+#define SOFTTIMER_SRC_NET_PACKET_H_
+
+#include <cstdint>
+
+#include "src/sim/time.h"
+
+namespace softtimer {
+
+// 1500-byte Ethernet MTU minus 40 bytes of TCP/IP headers guessing classic
+// timestamps off; the paper's WAN experiments use 1448-byte packets.
+inline constexpr uint32_t kEthernetMtu = 1500;
+inline constexpr uint32_t kTcpIpHeaderBytes = 52;
+inline constexpr uint32_t kDefaultMss = 1448;
+inline constexpr uint32_t kAckPacketBytes = 40;
+
+struct Packet {
+  enum class Kind : uint8_t {
+    kData = 0,
+    kAck,
+    kSyn,
+    kSynAck,
+    kFin,
+    kRequest,  // an application request (HTTP GET)
+  };
+
+  uint64_t id = 0;
+  uint64_t flow_id = 0;
+  Kind kind = Kind::kData;
+  uint32_t size_bytes = 0;  // wire size including headers
+
+  // --- TCP segment fields (bytes) ---
+  uint64_t seq = 0;      // first payload byte
+  uint32_t payload = 0;  // payload length
+  uint64_t ack_seq = 0;  // cumulative ACK (valid when kind == kAck)
+  bool fin = false;      // sender has no more data after this segment
+
+  // Set by the sender for RTT/latency accounting.
+  SimTime sent_at;
+};
+
+}  // namespace softtimer
+
+#endif  // SOFTTIMER_SRC_NET_PACKET_H_

@@ -1,0 +1,98 @@
+#include "src/net/soft_timer_net_poller.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace softtimer {
+
+SoftTimerNetPoller::SoftTimerNetPoller(Kernel* kernel, std::vector<Nic*> nics, Config config)
+    : kernel_(kernel), nics_(std::move(nics)), config_(config), governor_(config.governor) {}
+
+void SoftTimerNetPoller::Start() {
+  if (started_) {
+    return;
+  }
+  started_ = true;
+  if (config_.interrupts_when_idle) {
+    kernel_->AddCpuIdleListener([this](int cpu, bool idle) {
+      (void)cpu;
+      if (idle) {
+        if (active_) {
+          ++stats_.idle_switches;
+          SetPolled(false);
+        }
+      } else {
+        if (!active_) {
+          SetPolled(true);
+        }
+      }
+    });
+    // Engage according to the current CPU state.
+    SetPolled(kernel_->cpu(0).busy());
+  } else {
+    SetPolled(true);
+  }
+}
+
+void SoftTimerNetPoller::SetPolled(bool polled) {
+  // Re-entrancy guard: switching a NIC to interrupt mode can immediately
+  // raise an interrupt whose handler makes the CPU busy, which calls back
+  // into SetPolled(true) from inside our own loop. Record the latest desired
+  // state and let the outermost invocation settle it.
+  desired_polled_ = polled;
+  if (in_set_polled_) {
+    return;
+  }
+  in_set_polled_ = true;
+  while (desired_polled_ != applied_polled_ || !applied_once_) {
+    applied_once_ = true;
+    bool p = desired_polled_;
+    applied_polled_ = p;
+    active_ = p;
+    for (Nic* nic : nics_) {
+      nic->SetMode(p ? Nic::Mode::kPolled : Nic::Mode::kInterrupt);
+    }
+    if (p) {
+      ++stats_.engages;
+      // The pause must not read as a low arrival rate, and whatever sat in
+      // the rings during the flip gets drained promptly.
+      governor_.ResetRate();
+      have_last_poll_tick_ = false;
+      if (pending_event_.valid()) {
+        kernel_->soft_timers().CancelSoftEvent(pending_event_);
+      }
+      ScheduleNext(std::min<uint64_t>(governor_.current_interval_ticks(),
+                                      config_.governor.initial_interval_ticks));
+    } else if (pending_event_.valid()) {
+      kernel_->soft_timers().CancelSoftEvent(pending_event_);
+      pending_event_ = SoftEventId{};
+    }
+  }
+  in_set_polled_ = false;
+}
+
+void SoftTimerNetPoller::ScheduleNext(uint64_t interval_ticks) {
+  pending_event_ = kernel_->soft_timers().ScheduleSoftEvent(
+      interval_ticks, [this](const SoftTimerFacility::FireInfo&) { OnPollEvent(); });
+}
+
+void SoftTimerNetPoller::OnPollEvent() {
+  pending_event_ = SoftEventId{};
+  if (!active_) {
+    return;
+  }
+  size_t found = 0;
+  for (Nic* nic : nics_) {
+    found += nic->Poll(config_.max_per_poll);
+  }
+  ++stats_.polls;
+  stats_.packets += found;
+  uint64_t now_ticks = kernel_->soft_timers().MeasureTime();
+  uint64_t elapsed = have_last_poll_tick_ ? now_ticks - last_poll_tick_ : 0;
+  last_poll_tick_ = now_ticks;
+  have_last_poll_tick_ = true;
+  uint64_t next = governor_.OnPoll(found, elapsed);
+  ScheduleNext(next);
+}
+
+}  // namespace softtimer

@@ -1,0 +1,45 @@
+// Duplex wide-area path: the paper's laboratory "WAN emulator" (Section 5.8),
+// a FreeBSD router that delays each forwarded packet to emulate a given
+// one-way delay and bottleneck bandwidth. Both directions get the delay; the
+// forward (data) direction gets the bottleneck bandwidth; the reverse (ACK)
+// direction is assumed uncongested at the same nominal rate.
+
+#ifndef SOFTTIMER_SRC_NET_WAN_PATH_H_
+#define SOFTTIMER_SRC_NET_WAN_PATH_H_
+
+#include "src/net/link.h"
+
+namespace softtimer {
+
+class WanPath {
+ public:
+  struct Config {
+    double bottleneck_bps = 50e6;
+    SimDuration one_way_delay = SimDuration::Millis(50);
+    size_t queue_limit_packets = 4096;
+  };
+
+  WanPath(Simulator* sim, Config config)
+      : forward_(sim, MakeLinkConfig(config)), reverse_(sim, MakeLinkConfig(config)) {}
+
+  // Server -> client (data) direction.
+  Link& forward() { return forward_; }
+  // Client -> server (request/ACK) direction.
+  Link& reverse() { return reverse_; }
+
+ private:
+  static Link::Config MakeLinkConfig(const Config& c) {
+    Link::Config lc;
+    lc.bandwidth_bps = c.bottleneck_bps;
+    lc.propagation_delay = c.one_way_delay;
+    lc.queue_limit_packets = c.queue_limit_packets;
+    return lc;
+  }
+
+  Link forward_;
+  Link reverse_;
+};
+
+}  // namespace softtimer
+
+#endif  // SOFTTIMER_SRC_NET_WAN_PATH_H_

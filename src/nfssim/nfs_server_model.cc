@@ -1,0 +1,133 @@
+#include "src/nfssim/nfs_server_model.h"
+
+#include <utility>
+
+namespace softtimer {
+
+namespace {
+SimDuration Us(double v) { return SimDuration::Micros(v); }
+}  // namespace
+
+NfsServerModel::NfsServerModel(Kernel* kernel, Nic* nic, Config config)
+    : kernel_(kernel), nic_(nic), config_(config), rng_(config.rng_seed),
+      disk_(kernel->sim(), config.disk) {}
+
+SimDuration NfsServerModel::Jitter(SimDuration median) {
+  if (config_.op_jitter_sigma <= 0) {
+    return median;
+  }
+  return rng_.LogNormalDuration(median, config_.op_jitter_sigma);
+}
+
+void NfsServerModel::OnPacket(const Packet& p) {
+  if (p.kind != Packet::Kind::kRequest) {
+    return;
+  }
+  ++stats_.rpcs;
+  uint64_t flow = p.flow_id;
+  // RPC decode + nfsd dispatch in the syscall path.
+  kernel_->KernelOp(TriggerSource::kSyscall, Jitter(Us(14)), [this, flow] {
+    if (rng_.Bernoulli(config_.metadata_fraction)) {
+      ServeMetadata(flow);
+    } else {
+      ServeRead(flow);
+    }
+  });
+}
+
+void NfsServerModel::ServeMetadata(uint64_t flow) {
+  ++stats_.metadata_ops;
+  // Attribute/namei lookup out of in-memory caches.
+  kernel_->KernelOp(TriggerSource::kSyscall, Jitter(Us(18)),
+                    [this, flow] { SendReply(flow, 128); });
+}
+
+void NfsServerModel::ServeRead(uint64_t flow) {
+  // Buffer-cache lookup; occasionally a long uninterruptible scan (the long
+  // trigger-interval tail of the ST-nfs distribution).
+  SimDuration lookup = Jitter(Us(12));
+  if (rng_.Bernoulli(config_.long_scan_probability)) {
+    SimDuration scan = rng_.LogNormalDuration(config_.long_scan_median, 0.75);
+    if (scan > SimDuration::Micros(880)) {
+      scan = SimDuration::Micros(880);  // bounded by the buffer-cache size
+    }
+    lookup = lookup + scan;
+  }
+  kernel_->KernelOp(TriggerSource::kSyscall, lookup, [this, flow] {
+    if (rng_.Bernoulli(config_.cache_hit_fraction)) {
+      ++stats_.cache_hits;
+      SendReply(flow, config_.read_bytes);
+      return;
+    }
+    ++stats_.disk_reads;
+    disk_.SubmitRead(config_.read_bytes, [this, flow] {
+      // Disk completion interrupt, then the biod/nfsd copy out of the
+      // buffer cache.
+      kernel_->RaiseInterrupt(TriggerSource::kOtherIntr, Jitter(Us(11)), [this, flow] {
+        kernel_->KernelOp(TriggerSource::kSyscall, Jitter(Us(45)),  // 8 KB copy + csum
+                          [this, flow] { SendReply(flow, config_.read_bytes); });
+      });
+    });
+  });
+}
+
+void NfsServerModel::SendReply(uint64_t flow, uint32_t bytes) {
+  SendReplyFragment(flow, bytes);
+}
+
+void NfsServerModel::SendReplyFragment(uint64_t flow, uint32_t remaining) {
+  uint32_t payload = remaining > kDefaultMss ? kDefaultMss : remaining;
+  uint32_t left = remaining - payload;
+  // Each UDP fragment takes the ip-output path.
+  kernel_->KernelOp(TriggerSource::kIpOutput, Jitter(Us(9)), [this, flow, payload, left] {
+    Packet frag;
+    frag.flow_id = flow;
+    frag.kind = Packet::Kind::kData;
+    frag.payload = payload;
+    frag.size_bytes = payload + kTcpIpHeaderBytes;
+    frag.fin = (left == 0);  // last fragment of this reply
+    frag.sent_at = kernel_->sim()->now();
+    ++stats_.reply_packets;
+    nic_->Transmit(frag);
+    if (left > 0) {
+      SendReplyFragment(flow, left);
+    }
+  });
+}
+
+// --- Client farm -------------------------------------------------------------
+
+NfsClientFarm::NfsClientFarm(Simulator* sim, Link* uplink, Config config)
+    : sim_(sim), uplink_(uplink), config_(config), rng_(config.rng_seed) {}
+
+void NfsClientFarm::Start() {
+  for (int i = 0; i < config_.outstanding; ++i) {
+    IssueRequest(i);
+  }
+}
+
+void NfsClientFarm::IssueRequest(int slot) {
+  SimDuration think = config_.think_time;
+  if (config_.think_jitter_sigma > 0) {
+    think = rng_.LogNormalDuration(think, config_.think_jitter_sigma);
+  }
+  sim_->ScheduleAfter(think, [this, slot] {
+    Packet req;
+    // Slot in the upper bits so concurrent RPCs stay distinguishable.
+    req.flow_id = (static_cast<uint64_t>(slot) << 32) | next_serial_++;
+    req.kind = Packet::Kind::kRequest;
+    req.size_bytes = 160;
+    req.sent_at = sim_->now();
+    uplink_->Send(req);
+  });
+}
+
+void NfsClientFarm::OnPacket(const Packet& p) {
+  if (p.kind != Packet::Kind::kData || !p.fin) {
+    return;  // mid-reply fragment
+  }
+  ++replies_;
+  IssueRequest(static_cast<int>(p.flow_id >> 32));
+}
+
+}  // namespace softtimer

@@ -1,0 +1,107 @@
+// NFS file-server model: the mechanistic substrate for the ST-nfs workload
+// of Table 1 ("saturated but disk-bound, leaving the CPU idle approximately
+// 90% of the time").
+//
+// Clients issue RPCs over UDP through the NIC: mostly 8 KB READs plus cheap
+// metadata operations (GETATTR/LOOKUP). The server decodes the RPC in nfsd
+// (syscall-path kernel work), consults the buffer cache, and either replies
+// straight from memory or queues a DiskModel read whose completion arrives
+// as a device interrupt. Replies leave as UDP fragments through the
+// ip-output path. The CPU is idle whenever every in-flight RPC is waiting on
+// the platter - which is most of the time - so the idle loop dominates the
+// machine's trigger-state stream, exactly the paper's ST-nfs regime.
+
+#ifndef SOFTTIMER_SRC_NFSSIM_NFS_SERVER_MODEL_H_
+#define SOFTTIMER_SRC_NFSSIM_NFS_SERVER_MODEL_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "src/machine/kernel.h"
+#include "src/net/nic.h"
+#include "src/storage/disk_model.h"
+
+namespace softtimer {
+
+class NfsServerModel {
+ public:
+  struct Config {
+    DiskModel::Config disk;
+    // Fraction of READs served from the buffer cache.
+    double cache_hit_fraction = 0.25;
+    // Fraction of RPCs that are metadata-only (no data transfer).
+    double metadata_fraction = 0.45;
+    uint32_t read_bytes = 8192;
+    // Probability that serving a read walks a long uninterruptible
+    // buffer-cache stretch (the source of the paper's 910 us maximum trigger
+    // interval), and its median length.
+    double long_scan_probability = 0.05;
+    SimDuration long_scan_median = SimDuration::Micros(380);
+    double op_jitter_sigma = 0.5;
+    uint64_t rng_seed = 31;
+  };
+
+  NfsServerModel(Kernel* kernel, Nic* nic, Config config);
+
+  // RPC ingress (wired as the NIC's rx handler).
+  void OnPacket(const Packet& p);
+
+  struct Stats {
+    uint64_t rpcs = 0;
+    uint64_t metadata_ops = 0;
+    uint64_t cache_hits = 0;
+    uint64_t disk_reads = 0;
+    uint64_t reply_packets = 0;
+  };
+  const Stats& stats() const { return stats_; }
+  DiskModel& disk() { return disk_; }
+
+ private:
+  SimDuration Jitter(SimDuration median);
+  void ServeMetadata(uint64_t flow);
+  void ServeRead(uint64_t flow);
+  void SendReply(uint64_t flow, uint32_t bytes);
+  void SendReplyFragment(uint64_t flow, uint32_t remaining);
+
+  Kernel* kernel_;
+  Nic* nic_;
+  Config config_;
+  Rng rng_;
+  DiskModel disk_;
+  Stats stats_;
+};
+
+// Closed-loop NFS client population: `outstanding` RPCs in flight at all
+// times, reissued as replies complete. Client-side cost is zero (the client
+// machines are not the bottleneck).
+class NfsClientFarm {
+ public:
+  struct Config {
+    int outstanding = 8;
+    SimDuration think_time = SimDuration::Micros(150);
+    double think_jitter_sigma = 0.8;
+    uint64_t rng_seed = 13;
+  };
+
+  NfsClientFarm(Simulator* sim, Link* uplink, Config config);
+
+  void Start();
+  // Reply ingress (wired as the downlink's receiver).
+  void OnPacket(const Packet& p);
+
+  uint64_t replies_completed() const { return replies_; }
+
+ private:
+  void IssueRequest(int slot);
+
+  Simulator* sim_;
+  Link* uplink_;
+  Config config_;
+  Rng rng_;
+  uint64_t next_serial_ = 1;
+  uint64_t replies_ = 0;
+};
+
+}  // namespace softtimer
+
+#endif  // SOFTTIMER_SRC_NFSSIM_NFS_SERVER_MODEL_H_

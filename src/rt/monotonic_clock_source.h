@@ -1,0 +1,51 @@
+// Wall-clock ClockSource backed by std::chrono::steady_clock.
+//
+// This is what a production (non-simulated) deployment of the soft-timer
+// facility reads instead of the simulator's virtual time - the moral
+// equivalent of the paper's "reading the clock (usually a CPU register)".
+// Ticks count from construction at a configurable resolution (default 1 MHz,
+// the paper's typical measurement clock).
+
+#ifndef SOFTTIMER_SRC_RT_MONOTONIC_CLOCK_SOURCE_H_
+#define SOFTTIMER_SRC_RT_MONOTONIC_CLOCK_SOURCE_H_
+
+#include <chrono>
+#include <cstdint>
+
+#include "src/core/clock_source.h"
+
+namespace softtimer {
+
+class MonotonicClockSource : public ClockSource {
+ public:
+  explicit MonotonicClockSource(uint64_t hz = 1'000'000)
+      : hz_(hz), origin_(std::chrono::steady_clock::now()) {}
+
+  uint64_t NowTicks() const override {
+    auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  std::chrono::steady_clock::now() - origin_)
+                  .count();
+    return static_cast<uint64_t>(static_cast<__uint128_t>(ns) * hz_ / 1'000'000'000ULL);
+  }
+
+  uint64_t ResolutionHz() const override { return hz_; }
+
+  // Nanoseconds from now until `tick` is reached (0 if already past).
+  std::chrono::nanoseconds UntilTick(uint64_t tick) const {
+    uint64_t now = NowTicks();
+    if (tick <= now) {
+      return std::chrono::nanoseconds(0);
+    }
+    uint64_t dt = tick - now;
+    return std::chrono::nanoseconds(
+        static_cast<int64_t>(static_cast<__uint128_t>(dt) * 1'000'000'000ULL / hz_));
+  }
+
+ private:
+  uint64_t hz_;
+  std::chrono::steady_clock::time_point origin_;
+};
+
+}  // namespace softtimer
+
+#endif  // SOFTTIMER_SRC_RT_MONOTONIC_CLOCK_SOURCE_H_

@@ -1,0 +1,52 @@
+#include "src/rt/rt_soft_timer_host.h"
+
+#include <thread>
+
+namespace softtimer {
+
+RtSoftTimerHost::RtSoftTimerHost(Config config)
+    : config_(config), clock_(config.measure_hz) {
+  SoftTimerFacility::Config fc;
+  fc.interrupt_clock_hz = config_.interrupt_clock_hz;
+  fc.queue_kind = config_.queue_kind;
+  facility_ = std::make_unique<SoftTimerFacility>(&clock_, fc);
+}
+
+size_t RtSoftTimerHost::PollTriggerState(TriggerSource source) {
+  ++stats_.polls;
+  return facility_->OnTriggerState(source);
+}
+
+size_t RtSoftTimerHost::SleepAndDispatch() {
+  ++stats_.sleeps;
+  uint64_t backup_ticks = facility_->ticks_per_backup_interval();
+  uint64_t now = clock_.NowTicks();
+  uint64_t wake_tick = now + backup_ticks;
+  bool backup_bound = true;
+  std::optional<uint64_t> deadline = facility_->NextDeadlineTick();
+  if (deadline && *deadline < wake_tick) {
+    wake_tick = *deadline;
+    backup_bound = false;
+  }
+  std::this_thread::sleep_for(clock_.UntilTick(wake_tick));
+  if (backup_bound) {
+    ++stats_.backup_checks;
+    return facility_->OnBackupInterrupt();
+  }
+  return facility_->OnTriggerState(TriggerSource::kIdleLoop);
+}
+
+void RtSoftTimerHost::RunFor(std::chrono::nanoseconds duration,
+                             const std::function<void()>& work) {
+  auto end = std::chrono::steady_clock::now() + duration;
+  while (std::chrono::steady_clock::now() < end) {
+    if (work) {
+      work();
+      PollTriggerState();
+    } else {
+      SleepAndDispatch();
+    }
+  }
+}
+
+}  // namespace softtimer

@@ -1,0 +1,74 @@
+// Real-time host for the soft-timer facility: run the paper's mechanism in
+// an ordinary user-space event loop instead of the simulator.
+//
+// A DPDK-style userspace stack (or any busy event loop) has the same
+// structure the paper exploits in the kernel: execution constantly passes
+// through natural check points - after a batch of I/O, between work items,
+// at the top of the poll loop. The application calls PollTriggerState() at
+// those points; due soft events dispatch inline at function-call cost. The
+// backup bound comes from SleepAndDispatch()/RunFor(), which never sleeps
+// past the backup period, so the paper's T < actual < T + X + 1 guarantee
+// holds even when the loop goes quiet.
+//
+// Single-threaded by design, like the per-CPU facility in the paper: all
+// calls must come from the owning thread.
+
+#ifndef SOFTTIMER_SRC_RT_RT_SOFT_TIMER_HOST_H_
+#define SOFTTIMER_SRC_RT_RT_SOFT_TIMER_HOST_H_
+
+#include <chrono>
+#include <functional>
+#include <memory>
+
+#include "src/core/soft_timer_facility.h"
+#include "src/rt/monotonic_clock_source.h"
+
+namespace softtimer {
+
+class RtSoftTimerHost {
+ public:
+  struct Config {
+    uint64_t measure_hz = 1'000'000;
+    uint64_t interrupt_clock_hz = 1'000;  // backup bound: 1 ms
+    TimerQueueKind queue_kind = TimerQueueKind::kHashedWheel;
+  };
+
+  RtSoftTimerHost() : RtSoftTimerHost(Config{}) {}
+  explicit RtSoftTimerHost(Config config);
+
+  SoftTimerFacility& facility() { return *facility_; }
+  const MonotonicClockSource& clock() const { return clock_; }
+
+  // The application's trigger state: call this wherever your event loop
+  // naturally passes (after I/O batches, between requests, ...). Costs a
+  // clock read and a comparison when nothing is due. Returns handlers fired.
+  size_t PollTriggerState(TriggerSource source = TriggerSource::kSyscall);
+
+  // Blocks until the earlier of the next soft-event deadline and one backup
+  // period, then performs the corresponding check. This is the idle loop +
+  // backup interrupt of the paper rolled into one cooperative call.
+  // Returns the number of handlers fired.
+  size_t SleepAndDispatch();
+
+  // Convenience loop: for `duration`, alternately run `work` (if any) and
+  // poll; sleeps when there is no work callback. Handlers keep firing
+  // throughout.
+  void RunFor(std::chrono::nanoseconds duration, const std::function<void()>& work = {});
+
+  struct Stats {
+    uint64_t polls = 0;
+    uint64_t sleeps = 0;
+    uint64_t backup_checks = 0;  // sleeps that hit the backup bound
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  Config config_;
+  MonotonicClockSource clock_;
+  std::unique_ptr<SoftTimerFacility> facility_;
+  Stats stats_;
+};
+
+}  // namespace softtimer
+
+#endif  // SOFTTIMER_SRC_RT_RT_SOFT_TIMER_HOST_H_

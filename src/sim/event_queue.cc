@@ -1,0 +1,45 @@
+#include "src/sim/event_queue.h"
+
+#include <cassert>
+#include <utility>
+
+namespace softtimer {
+
+EventHandle EventQueue::Push(SimTime when, Callback cb) {
+  uint64_t id = next_id_++;
+  heap_.push(HeapEntry{when, next_seq_++, id});
+  live_.emplace(id, std::move(cb));
+  return EventHandle{id};
+}
+
+bool EventQueue::Cancel(EventHandle h) {
+  if (!h.valid()) {
+    return false;
+  }
+  return live_.erase(h.id) > 0;
+}
+
+void EventQueue::SkimCancelled() {
+  while (!heap_.empty() && live_.find(heap_.top().id) == live_.end()) {
+    heap_.pop();
+  }
+}
+
+SimTime EventQueue::next_time() {
+  SkimCancelled();
+  assert(!heap_.empty());
+  return heap_.top().time;
+}
+
+EventQueue::Entry EventQueue::Pop() {
+  SkimCancelled();
+  assert(!heap_.empty());
+  HeapEntry top = heap_.top();
+  heap_.pop();
+  auto it = live_.find(top.id);
+  Entry e{top.time, std::move(it->second)};
+  live_.erase(it);
+  return e;
+}
+
+}  // namespace softtimer

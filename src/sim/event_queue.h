@@ -1,0 +1,84 @@
+// Pending-event store for the discrete-event simulator.
+//
+// A binary heap keyed on (time, sequence number) gives deterministic FIFO
+// ordering among events scheduled for the same instant. Cancellation is
+// lazy: Cancel() drops the callback immediately, and the heap entry is
+// discarded when it surfaces.
+
+#ifndef SOFTTIMER_SRC_SIM_EVENT_QUEUE_H_
+#define SOFTTIMER_SRC_SIM_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "src/sim/time.h"
+
+namespace softtimer {
+
+// An opaque handle identifying one scheduled event. Default-constructed
+// handles are invalid.
+struct EventHandle {
+  uint64_t id = 0;
+  bool valid() const { return id != 0; }
+};
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  EventQueue() = default;
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
+
+  // Schedules `cb` for time `when`. Returns a handle usable with Cancel().
+  EventHandle Push(SimTime when, Callback cb);
+
+  // Cancels a pending event. Returns false if the event already ran or was
+  // already cancelled.
+  bool Cancel(EventHandle h);
+
+  // True when no live events remain.
+  bool empty() const { return live_.empty(); }
+
+  // Number of live (not cancelled, not yet run) events.
+  size_t size() const { return live_.size(); }
+
+  // Time of the earliest live event. Precondition: !empty().
+  SimTime next_time();
+
+  // Removes and returns the earliest live event. Precondition: !empty().
+  struct Entry {
+    SimTime time;
+    Callback cb;
+  };
+  Entry Pop();
+
+ private:
+  struct HeapEntry {
+    SimTime time;
+    uint64_t seq;
+    uint64_t id;
+    // Min-heap via greater-than.
+    bool operator>(const HeapEntry& o) const {
+      if (time != o.time) {
+        return time > o.time;
+      }
+      return seq > o.seq;
+    }
+  };
+
+  // Pops cancelled entries off the top of the heap.
+  void SkimCancelled();
+
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>> heap_;
+  std::unordered_map<uint64_t, Callback> live_;
+  uint64_t next_id_ = 1;
+  uint64_t next_seq_ = 0;
+};
+
+}  // namespace softtimer
+
+#endif  // SOFTTIMER_SRC_SIM_EVENT_QUEUE_H_

@@ -1,0 +1,128 @@
+#include "src/sim/random.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace softtimer {
+
+namespace {
+
+uint64_t SplitMix64(uint64_t& x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t x = seed;
+  for (auto& w : s_) {
+    w = SplitMix64(x);
+  }
+  // All-zero state is the one invalid state for xoshiro; seed 0 through
+  // SplitMix64 cannot produce it, but guard anyway.
+  if (s_[0] == 0 && s_[1] == 0 && s_[2] == 0 && s_[3] == 0) {
+    s_[0] = 1;
+  }
+}
+
+uint64_t Rng::NextU64() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+}
+
+uint64_t Rng::UniformU64(uint64_t bound) {
+  assert(bound > 0);
+  // Lemire's nearly-divisionless bounded generation.
+  uint64_t x = NextU64();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  uint64_t l = static_cast<uint64_t>(m);
+  if (l < bound) {
+    uint64_t t = -bound % bound;
+    while (l < t) {
+      x = NextU64();
+      m = static_cast<__uint128_t>(x) * bound;
+      l = static_cast<uint64_t>(m);
+    }
+  }
+  return static_cast<uint64_t>(m >> 64);
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  assert(lo <= hi);
+  uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  return lo + static_cast<int64_t>(UniformU64(span));
+}
+
+bool Rng::Bernoulli(double p) { return NextDouble() < p; }
+
+double Rng::Exponential(double mean) {
+  assert(mean > 0);
+  double u = NextDouble();
+  // 1 - u is in (0, 1], so the log is finite.
+  return -mean * std::log(1.0 - u);
+}
+
+double Rng::Normal(double mean, double stddev) {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return mean + stddev * cached_normal_;
+  }
+  double u, v, s;
+  do {
+    u = 2.0 * NextDouble() - 1.0;
+    v = 2.0 * NextDouble() - 1.0;
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  double factor = std::sqrt(-2.0 * std::log(s) / s);
+  cached_normal_ = v * factor;
+  has_cached_normal_ = true;
+  return mean + stddev * (u * factor);
+}
+
+double Rng::LogNormalMedian(double median, double sigma) {
+  assert(median > 0);
+  return median * std::exp(Normal(0.0, sigma));
+}
+
+double Rng::ParetoBounded(double xm, double alpha, double cap) {
+  assert(xm > 0 && alpha > 0 && cap >= xm);
+  double u = NextDouble();
+  double v = xm / std::pow(1.0 - u, 1.0 / alpha);
+  return v > cap ? cap : v;
+}
+
+SimDuration Rng::ExpDuration(SimDuration mean) {
+  return SimDuration::Nanos(
+      static_cast<int64_t>(Exponential(static_cast<double>(mean.nanos()))));
+}
+
+SimDuration Rng::LogNormalDuration(SimDuration median, double sigma) {
+  return SimDuration::Nanos(static_cast<int64_t>(
+      LogNormalMedian(static_cast<double>(median.nanos()), sigma)));
+}
+
+Rng Rng::Fork(uint64_t stream_id) {
+  // Mix the child id into fresh draws from the parent so substreams are
+  // decorrelated from one another and from the parent's future output.
+  uint64_t seed = NextU64() ^ (stream_id * 0x9E3779B97F4A7C15ULL + 0x2545F4914F6CDD1DULL);
+  return Rng(seed);
+}
+
+}  // namespace softtimer

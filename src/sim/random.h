@@ -1,0 +1,75 @@
+// Deterministic random number generation for the simulator.
+//
+// All randomness in the codebase flows through Rng so that every experiment
+// is reproducible from a single seed. The generator is xoshiro256** (Blackman
+// & Vigna), seeded through SplitMix64; both are implemented here from the
+// published reference algorithms so the library has no external dependencies.
+//
+// Rng::Fork() derives statistically independent substreams, which lets each
+// simulated component (per-connection jitter, packet arrival processes, ...)
+// own a private stream whose draws do not perturb its neighbours.
+
+#ifndef SOFTTIMER_SRC_SIM_RANDOM_H_
+#define SOFTTIMER_SRC_SIM_RANDOM_H_
+
+#include <array>
+#include <cstdint>
+
+#include "src/sim/time.h"
+
+namespace softtimer {
+
+class Rng {
+ public:
+  // Seeds the state via SplitMix64 so that nearby seeds give unrelated streams.
+  explicit Rng(uint64_t seed);
+
+  // Raw 64 uniform bits.
+  uint64_t NextU64();
+
+  // Uniform double in [0, 1) with 53 bits of precision.
+  double NextDouble();
+
+  // Uniform integer in [0, bound). bound must be > 0. Uses rejection sampling
+  // (Lemire-style) to avoid modulo bias.
+  uint64_t UniformU64(uint64_t bound);
+
+  // Uniform integer in [lo, hi], inclusive on both ends. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  // Bernoulli draw with probability p of returning true.
+  bool Bernoulli(double p);
+
+  // Exponential with the given mean (> 0).
+  double Exponential(double mean);
+
+  // Normal via Marsaglia polar method.
+  double Normal(double mean, double stddev);
+
+  // Log-normal parameterized by its *median* (= exp(mu)) and sigma, which is
+  // the natural parameterization for service-time jitter: median stays put
+  // while sigma controls the weight of the right tail.
+  double LogNormalMedian(double median, double sigma);
+
+  // Pareto with scale xm and shape alpha, truncated at cap (values above cap
+  // are clamped). Used for heavy-tailed think/compute bursts.
+  double ParetoBounded(double xm, double alpha, double cap);
+
+  // Duration-typed conveniences.
+  SimDuration ExpDuration(SimDuration mean);
+  SimDuration LogNormalDuration(SimDuration median, double sigma);
+
+  // Derives an independent substream; `stream_id` distinguishes children of
+  // the same parent.
+  Rng Fork(uint64_t stream_id);
+
+ private:
+  std::array<uint64_t, 4> s_{};
+  // Cached second variate from the polar method.
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+}  // namespace softtimer
+
+#endif  // SOFTTIMER_SRC_SIM_RANDOM_H_

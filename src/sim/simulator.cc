@@ -1,0 +1,53 @@
+#include "src/sim/simulator.h"
+
+#include <utility>
+
+namespace softtimer {
+
+EventHandle Simulator::ScheduleAt(SimTime t, Callback cb) {
+  if (t < now_) {
+    t = now_;
+  }
+  return queue_.Push(t, std::move(cb));
+}
+
+EventHandle Simulator::ScheduleAfter(SimDuration d, Callback cb) {
+  if (d < SimDuration::Zero()) {
+    d = SimDuration::Zero();
+  }
+  return queue_.Push(now_ + d, std::move(cb));
+}
+
+bool Simulator::Cancel(EventHandle h) { return queue_.Cancel(h); }
+
+bool Simulator::Step() {
+  if (queue_.empty()) {
+    return false;
+  }
+  EventQueue::Entry e = queue_.Pop();
+  now_ = e.time;
+  ++events_processed_;
+  e.cb();
+  return true;
+}
+
+void Simulator::RunUntil(SimTime until) {
+  stop_requested_ = false;
+  while (!stop_requested_ && !queue_.empty() && queue_.next_time() <= until) {
+    Step();
+  }
+  if (!stop_requested_ && now_ < until) {
+    now_ = until;
+  }
+}
+
+void Simulator::RunFor(SimDuration d) { RunUntil(now_ + d); }
+
+void Simulator::RunUntilIdle(SimTime hard_cap) {
+  stop_requested_ = false;
+  while (!stop_requested_ && !queue_.empty() && queue_.next_time() <= hard_cap) {
+    Step();
+  }
+}
+
+}  // namespace softtimer

@@ -1,0 +1,72 @@
+// The discrete-event simulator that every experiment runs on.
+//
+// Components schedule callbacks at future simulated times; Run* methods
+// advance virtual time event by event. Time never flows backward, execution
+// is single-threaded, and ordering is deterministic (FIFO among events
+// scheduled for the same instant), so a given seed reproduces a run exactly.
+
+#ifndef SOFTTIMER_SRC_SIM_SIMULATOR_H_
+#define SOFTTIMER_SRC_SIM_SIMULATOR_H_
+
+#include <cstdint>
+
+#include "src/sim/event_queue.h"
+#include "src/sim/time.h"
+
+namespace softtimer {
+
+class Simulator {
+ public:
+  using Callback = EventQueue::Callback;
+
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  // Current simulated time.
+  SimTime now() const { return now_; }
+
+  // Schedules `cb` at absolute time `t`. Times in the past are clamped to
+  // now() (the event runs on the current instant, after already-queued
+  // events for that instant).
+  EventHandle ScheduleAt(SimTime t, Callback cb);
+
+  // Schedules `cb` after a relative delay (negative delays clamp to zero).
+  EventHandle ScheduleAfter(SimDuration d, Callback cb);
+
+  // Cancels a pending event; returns false if it already ran.
+  bool Cancel(EventHandle h);
+
+  // Runs events in time order until the queue is empty or an event at a time
+  // beyond `until` would be next; leaves now() == until (or the last event
+  // time if the queue drained early and that is later than now()).
+  void RunUntil(SimTime until);
+
+  // Convenience: RunUntil(now() + d).
+  void RunFor(SimDuration d);
+
+  // Runs until the queue is empty or `stop_requested`. `hard_cap` guards
+  // against runaway self-rescheduling loops.
+  void RunUntilIdle(SimTime hard_cap = SimTime::Max());
+
+  // Executes the single earliest event; returns false if the queue is empty.
+  bool Step();
+
+  // Callable from inside an event handler: makes the current Run* call
+  // return after the handler completes.
+  void RequestStop() { stop_requested_ = true; }
+
+  bool queue_empty() const { return queue_.empty(); }
+  size_t queue_size() const { return queue_.size(); }
+  uint64_t events_processed() const { return events_processed_; }
+
+ private:
+  EventQueue queue_;
+  SimTime now_;
+  bool stop_requested_ = false;
+  uint64_t events_processed_ = 0;
+};
+
+}  // namespace softtimer
+
+#endif  // SOFTTIMER_SRC_SIM_SIMULATOR_H_

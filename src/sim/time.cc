@@ -1,0 +1,32 @@
+#include "src/sim/time.h"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+
+namespace softtimer {
+
+namespace {
+
+std::string FormatNanos(int64_t ns) {
+  char buf[64];
+  double v = static_cast<double>(ns);
+  if (std::llabs(ns) < 1'000) {
+    std::snprintf(buf, sizeof(buf), "%" PRId64 "ns", ns);
+  } else if (std::llabs(ns) < 1'000'000) {
+    std::snprintf(buf, sizeof(buf), "%.3gus", v / 1e3);
+  } else if (std::llabs(ns) < 1'000'000'000) {
+    std::snprintf(buf, sizeof(buf), "%.4gms", v / 1e6);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.6gs", v / 1e9);
+  }
+  return buf;
+}
+
+}  // namespace
+
+std::string SimDuration::ToString() const { return FormatNanos(ns_); }
+
+std::string SimTime::ToString() const { return FormatNanos(ns_); }
+
+}  // namespace softtimer

@@ -1,0 +1,102 @@
+// Simulated-time types used throughout the softtimer codebase.
+//
+// All simulation happens on an integer nanosecond timeline. Two strong types
+// keep points-in-time and spans-of-time from being mixed up:
+//
+//   SimDuration  - a signed span of simulated time (nanosecond resolution).
+//   SimTime      - a point on the simulated timeline, measured from the
+//                  simulation origin (t = 0).
+//
+// The soft-timer facility itself (src/core) deals in *ticks* of a coarser
+// measurement clock (typically 1 MHz); the conversion lives in
+// src/core/clock_source.h. Everything below the facility uses these types.
+
+#ifndef SOFTTIMER_SRC_SIM_TIME_H_
+#define SOFTTIMER_SRC_SIM_TIME_H_
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+namespace softtimer {
+
+// A signed span of simulated time with nanosecond resolution.
+class SimDuration {
+ public:
+  constexpr SimDuration() = default;
+
+  // Named constructors. Fractional factories round to the nearest nanosecond,
+  // so SimDuration::Micros(4.45) is exactly 4450 ns.
+  static constexpr SimDuration Nanos(int64_t ns) { return SimDuration(ns); }
+  static constexpr SimDuration Micros(double us) {
+    return SimDuration(RoundToNanos(us * 1e3));
+  }
+  static constexpr SimDuration Millis(double ms) {
+    return SimDuration(RoundToNanos(ms * 1e6));
+  }
+  static constexpr SimDuration Seconds(double s) {
+    return SimDuration(RoundToNanos(s * 1e9));
+  }
+  static constexpr SimDuration Zero() { return SimDuration(0); }
+  static constexpr SimDuration Max() { return SimDuration(INT64_MAX); }
+
+  constexpr int64_t nanos() const { return ns_; }
+  constexpr double ToMicros() const { return static_cast<double>(ns_) / 1e3; }
+  constexpr double ToMillis() const { return static_cast<double>(ns_) / 1e6; }
+  constexpr double ToSeconds() const { return static_cast<double>(ns_) / 1e9; }
+
+  constexpr SimDuration operator+(SimDuration o) const { return SimDuration(ns_ + o.ns_); }
+  constexpr SimDuration operator-(SimDuration o) const { return SimDuration(ns_ - o.ns_); }
+  constexpr SimDuration operator-() const { return SimDuration(-ns_); }
+  constexpr SimDuration operator*(int64_t k) const { return SimDuration(ns_ * k); }
+  constexpr SimDuration operator*(double k) const { return SimDuration(RoundToNanos(static_cast<double>(ns_) * k)); }
+  constexpr SimDuration operator/(int64_t k) const { return SimDuration(ns_ / k); }
+  constexpr int64_t operator/(SimDuration o) const { return ns_ / o.ns_; }
+  SimDuration& operator+=(SimDuration o) { ns_ += o.ns_; return *this; }
+  SimDuration& operator-=(SimDuration o) { ns_ -= o.ns_; return *this; }
+
+  constexpr auto operator<=>(const SimDuration&) const = default;
+
+  // Human-readable rendering with an auto-selected unit, e.g. "4.45us".
+  std::string ToString() const;
+
+ private:
+  constexpr explicit SimDuration(int64_t ns) : ns_(ns) {}
+  static constexpr int64_t RoundToNanos(double v) {
+    return static_cast<int64_t>(v >= 0 ? v + 0.5 : v - 0.5);
+  }
+
+  int64_t ns_ = 0;
+};
+
+// A point on the simulated timeline. SimTime() is the simulation origin.
+class SimTime {
+ public:
+  constexpr SimTime() = default;
+
+  static constexpr SimTime Zero() { return SimTime(); }
+  static constexpr SimTime FromNanos(int64_t ns) { return SimTime(ns); }
+  static constexpr SimTime Max() { return SimTime(INT64_MAX); }
+
+  constexpr int64_t nanos_since_origin() const { return ns_; }
+  constexpr double ToSeconds() const { return static_cast<double>(ns_) / 1e9; }
+  constexpr double ToMicros() const { return static_cast<double>(ns_) / 1e3; }
+
+  constexpr SimTime operator+(SimDuration d) const { return SimTime(ns_ + d.nanos()); }
+  constexpr SimTime operator-(SimDuration d) const { return SimTime(ns_ - d.nanos()); }
+  constexpr SimDuration operator-(SimTime o) const { return SimDuration::Nanos(ns_ - o.ns_); }
+  SimTime& operator+=(SimDuration d) { ns_ += d.nanos(); return *this; }
+
+  constexpr auto operator<=>(const SimTime&) const = default;
+
+  std::string ToString() const;
+
+ private:
+  constexpr explicit SimTime(int64_t ns) : ns_(ns) {}
+
+  int64_t ns_ = 0;
+};
+
+}  // namespace softtimer
+
+#endif  // SOFTTIMER_SRC_SIM_TIME_H_

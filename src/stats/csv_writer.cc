@@ -1,0 +1,65 @@
+#include "src/stats/csv_writer.h"
+
+#include <cstdio>
+
+namespace softtimer {
+
+CsvWriter::CsvWriter(const std::string& path) : file_(std::fopen(path.c_str(), "w")) {}
+
+CsvWriter::~CsvWriter() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+  }
+}
+
+void CsvWriter::WriteHeader(const std::vector<std::string>& columns) {
+  WriteRow(columns);
+}
+
+void CsvWriter::WriteRow(const std::vector<std::string>& values) {
+  if (file_ == nullptr) {
+    return;
+  }
+  for (size_t i = 0; i < values.size(); ++i) {
+    std::fprintf(file_, "%s%s", i ? "," : "", values[i].c_str());
+  }
+  std::fprintf(file_, "\n");
+}
+
+void CsvWriter::WriteRow(const std::vector<double>& values) {
+  if (file_ == nullptr) {
+    return;
+  }
+  for (size_t i = 0; i < values.size(); ++i) {
+    std::fprintf(file_, "%s%.9g", i ? "," : "", values[i]);
+  }
+  std::fprintf(file_, "\n");
+}
+
+bool WriteCdfCsv(const std::string& path, const SampleSet& samples, size_t points) {
+  CsvWriter w(path);
+  if (!w.ok()) {
+    return false;
+  }
+  w.WriteHeader({"x", "fraction"});
+  for (const auto& p : samples.CdfCurve(points)) {
+    w.WriteRow(std::vector<double>{p.x, p.fraction});
+  }
+  return true;
+}
+
+bool WriteWindowedMediansCsv(const std::string& path,
+                             const std::vector<WindowedMedian::WindowStat>& windows) {
+  CsvWriter w(path);
+  if (!w.ok()) {
+    return false;
+  }
+  w.WriteHeader({"window_start_us", "median_us", "samples"});
+  for (const auto& ws : windows) {
+    w.WriteRow(std::vector<double>{ws.window_start.ToMicros(), ws.median,
+                                   static_cast<double>(ws.count)});
+  }
+  return true;
+}
+
+}  // namespace softtimer

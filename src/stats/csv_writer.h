@@ -1,0 +1,44 @@
+// Minimal CSV emission for experiment outputs, so distributions and series
+// from the benches can be plotted externally (gnuplot/matplotlib). Used by
+// the Figure 4/5/6 benches behind --dump-dir.
+
+#ifndef SOFTTIMER_SRC_STATS_CSV_WRITER_H_
+#define SOFTTIMER_SRC_STATS_CSV_WRITER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/stats/sample_set.h"
+#include "src/stats/windowed_median.h"
+
+namespace softtimer {
+
+class CsvWriter {
+ public:
+  // Opens (truncates) `path`. ok() reports whether the open succeeded.
+  explicit CsvWriter(const std::string& path);
+  ~CsvWriter();
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+
+  bool ok() const { return file_ != nullptr; }
+
+  void WriteHeader(const std::vector<std::string>& columns);
+  void WriteRow(const std::vector<double>& values);
+  void WriteRow(const std::vector<std::string>& values);
+
+ private:
+  std::FILE* file_ = nullptr;
+};
+
+// Dumps a CDF curve of `samples` (`points` quantiles) as "x,fraction" rows.
+// Returns false if the file could not be written.
+bool WriteCdfCsv(const std::string& path, const SampleSet& samples, size_t points = 200);
+
+// Dumps windowed medians as "window_start_us,median,count" rows.
+bool WriteWindowedMediansCsv(const std::string& path,
+                             const std::vector<WindowedMedian::WindowStat>& windows);
+
+}  // namespace softtimer
+
+#endif  // SOFTTIMER_SRC_STATS_CSV_WRITER_H_

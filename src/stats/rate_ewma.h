@@ -1,0 +1,39 @@
+// Exponentially-weighted moving average, used by the poll governor to track
+// packets found per poll (Section 4.2) and by rate meters.
+
+#ifndef SOFTTIMER_SRC_STATS_RATE_EWMA_H_
+#define SOFTTIMER_SRC_STATS_RATE_EWMA_H_
+
+#include <cassert>
+
+namespace softtimer {
+
+class RateEwma {
+ public:
+  // `alpha` is the weight of the newest observation, in (0, 1].
+  explicit RateEwma(double alpha) : alpha_(alpha) {
+    assert(alpha > 0.0 && alpha <= 1.0);
+  }
+
+  void Observe(double x) {
+    if (!primed_) {
+      value_ = x;
+      primed_ = true;
+    } else {
+      value_ += alpha_ * (x - value_);
+    }
+  }
+
+  bool primed() const { return primed_; }
+  double value() const { return value_; }
+  void Reset() { primed_ = false; value_ = 0.0; }
+
+ private:
+  double alpha_;
+  double value_ = 0.0;
+  bool primed_ = false;
+};
+
+}  // namespace softtimer
+
+#endif  // SOFTTIMER_SRC_STATS_RATE_EWMA_H_

@@ -1,0 +1,93 @@
+#include "src/stats/sample_set.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace softtimer {
+
+SampleSet::SampleSet(size_t reservoir_cap) : cap_(reservoir_cap) {}
+
+void SampleSet::Add(double x) {
+  summary_.Add(x);
+  ++stream_pos_;
+  if (cap_ == 0 || samples_.size() < cap_) {
+    samples_.push_back(x);
+    sorted_ = false;
+    return;
+  }
+  // Algorithm R reservoir sampling with an internal xorshift stream so that
+  // reservoir behaviour never consumes from experiment RNGs.
+  reservoir_rng_ ^= reservoir_rng_ << 13;
+  reservoir_rng_ ^= reservoir_rng_ >> 7;
+  reservoir_rng_ ^= reservoir_rng_ << 17;
+  uint64_t slot = reservoir_rng_ % stream_pos_;
+  if (slot < cap_) {
+    samples_[slot] = x;
+    sorted_ = false;
+  }
+}
+
+void SampleSet::SortIfNeeded() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double SampleSet::Percentile(double p) const {
+  if (samples_.empty()) {
+    return 0.0;
+  }
+  SortIfNeeded();
+  assert(p >= 0.0 && p <= 100.0);
+  // Linear interpolation between closest ranks (the "C = 1" convention).
+  double rank = (p / 100.0) * static_cast<double>(samples_.size() - 1);
+  size_t lo = static_cast<size_t>(rank);
+  size_t hi = std::min(lo + 1, samples_.size() - 1);
+  double frac = rank - static_cast<double>(lo);
+  return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+}
+
+double SampleSet::FractionAbove(double x) const {
+  if (samples_.empty()) {
+    return 0.0;
+  }
+  SortIfNeeded();
+  auto it = std::upper_bound(samples_.begin(), samples_.end(), x);
+  return static_cast<double>(samples_.end() - it) / static_cast<double>(samples_.size());
+}
+
+std::vector<double> SampleSet::CdfAt(const std::vector<double>& xs) const {
+  std::vector<double> out;
+  out.reserve(xs.size());
+  SortIfNeeded();
+  for (double x : xs) {
+    if (samples_.empty()) {
+      out.push_back(0.0);
+      continue;
+    }
+    auto it = std::upper_bound(samples_.begin(), samples_.end(), x);
+    out.push_back(static_cast<double>(it - samples_.begin()) /
+                  static_cast<double>(samples_.size()));
+  }
+  return out;
+}
+
+std::vector<SampleSet::CdfPoint> SampleSet::CdfCurve(size_t points) const {
+  std::vector<CdfPoint> out;
+  if (samples_.empty() || points == 0) {
+    return out;
+  }
+  SortIfNeeded();
+  out.reserve(points);
+  for (size_t i = 0; i < points; ++i) {
+    double f = static_cast<double>(i + 1) / static_cast<double>(points);
+    size_t idx = std::min(samples_.size() - 1,
+                          static_cast<size_t>(f * static_cast<double>(samples_.size())));
+    out.push_back(CdfPoint{samples_[idx], f});
+  }
+  return out;
+}
+
+}  // namespace softtimer

@@ -1,0 +1,66 @@
+// Exact-percentile sample container.
+//
+// Stores every sample (optionally with a cap + uniform reservoir sampling so
+// memory stays bounded on multi-million-sample runs) and computes exact order
+// statistics over what it holds. Streaming moments (mean/stddev/min/max) are
+// always exact over the full stream even when the reservoir drops samples.
+
+#ifndef SOFTTIMER_SRC_STATS_SAMPLE_SET_H_
+#define SOFTTIMER_SRC_STATS_SAMPLE_SET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/stats/summary_stats.h"
+
+namespace softtimer {
+
+class SampleSet {
+ public:
+  // `reservoir_cap` == 0 means "keep everything".
+  explicit SampleSet(size_t reservoir_cap = 0);
+
+  void Add(double x);
+
+  // Exact over the full stream.
+  uint64_t count() const { return summary_.count(); }
+  double mean() const { return summary_.mean(); }
+  double stddev() const { return summary_.stddev(); }
+  double min() const { return summary_.min(); }
+  double max() const { return summary_.max(); }
+
+  // Order statistics over the retained samples. `p` in [0, 100].
+  double Percentile(double p) const;
+  double Median() const { return Percentile(50.0); }
+
+  // Fraction (0..1) of retained samples strictly greater than x.
+  double FractionAbove(double x) const;
+
+  // CDF evaluated at `xs` (fraction of retained samples <= x, per x).
+  std::vector<double> CdfAt(const std::vector<double>& xs) const;
+
+  // (x, cumulative fraction) pairs at `points` evenly spaced quantiles,
+  // suitable for plotting Figure 4 / Figure 6 style curves.
+  struct CdfPoint {
+    double x;
+    double fraction;
+  };
+  std::vector<CdfPoint> CdfCurve(size_t points) const;
+
+  const std::vector<double>& retained() const { return samples_; }
+
+ private:
+  void SortIfNeeded() const;
+
+  SummaryStats summary_;
+  size_t cap_;
+  uint64_t stream_pos_ = 0;  // total Adds seen, for reservoir sampling
+  uint64_t reservoir_rng_ = 0x853C49E6748FEA9BULL;
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+};
+
+}  // namespace softtimer
+
+#endif  // SOFTTIMER_SRC_STATS_SAMPLE_SET_H_

@@ -1,0 +1,52 @@
+#include "src/stats/summary_stats.h"
+
+#include <cmath>
+
+namespace softtimer {
+
+void SummaryStats::Add(double x) {
+  ++n_;
+  double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  if (x < min_) {
+    min_ = x;
+  }
+  if (x > max_) {
+    max_ = x;
+  }
+}
+
+void SummaryStats::Merge(const SummaryStats& o) {
+  if (o.n_ == 0) {
+    return;
+  }
+  if (n_ == 0) {
+    *this = o;
+    return;
+  }
+  double delta = o.mean_ - mean_;
+  uint64_t n = n_ + o.n_;
+  double na = static_cast<double>(n_);
+  double nb = static_cast<double>(o.n_);
+  mean_ += delta * nb / static_cast<double>(n);
+  m2_ += o.m2_ + delta * delta * na * nb / static_cast<double>(n);
+  n_ = n;
+  if (o.min_ < min_) {
+    min_ = o.min_;
+  }
+  if (o.max_ > max_) {
+    max_ = o.max_;
+  }
+}
+
+double SummaryStats::variance() const {
+  if (n_ == 0) {
+    return 0.0;
+  }
+  return m2_ / static_cast<double>(n_);
+}
+
+double SummaryStats::stddev() const { return std::sqrt(variance()); }
+
+}  // namespace softtimer

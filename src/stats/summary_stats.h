@@ -1,0 +1,45 @@
+// Streaming summary statistics (Welford's online algorithm).
+//
+// Used where sample counts are large (millions of trigger intervals) and only
+// count/mean/stddev/min/max are needed. When percentiles are required, use
+// SampleSet instead.
+
+#ifndef SOFTTIMER_SRC_STATS_SUMMARY_STATS_H_
+#define SOFTTIMER_SRC_STATS_SUMMARY_STATS_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace softtimer {
+
+class SummaryStats {
+ public:
+  void Add(double x);
+
+  // Merges another accumulator into this one (parallel-combinable).
+  void Merge(const SummaryStats& o);
+
+  uint64_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double sum() const { return mean_ * static_cast<double>(n_); }
+
+  // Population variance / stddev (divide by n). The paper reports stddev over
+  // millions of samples, where the n vs n-1 distinction is immaterial.
+  double variance() const;
+  double stddev() const;
+
+  void Reset() { *this = SummaryStats(); }
+
+ private:
+  uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+}  // namespace softtimer
+
+#endif  // SOFTTIMER_SRC_STATS_SUMMARY_STATS_H_

@@ -1,0 +1,39 @@
+#include "src/stats/windowed_median.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace softtimer {
+
+WindowedMedian::WindowedMedian(SimTime origin, SimDuration window)
+    : window_start_(origin), window_(window) {
+  assert(window > SimDuration::Zero());
+}
+
+void WindowedMedian::Add(SimTime t, double value) {
+  assert(t >= window_start_);
+  while (t >= window_start_ + window_) {
+    CloseWindow();
+    window_start_ += window_;
+  }
+  current_.push_back(value);
+}
+
+void WindowedMedian::CloseWindow() {
+  if (current_.empty()) {
+    return;
+  }
+  std::sort(current_.begin(), current_.end());
+  size_t n = current_.size();
+  double median = (n % 2 == 1) ? current_[n / 2]
+                               : 0.5 * (current_[n / 2 - 1] + current_[n / 2]);
+  windows_.push_back(WindowStat{window_start_, median, n});
+  current_.clear();
+}
+
+std::vector<WindowedMedian::WindowStat> WindowedMedian::Finish() {
+  CloseWindow();
+  return windows_;
+}
+
+}  // namespace softtimer

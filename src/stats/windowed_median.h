@@ -1,0 +1,47 @@
+// Per-window order statistics over a timestamped value stream.
+//
+// Figure 5 of the paper plots the median trigger-state interval computed over
+// consecutive 1 ms and 10 ms windows of a run. WindowedMedian buckets
+// (time, value) pairs into fixed-width windows and reports the median of each
+// closed window.
+
+#ifndef SOFTTIMER_SRC_STATS_WINDOWED_MEDIAN_H_
+#define SOFTTIMER_SRC_STATS_WINDOWED_MEDIAN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/sim/time.h"
+
+namespace softtimer {
+
+class WindowedMedian {
+ public:
+  struct WindowStat {
+    SimTime window_start;
+    double median;
+    size_t count;
+  };
+
+  WindowedMedian(SimTime origin, SimDuration window);
+
+  // Values must arrive with non-decreasing timestamps.
+  void Add(SimTime t, double value);
+
+  // Closes the current window (if it holds samples) and returns all windows.
+  std::vector<WindowStat> Finish();
+
+  const std::vector<WindowStat>& windows() const { return windows_; }
+
+ private:
+  void CloseWindow();
+
+  SimTime window_start_;
+  SimDuration window_;
+  std::vector<double> current_;
+  std::vector<WindowStat> windows_;
+};
+
+}  // namespace softtimer
+
+#endif  // SOFTTIMER_SRC_STATS_WINDOWED_MEDIAN_H_

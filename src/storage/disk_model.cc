@@ -1,0 +1,55 @@
+#include "src/storage/disk_model.h"
+
+#include <utility>
+
+namespace softtimer {
+
+DiskModel::DiskModel(Simulator* sim, Config config)
+    : sim_(sim), config_(config), rng_(config.rng_seed) {}
+
+void DiskModel::SubmitRead(uint32_t bytes, std::function<void()> on_complete) {
+  queue_.push_back(Request{bytes, std::move(on_complete)});
+  if (!busy_) {
+    StartNext();
+  }
+}
+
+void DiskModel::SubmitWrite(uint32_t bytes, std::function<void()> on_complete) {
+  // Same mechanical cost as a read for this model's purposes.
+  SubmitRead(bytes, std::move(on_complete));
+}
+
+SimDuration DiskModel::ServiceTime(uint32_t bytes) {
+  SimDuration positioning;
+  if (rng_.Bernoulli(config_.sequential_fraction)) {
+    // Head already in place; a fraction of a rotation at most.
+    positioning = config_.avg_rotational * (0.1 * rng_.NextDouble());
+  } else {
+    positioning = rng_.LogNormalDuration(config_.avg_seek, config_.seek_jitter_sigma) +
+                  config_.avg_rotational * (2.0 * rng_.NextDouble());
+  }
+  SimDuration transfer = SimDuration::Seconds(static_cast<double>(bytes) /
+                                              config_.media_rate_bytes_per_sec);
+  return positioning + transfer;
+}
+
+void DiskModel::StartNext() {
+  Request r = std::move(queue_.front());
+  queue_.pop_front();
+  busy_ = true;
+  SimDuration service = ServiceTime(r.bytes);
+  ++stats_.requests;
+  stats_.bytes += r.bytes;
+  stats_.busy_time += service;
+  sim_->ScheduleAfter(service, [this, cb = std::move(r.on_complete)] {
+    busy_ = false;
+    if (cb) {
+      cb();
+    }
+    if (!queue_.empty() && !busy_) {
+      StartNext();
+    }
+  });
+}
+
+}  // namespace softtimer

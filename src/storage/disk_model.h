@@ -1,0 +1,70 @@
+// Single-spindle disk model, 1999 vintage: seek + rotational latency +
+// media transfer, with a FIFO request queue (one outstanding operation at
+// the platter). Supplies the disk-bound behaviour of the ST-nfs workload
+// (Section 5.3: "the NFS server is saturated but disk-bound, leaving the CPU
+// idle approximately 90% of the time") and the disk-completion interrupts of
+// the ST-kernel-build workload.
+
+#ifndef SOFTTIMER_SRC_STORAGE_DISK_MODEL_H_
+#define SOFTTIMER_SRC_STORAGE_DISK_MODEL_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "src/sim/random.h"
+#include "src/sim/simulator.h"
+
+namespace softtimer {
+
+class DiskModel {
+ public:
+  struct Config {
+    // Late-90s 7200 rpm SCSI disk.
+    SimDuration avg_seek = SimDuration::Millis(8.0);
+    double seek_jitter_sigma = 0.45;  // log-normal around avg_seek
+    // Half a revolution at 7200 rpm.
+    SimDuration avg_rotational = SimDuration::Millis(4.17);
+    double media_rate_bytes_per_sec = 20e6;
+    // Probability that a request is sequential with the previous one
+    // (no seek, minimal rotation).
+    double sequential_fraction = 0.35;
+    uint64_t rng_seed = 77;
+  };
+
+  DiskModel(Simulator* sim, Config config);
+
+  // Queues a transfer of `bytes`; `on_complete` runs at completion time
+  // (the caller models the completion interrupt).
+  void SubmitRead(uint32_t bytes, std::function<void()> on_complete);
+  void SubmitWrite(uint32_t bytes, std::function<void()> on_complete);
+
+  size_t queue_depth() const { return queue_.size() + (busy_ ? 1 : 0); }
+
+  struct Stats {
+    uint64_t requests = 0;
+    uint64_t bytes = 0;
+    SimDuration busy_time;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct Request {
+    uint32_t bytes;
+    std::function<void()> on_complete;
+  };
+
+  void StartNext();
+  SimDuration ServiceTime(uint32_t bytes);
+
+  Simulator* sim_;
+  Config config_;
+  Rng rng_;
+  std::deque<Request> queue_;
+  bool busy_ = false;
+  Stats stats_;
+};
+
+}  // namespace softtimer
+
+#endif  // SOFTTIMER_SRC_STORAGE_DISK_MODEL_H_

@@ -1,0 +1,135 @@
+#include "src/tcp/tcp_receiver.h"
+
+#include <utility>
+
+namespace softtimer {
+
+TcpReceiver::TcpReceiver(Simulator* sim, Config config) : sim_(sim), config_(config) {
+  sweep_event_ = sim_->ScheduleAfter(config_.delack_sweep_phase, [this] { OnDelackSweep(); });
+}
+
+void TcpReceiver::Shutdown() {
+  if (sweep_event_.valid()) {
+    sim_->Cancel(sweep_event_);
+    sweep_event_ = EventHandle{};
+  }
+}
+
+void TcpReceiver::ResetStream() {
+  rcv_next_ = 0;
+  acked_through_ = 0;
+  unacked_segments_ = 0;
+  fin_seen_ = false;
+  ack_pending_app_read_ = false;
+  out_of_order_.clear();
+  notify_cb_ = nullptr;
+  notify_bytes_ = 0;
+}
+
+void TcpReceiver::NotifyWhenReceived(uint64_t bytes, std::function<void()> cb) {
+  notify_bytes_ = bytes;
+  notify_cb_ = std::move(cb);
+  if (rcv_next_ >= notify_bytes_ && notify_cb_) {
+    auto cb2 = std::move(notify_cb_);
+    notify_cb_ = nullptr;
+    cb2();
+  }
+}
+
+void TcpReceiver::OnDelackSweep() {
+  sweep_event_ = sim_->ScheduleAfter(config_.delack_sweep_period, [this] { OnDelackSweep(); });
+  if (unacked_segments_ > 0 && !ack_pending_app_read_) {
+    ++stats_.delack_fires;
+    SendAck(/*from_sweep=*/true);
+  }
+}
+
+void TcpReceiver::OnSegment(const Packet& p) {
+  ++stats_.segments;
+  if (p.kind == Packet::Kind::kAck) {
+    return;  // not our direction
+  }
+  if (p.seq > rcv_next_) {
+    // Hole: buffer and emit a duplicate ACK so the sender can fast-retransmit.
+    ++stats_.out_of_order;
+    out_of_order_.emplace(p.seq, p.payload);
+    if (p.fin) {
+      fin_seen_ = true;
+    }
+    ++stats_.dup_acks;
+    SendAck(/*from_sweep=*/false);
+    return;
+  }
+  if (p.seq + p.payload <= rcv_next_ && p.payload > 0) {
+    // Entirely old (spurious retransmission): re-ACK immediately.
+    SendAck(/*from_sweep=*/false);
+    return;
+  }
+
+  // In-order (possibly partially overlapping) delivery.
+  rcv_next_ = p.seq + p.payload;
+  if (p.fin) {
+    fin_seen_ = true;
+  }
+  // Drain any out-of-order segments that are now contiguous.
+  auto it = out_of_order_.begin();
+  while (it != out_of_order_.end() && it->first <= rcv_next_) {
+    uint64_t end = it->first + it->second;
+    if (end > rcv_next_) {
+      rcv_next_ = end;
+    }
+    it = out_of_order_.erase(it);
+  }
+  last_delivery_ = sim_->now();
+  ++unacked_segments_;
+
+  if (notify_cb_ && rcv_next_ >= notify_bytes_) {
+    auto cb = std::move(notify_cb_);
+    notify_cb_ = nullptr;
+    cb();
+  }
+
+  if (config_.app_read_delay > SimDuration::Zero()) {
+    // The application drains the socket buffer later; the ACK (potentially a
+    // big ACK covering many segments) goes out from that read (Appendix A.3).
+    if (!ack_pending_app_read_) {
+      ack_pending_app_read_ = true;
+      sim_->ScheduleAfter(config_.app_read_delay, [this] { AppRead(); });
+    }
+    return;
+  }
+
+  if (unacked_segments_ >= config_.ack_every || fin_seen_) {
+    SendAck(/*from_sweep=*/false);
+  }
+}
+
+void TcpReceiver::AppRead() {
+  ack_pending_app_read_ = false;
+  if (unacked_segments_ > 0) {
+    SendAck(/*from_sweep=*/false);
+  }
+}
+
+void TcpReceiver::SendAck(bool from_sweep) {
+  (void)from_sweep;
+  uint64_t covered = static_cast<uint64_t>(unacked_segments_);
+  if (covered > stats_.max_segments_per_ack) {
+    stats_.max_segments_per_ack = covered;
+  }
+  unacked_segments_ = 0;
+  acked_through_ = rcv_next_;
+  ++stats_.acks_sent;
+  if (!ack_sender_) {
+    return;
+  }
+  Packet ack;
+  ack.flow_id = config_.flow_id;
+  ack.kind = Packet::Kind::kAck;
+  ack.size_bytes = kAckPacketBytes;
+  ack.ack_seq = rcv_next_;
+  ack.sent_at = sim_->now();
+  ack_sender_(ack);
+}
+
+}  // namespace softtimer

@@ -1,0 +1,103 @@
+// TCP receiver endpoint (the client side of the paper's WAN experiments).
+//
+// Models the receive-side behaviour that shapes the paper's slow-start
+// results: cumulative ACKs, ACK-every-other-segment, and FreeBSD's periodic
+// 200 ms delayed-ACK sweep (a lone segment waits for the sweep, which is why
+// small transfers pay hundreds of milliseconds under regular TCP in
+// Tables 6/7). Out-of-order segments generate duplicate ACKs so the sender's
+// fast-retransmit logic can be exercised under loss.
+//
+// An optional application-read delay models the big-ACK phenomenon of
+// Appendix A.3 (ACKs withheld until the application drains the socket
+// buffer).
+
+#ifndef SOFTTIMER_SRC_TCP_TCP_RECEIVER_H_
+#define SOFTTIMER_SRC_TCP_TCP_RECEIVER_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+
+#include "src/net/packet.h"
+#include "src/sim/simulator.h"
+
+namespace softtimer {
+
+class TcpReceiver {
+ public:
+  struct Config {
+    uint32_t mss = kDefaultMss;
+    // Send a cumulative ACK after this many unacknowledged segments.
+    int ack_every = 2;
+    // Period of the delayed-ACK sweep timer (FreeBSD tcp_fasttimo: 200 ms).
+    SimDuration delack_sweep_period = SimDuration::Millis(200);
+    // Phase of the first sweep relative to construction (a real sweep runs
+    // at fixed wall-clock boundaries; the expected extra delay for a lone
+    // segment is half the period).
+    SimDuration delack_sweep_phase = SimDuration::Millis(100);
+    // If nonzero, ACK decisions wait until the "application" reads the data
+    // this long after arrival - the big-ACK generator of Appendix A.3.
+    SimDuration app_read_delay = SimDuration::Zero();
+    uint64_t flow_id = 0;
+  };
+
+  TcpReceiver(Simulator* sim, Config config);
+
+  // Cancels the delayed-ACK sweep (lets a simulation drain its event queue).
+  void Shutdown();
+
+  // Rewinds the sequence space for a fresh stream on the same connection
+  // (e.g. the next response on a persistent-HTTP connection modelled as an
+  // independent byte stream).
+  void ResetStream();
+
+  // Transport used to return ACK packets to the sender.
+  void set_ack_sender(std::function<void(Packet)> fn) { ack_sender_ = std::move(fn); }
+
+  // Invoked when `bytes` of in-order data have arrived.
+  void NotifyWhenReceived(uint64_t bytes, std::function<void()> cb);
+
+  // Ingress from the network.
+  void OnSegment(const Packet& p);
+
+  uint64_t bytes_received() const { return rcv_next_; }
+  SimTime last_delivery_time() const { return last_delivery_; }
+
+  struct Stats {
+    uint64_t segments = 0;
+    uint64_t acks_sent = 0;
+    uint64_t delack_fires = 0;   // ACKs released by the sweep timer
+    uint64_t dup_acks = 0;
+    uint64_t out_of_order = 0;
+    // Largest number of segments covered by one ACK (big-ACK detector).
+    uint64_t max_segments_per_ack = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  void OnDelackSweep();
+  void AppRead();
+  void SendAck(bool from_sweep);
+
+  Simulator* sim_;
+  Config config_;
+  std::function<void(Packet)> ack_sender_;
+
+  uint64_t rcv_next_ = 0;       // next expected byte
+  uint64_t acked_through_ = 0;  // highest byte covered by a sent ACK
+  int unacked_segments_ = 0;
+  bool fin_seen_ = false;
+  bool ack_pending_app_read_ = false;
+  SimTime last_delivery_;
+  std::map<uint64_t, uint32_t> out_of_order_;  // seq -> payload length
+
+  uint64_t notify_bytes_ = 0;
+  std::function<void()> notify_cb_;
+  EventHandle sweep_event_;
+
+  Stats stats_;
+};
+
+}  // namespace softtimer
+
+#endif  // SOFTTIMER_SRC_TCP_TCP_RECEIVER_H_

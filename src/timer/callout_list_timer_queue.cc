@@ -1,0 +1,62 @@
+#include "src/timer/callout_list_timer_queue.h"
+
+#include <utility>
+
+namespace softtimer {
+
+TimerId CalloutListTimerQueue::Schedule(uint64_t deadline_tick, Callback cb) {
+  if (deadline_tick < cursor_) {
+    deadline_tick = cursor_;
+  }
+  uint64_t id = next_id_++;
+  // Walk from the back: workloads schedule mostly-ascending deadlines, so
+  // the common case is O(1) (the same trick 4.3BSD relied on).
+  auto pos = list_.end();
+  while (pos != list_.begin()) {
+    auto prev = std::prev(pos);
+    if (prev->deadline <= deadline_tick) {
+      break;
+    }
+    pos = prev;
+  }
+  auto it = list_.insert(pos, Entry{deadline_tick, id, std::move(cb)});
+  index_.emplace(id, it);
+  return TimerId{id};
+}
+
+bool CalloutListTimerQueue::Cancel(TimerId id) {
+  if (!id.valid()) {
+    return false;
+  }
+  auto it = index_.find(id.value);
+  if (it == index_.end()) {
+    return false;
+  }
+  list_.erase(it->second);
+  index_.erase(it);
+  return true;
+}
+
+std::optional<uint64_t> CalloutListTimerQueue::EarliestDeadline() const {
+  if (list_.empty()) {
+    return std::nullopt;
+  }
+  return list_.front().deadline;
+}
+
+size_t CalloutListTimerQueue::ExpireUpTo(uint64_t now_tick) {
+  if (now_tick + 1 > cursor_) {
+    cursor_ = now_tick + 1;
+  }
+  size_t fired = 0;
+  while (!list_.empty() && list_.front().deadline <= now_tick) {
+    Entry e = std::move(list_.front());
+    list_.pop_front();
+    index_.erase(e.id);
+    ++fired;
+    e.cb();
+  }
+  return fired;
+}
+
+}  // namespace softtimer

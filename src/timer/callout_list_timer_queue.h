@@ -1,0 +1,47 @@
+// Sorted callout list - the classic BSD timer structure that timing wheels
+// were invented to replace (Varghese & Lauck's scheme 3; the 4.3BSD
+// `callout` queue kept entries sorted by delta-encoded expiry).
+//
+// O(n) schedule, O(1) earliest-deadline and expiry-per-fired-timer. Included
+// as the historically-faithful baseline for the microbenchmarks and as a
+// fourth implementation under the conformance suite.
+
+#ifndef SOFTTIMER_SRC_TIMER_CALLOUT_LIST_TIMER_QUEUE_H_
+#define SOFTTIMER_SRC_TIMER_CALLOUT_LIST_TIMER_QUEUE_H_
+
+#include <list>
+#include <unordered_map>
+
+#include "src/timer/timer_queue.h"
+
+namespace softtimer {
+
+class CalloutListTimerQueue : public TimerQueue {
+ public:
+  CalloutListTimerQueue() = default;
+
+  TimerId Schedule(uint64_t deadline_tick, Callback cb) override;
+  bool Cancel(TimerId id) override;
+  size_t ExpireUpTo(uint64_t now_tick) override;
+  std::optional<uint64_t> EarliestDeadline() const override;
+  size_t size() const override { return index_.size(); }
+  std::string name() const override { return "callout-list"; }
+
+ private:
+  struct Entry {
+    uint64_t deadline;
+    uint64_t id;
+    Callback cb;
+  };
+
+  uint64_t cursor_ = 0;
+  // Sorted ascending by (deadline, insertion order): new entries with an
+  // equal deadline go after existing ones, which preserves FIFO semantics.
+  std::list<Entry> list_;
+  std::unordered_map<uint64_t, std::list<Entry>::iterator> index_;
+  uint64_t next_id_ = 1;
+};
+
+}  // namespace softtimer
+
+#endif  // SOFTTIMER_SRC_TIMER_CALLOUT_LIST_TIMER_QUEUE_H_

@@ -1,0 +1,146 @@
+#include "src/timer/hashed_timing_wheel.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace softtimer {
+
+HashedTimingWheel::HashedTimingWheel(uint64_t granularity, size_t slot_count)
+    : granularity_(granularity), slot_count_(slot_count), slots_(slot_count) {
+  assert(granularity_ >= 1);
+  assert(slot_count_ >= 2);
+}
+
+TimerId HashedTimingWheel::Schedule(uint64_t deadline_tick, Callback cb) {
+  if (deadline_tick < cursor_) {
+    deadline_tick = cursor_;
+  }
+  uint64_t id = next_id_++;
+  live_.emplace(id, Entry{deadline_tick, next_seq_++, std::move(cb)});
+  slots_[SlotFor(deadline_tick)].push_back(id);
+  if (earliest_known_) {
+    if (!earliest_cache_ || deadline_tick < *earliest_cache_) {
+      earliest_cache_ = deadline_tick;
+    }
+  }
+  return TimerId{id};
+}
+
+bool HashedTimingWheel::Cancel(TimerId id) {
+  if (!id.valid()) {
+    return false;
+  }
+  auto it = live_.find(id.value);
+  if (it == live_.end()) {
+    return false;
+  }
+  // The slot entry is pruned lazily during the next walk of that bucket.
+  bool was_earliest = earliest_known_ && earliest_cache_ &&
+                      it->second.deadline == *earliest_cache_;
+  live_.erase(it);
+  if (live_.empty()) {
+    earliest_cache_.reset();
+    earliest_known_ = true;
+  } else if (was_earliest) {
+    earliest_known_ = false;
+  }
+  return true;
+}
+
+std::optional<uint64_t> HashedTimingWheel::EarliestDeadline() const {
+  if (!earliest_known_) {
+    if (live_.empty()) {
+      earliest_cache_.reset();
+    } else {
+      uint64_t best = UINT64_MAX;
+      for (const auto& [id, e] : live_) {
+        if (e.deadline < best) {
+          best = e.deadline;
+        }
+      }
+      earliest_cache_ = best;
+    }
+    earliest_known_ = true;
+  }
+  return earliest_cache_;
+}
+
+size_t HashedTimingWheel::ExpireUpTo(uint64_t now_tick) {
+  if (now_tick < cursor_) {
+    return 0;
+  }
+  if (live_.empty()) {
+    cursor_ = now_tick + 1;
+    earliest_cache_.reset();
+    earliest_known_ = true;
+    return 0;
+  }
+  std::optional<uint64_t> earliest = EarliestDeadline();
+  if (!earliest || *earliest > now_tick) {
+    // Nothing due: the walk can be skipped because buckets are indexed by
+    // absolute deadline and will be visited when their deadline comes due.
+    cursor_ = now_tick + 1;
+    return 0;
+  }
+
+  // Collect every due entry from the buckets covering [cursor_, now_tick].
+  struct Due {
+    uint64_t deadline;
+    uint64_t seq;
+    uint64_t id;
+  };
+  std::vector<Due> due;
+  // Buckets to visit: every slot period from cursor_'s to now_tick's,
+  // inclusive (computed on bucket indices, not raw tick deltas, so a cursor
+  // sitting mid-bucket still reaches now's bucket).
+  uint64_t span_slots = now_tick / granularity_ - cursor_ / granularity_ + 1;
+  size_t visit = std::min<uint64_t>(span_slots, slot_count_);
+  size_t first_slot = SlotFor(cursor_);
+  for (size_t k = 0; k < visit; ++k) {
+    std::vector<uint64_t>& bucket = slots_[(first_slot + k) % slot_count_];
+    size_t w = 0;
+    for (size_t r = 0; r < bucket.size(); ++r) {
+      auto it = live_.find(bucket[r]);
+      if (it == live_.end()) {
+        continue;  // cancelled or already fired; prune
+      }
+      if (it->second.deadline <= now_tick) {
+        due.push_back(Due{it->second.deadline, it->second.seq, bucket[r]});
+        continue;  // removed from the bucket; lives on in `due`
+      }
+      bucket[w++] = bucket[r];
+    }
+    bucket.resize(w);
+  }
+  std::sort(due.begin(), due.end(), [](const Due& a, const Due& b) {
+    if (a.deadline != b.deadline) {
+      return a.deadline < b.deadline;
+    }
+    return a.seq < b.seq;
+  });
+
+  // Advance the cursor before firing so callbacks that re-schedule get
+  // deadlines clamped into the future (see the header contract).
+  cursor_ = now_tick + 1;
+  earliest_known_ = false;
+
+  size_t fired = 0;
+  for (const Due& d : due) {
+    auto it = live_.find(d.id);
+    if (it == live_.end()) {
+      continue;  // cancelled by an earlier callback in this batch
+    }
+    Callback cb = std::move(it->second.cb);
+    live_.erase(it);
+    ++fired;
+    cb();
+  }
+  if (live_.empty()) {
+    earliest_cache_.reset();
+    earliest_known_ = true;
+  }
+  return fired;
+}
+
+}  // namespace softtimer

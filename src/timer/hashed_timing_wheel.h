@@ -1,0 +1,64 @@
+// Single-level hashed timing wheel (Varghese & Lauck, scheme 6).
+//
+// An array of `slot_count` buckets, each `granularity` ticks wide, indexed by
+// (deadline / granularity) % slot_count. Entries carry their absolute
+// deadline, so a bucket can hold timers from several "rounds"; expiry filters
+// by deadline. Schedule and cancel are O(1); expiry visits the buckets whose
+// tick range elapsed since the previous expiry, which is O(elapsed /
+// granularity) bounded by slot_count (plus the fired timers).
+//
+// The wheel keeps an exact earliest-deadline cache (recomputed by an O(live)
+// scan when invalidated by expiry), which lets ExpireUpTo skip the bucket
+// walk entirely when nothing is due - the common case for the soft-timer
+// facility's per-trigger-state check.
+
+#ifndef SOFTTIMER_SRC_TIMER_HASHED_TIMING_WHEEL_H_
+#define SOFTTIMER_SRC_TIMER_HASHED_TIMING_WHEEL_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "src/timer/timer_queue.h"
+
+namespace softtimer {
+
+class HashedTimingWheel : public TimerQueue {
+ public:
+  explicit HashedTimingWheel(uint64_t granularity = 1, size_t slot_count = 1024);
+
+  TimerId Schedule(uint64_t deadline_tick, Callback cb) override;
+  bool Cancel(TimerId id) override;
+  size_t ExpireUpTo(uint64_t now_tick) override;
+  std::optional<uint64_t> EarliestDeadline() const override;
+  size_t size() const override { return live_.size(); }
+  std::string name() const override { return "hashed-wheel"; }
+
+ private:
+  struct Entry {
+    uint64_t deadline;
+    uint64_t seq;
+    Callback cb;
+  };
+
+  size_t SlotFor(uint64_t deadline) const {
+    return static_cast<size_t>((deadline / granularity_) % slot_count_);
+  }
+
+  uint64_t granularity_;
+  size_t slot_count_;
+  // Next tick value not yet covered by an ExpireUpTo walk. Deadlines below
+  // this are clamped up to it at Schedule time.
+  uint64_t cursor_ = 0;
+  std::unordered_map<uint64_t, Entry> live_;
+  std::vector<std::vector<uint64_t>> slots_;
+  uint64_t next_id_ = 1;
+  uint64_t next_seq_ = 0;
+  // Exact earliest pending deadline; nullopt means "unknown, recompute".
+  // An empty wheel caches 0 entries and reports nullopt from EarliestDeadline.
+  mutable std::optional<uint64_t> earliest_cache_;
+  mutable bool earliest_known_ = true;  // empty wheel: known, no value
+};
+
+}  // namespace softtimer
+
+#endif  // SOFTTIMER_SRC_TIMER_HASHED_TIMING_WHEEL_H_

@@ -1,0 +1,59 @@
+#include "src/timer/heap_timer_queue.h"
+
+#include <utility>
+
+namespace softtimer {
+
+TimerId HeapTimerQueue::Schedule(uint64_t deadline_tick, Callback cb) {
+  if (deadline_tick < cursor_) {
+    deadline_tick = cursor_;
+  }
+  uint64_t id = next_id_++;
+  heap_.push(HeapEntry{deadline_tick, next_seq_++, id});
+  live_.emplace(id, std::move(cb));
+  return TimerId{id};
+}
+
+bool HeapTimerQueue::Cancel(TimerId id) {
+  if (!id.valid()) {
+    return false;
+  }
+  return live_.erase(id.value) > 0;
+}
+
+void HeapTimerQueue::SkimCancelled() const {
+  while (!heap_.empty() && live_.find(heap_.top().id) == live_.end()) {
+    heap_.pop();
+  }
+}
+
+size_t HeapTimerQueue::ExpireUpTo(uint64_t now_tick) {
+  if (now_tick + 1 > cursor_) {
+    cursor_ = now_tick + 1;
+  }
+  size_t fired = 0;
+  for (;;) {
+    SkimCancelled();
+    if (heap_.empty() || heap_.top().deadline > now_tick) {
+      break;
+    }
+    HeapEntry top = heap_.top();
+    heap_.pop();
+    auto it = live_.find(top.id);
+    Callback cb = std::move(it->second);
+    live_.erase(it);
+    ++fired;
+    cb();
+  }
+  return fired;
+}
+
+std::optional<uint64_t> HeapTimerQueue::EarliestDeadline() const {
+  SkimCancelled();
+  if (heap_.empty()) {
+    return std::nullopt;
+  }
+  return heap_.top().deadline;
+}
+
+}  // namespace softtimer

@@ -1,0 +1,53 @@
+// Binary-heap TimerQueue. O(log n) schedule, O(1) earliest-deadline,
+// lazy-deletion cancel. The baseline the timing wheels are compared against
+// in bench/bench_micro_timer_wheel.cc.
+
+#ifndef SOFTTIMER_SRC_TIMER_HEAP_TIMER_QUEUE_H_
+#define SOFTTIMER_SRC_TIMER_HEAP_TIMER_QUEUE_H_
+
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "src/timer/timer_queue.h"
+
+namespace softtimer {
+
+class HeapTimerQueue : public TimerQueue {
+ public:
+  HeapTimerQueue() = default;
+
+  TimerId Schedule(uint64_t deadline_tick, Callback cb) override;
+  bool Cancel(TimerId id) override;
+  size_t ExpireUpTo(uint64_t now_tick) override;
+  std::optional<uint64_t> EarliestDeadline() const override;
+  size_t size() const override { return live_.size(); }
+  std::string name() const override { return "heap"; }
+
+ private:
+  struct HeapEntry {
+    uint64_t deadline;
+    uint64_t seq;
+    uint64_t id;
+    bool operator>(const HeapEntry& o) const {
+      if (deadline != o.deadline) {
+        return deadline > o.deadline;
+      }
+      return seq > o.seq;
+    }
+  };
+
+  void SkimCancelled() const;
+
+  // Deadlines below this are clamped up to it (same semantics as the
+  // wheels): a past deadline fires on the next ExpireUpTo.
+  uint64_t cursor_ = 0;
+  mutable std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>> heap_;
+  std::unordered_map<uint64_t, Callback> live_;
+  uint64_t next_id_ = 1;
+  uint64_t next_seq_ = 0;
+};
+
+}  // namespace softtimer
+
+#endif  // SOFTTIMER_SRC_TIMER_HEAP_TIMER_QUEUE_H_

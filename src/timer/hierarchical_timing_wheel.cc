@@ -1,0 +1,227 @@
+#include "src/timer/hierarchical_timing_wheel.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace softtimer {
+
+HierarchicalTimingWheel::HierarchicalTimingWheel(uint64_t granularity,
+                                                 size_t slots_per_level,
+                                                 size_t level_count)
+    : granularity_(granularity), slots_per_level_(slots_per_level) {
+  assert(granularity_ >= 1);
+  assert(slots_per_level_ >= 2);
+  assert(level_count >= 1);
+  uint64_t width = granularity_;
+  for (size_t l = 0; l < level_count; ++l) {
+    Level level;
+    level.bucket_width = width;
+    level.cascade_cursor = 0;
+    level.slots.resize(slots_per_level_);
+    levels_.push_back(std::move(level));
+    width *= slots_per_level_;
+  }
+}
+
+void HierarchicalTimingWheel::Place(uint64_t id, uint64_t deadline) {
+  uint64_t delta = deadline - std::min(deadline, cursor_);
+  // Finest level whose horizon (slots * width) covers the delay; deadlines
+  // beyond the top horizon sit in the top level and wrap (absolute-deadline
+  // filtering makes multi-round occupancy safe, as in the hashed wheel).
+  size_t level = levels_.size() - 1;
+  for (size_t l = 0; l < levels_.size(); ++l) {
+    if (delta < levels_[l].bucket_width * slots_per_level_) {
+      level = l;
+      break;
+    }
+  }
+  // A coarse bucket whose time window was already cascaded this round would
+  // never be revisited until it wraps; demote to a finer level in that case.
+  while (level > 0) {
+    uint64_t width = levels_[level].bucket_width;
+    uint64_t bucket_start = (deadline / width) * width;
+    if (levels_[level].cascade_cursor <= bucket_start) {
+      break;
+    }
+    --level;
+  }
+  Level& lv = levels_[level];
+  lv.slots[(deadline / lv.bucket_width) % slots_per_level_].push_back(id);
+}
+
+void HierarchicalTimingWheel::CascadeUpTo(uint64_t now_tick,
+                                          std::vector<uint64_t>* maybe_due) {
+  // Coarse to fine, so entries demoted from level l are re-examined by the
+  // finer cascades below it within the same call.
+  for (size_t l = levels_.size() - 1; l >= 1; --l) {
+    Level& lv = levels_[l];
+    while (lv.cascade_cursor <= now_tick) {
+      uint64_t bucket_start = (lv.cascade_cursor / lv.bucket_width) * lv.bucket_width;
+      uint64_t round_end = bucket_start + lv.bucket_width;  // exclusive
+      std::vector<uint64_t>& bucket = lv.slots[(bucket_start / lv.bucket_width) % slots_per_level_];
+      std::vector<uint64_t> taken;
+      taken.swap(bucket);
+      for (uint64_t id : taken) {
+        auto it = live_.find(id);
+        if (it == live_.end()) {
+          continue;  // cancelled; prune
+        }
+        uint64_t d = it->second.deadline;
+        if (d >= round_end) {
+          bucket.push_back(id);  // future round of this bucket; keep
+        } else if (d <= now_tick) {
+          maybe_due->push_back(id);
+        } else {
+          // Due within this (now partially elapsed) coarse window but not
+          // yet: demote toward level 0.
+          uint64_t saved = lv.cascade_cursor;
+          lv.cascade_cursor = round_end;  // mark this bucket as passed for Place
+          Place(id, d);
+          lv.cascade_cursor = saved;
+        }
+      }
+      lv.cascade_cursor = round_end;
+    }
+  }
+}
+
+TimerId HierarchicalTimingWheel::Schedule(uint64_t deadline_tick, Callback cb) {
+  if (deadline_tick < cursor_) {
+    deadline_tick = cursor_;
+  }
+  uint64_t id = next_id_++;
+  live_.emplace(id, Entry{deadline_tick, next_seq_++, std::move(cb)});
+  Place(id, deadline_tick);
+  if (earliest_known_) {
+    if (!earliest_cache_ || deadline_tick < *earliest_cache_) {
+      earliest_cache_ = deadline_tick;
+    }
+  }
+  return TimerId{id};
+}
+
+bool HierarchicalTimingWheel::Cancel(TimerId id) {
+  if (!id.valid()) {
+    return false;
+  }
+  auto it = live_.find(id.value);
+  if (it == live_.end()) {
+    return false;
+  }
+  bool was_earliest = earliest_known_ && earliest_cache_ &&
+                      it->second.deadline == *earliest_cache_;
+  live_.erase(it);
+  if (live_.empty()) {
+    earliest_cache_.reset();
+    earliest_known_ = true;
+  } else if (was_earliest) {
+    earliest_known_ = false;
+  }
+  return true;
+}
+
+std::optional<uint64_t> HierarchicalTimingWheel::EarliestDeadline() const {
+  if (!earliest_known_) {
+    if (live_.empty()) {
+      earliest_cache_.reset();
+    } else {
+      uint64_t best = UINT64_MAX;
+      for (const auto& [id, e] : live_) {
+        if (e.deadline < best) {
+          best = e.deadline;
+        }
+      }
+      earliest_cache_ = best;
+    }
+    earliest_known_ = true;
+  }
+  return earliest_cache_;
+}
+
+size_t HierarchicalTimingWheel::ExpireUpTo(uint64_t now_tick) {
+  if (now_tick < cursor_) {
+    return 0;
+  }
+  if (live_.empty()) {
+    cursor_ = now_tick + 1;
+    earliest_cache_.reset();
+    earliest_known_ = true;
+    return 0;
+  }
+  std::optional<uint64_t> earliest = EarliestDeadline();
+  if (!earliest || *earliest > now_tick) {
+    // Nothing due; cascade cursors intentionally lag (Place() demotes around
+    // already-passed coarse buckets, so lagging is safe and cheaper).
+    cursor_ = now_tick + 1;
+    return 0;
+  }
+
+  std::vector<uint64_t> due_ids;
+  CascadeUpTo(now_tick, &due_ids);
+
+  // Level-0 walk, identical in structure to the hashed wheel (bucket-index
+  // arithmetic so a mid-bucket cursor still reaches now's bucket).
+  Level& l0 = levels_[0];
+  uint64_t span_slots = now_tick / l0.bucket_width - cursor_ / l0.bucket_width + 1;
+  size_t visit = std::min<uint64_t>(span_slots, slots_per_level_);
+  size_t first_slot = static_cast<size_t>((cursor_ / l0.bucket_width) % slots_per_level_);
+  for (size_t k = 0; k < visit; ++k) {
+    std::vector<uint64_t>& bucket = l0.slots[(first_slot + k) % slots_per_level_];
+    size_t w = 0;
+    for (size_t r = 0; r < bucket.size(); ++r) {
+      auto it = live_.find(bucket[r]);
+      if (it == live_.end()) {
+        continue;
+      }
+      if (it->second.deadline <= now_tick) {
+        due_ids.push_back(bucket[r]);
+        continue;
+      }
+      bucket[w++] = bucket[r];
+    }
+    bucket.resize(w);
+  }
+
+  struct Due {
+    uint64_t deadline;
+    uint64_t seq;
+    uint64_t id;
+  };
+  std::vector<Due> due;
+  due.reserve(due_ids.size());
+  for (uint64_t id : due_ids) {
+    auto it = live_.find(id);
+    if (it != live_.end()) {
+      due.push_back(Due{it->second.deadline, it->second.seq, id});
+    }
+  }
+  std::sort(due.begin(), due.end(), [](const Due& a, const Due& b) {
+    if (a.deadline != b.deadline) {
+      return a.deadline < b.deadline;
+    }
+    return a.seq < b.seq;
+  });
+
+  cursor_ = now_tick + 1;
+  earliest_known_ = false;
+
+  size_t fired = 0;
+  for (const Due& d : due) {
+    auto it = live_.find(d.id);
+    if (it == live_.end()) {
+      continue;
+    }
+    Callback cb = std::move(it->second.cb);
+    live_.erase(it);
+    ++fired;
+    cb();
+  }
+  if (live_.empty()) {
+    earliest_cache_.reset();
+    earliest_known_ = true;
+  }
+  return fired;
+}
+
+}  // namespace softtimer

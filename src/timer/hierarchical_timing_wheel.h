@@ -1,0 +1,64 @@
+// Hierarchical timing wheel (Varghese & Lauck, scheme 7).
+//
+// `level_count` wheels of `slots_per_level` buckets each; level l has bucket
+// width granularity * slots_per_level^l ticks. A timer is inserted at the
+// finest level whose horizon covers its delay; as coarse buckets elapse their
+// entries cascade down to finer levels. Compared with the hashed wheel this
+// bounds per-bucket occupancy for widely-spread deadlines at the cost of
+// re-insertion work on cascade.
+
+#ifndef SOFTTIMER_SRC_TIMER_HIERARCHICAL_TIMING_WHEEL_H_
+#define SOFTTIMER_SRC_TIMER_HIERARCHICAL_TIMING_WHEEL_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "src/timer/timer_queue.h"
+
+namespace softtimer {
+
+class HierarchicalTimingWheel : public TimerQueue {
+ public:
+  explicit HierarchicalTimingWheel(uint64_t granularity = 1,
+                                   size_t slots_per_level = 256,
+                                   size_t level_count = 4);
+
+  TimerId Schedule(uint64_t deadline_tick, Callback cb) override;
+  bool Cancel(TimerId id) override;
+  size_t ExpireUpTo(uint64_t now_tick) override;
+  std::optional<uint64_t> EarliestDeadline() const override;
+  size_t size() const override { return live_.size(); }
+  std::string name() const override { return "hier-wheel"; }
+
+ private:
+  struct Entry {
+    uint64_t deadline;
+    uint64_t seq;
+    Callback cb;
+  };
+  struct Level {
+    uint64_t bucket_width;                     // ticks per bucket
+    uint64_t cascade_cursor;                   // next tick not yet cascaded
+    std::vector<std::vector<uint64_t>> slots;  // ids, pruned lazily
+  };
+
+  // Inserts into the finest level whose horizon covers (deadline - cursor_).
+  void Place(uint64_t id, uint64_t deadline);
+  // Moves entries out of coarse buckets whose time range has been reached,
+  // down to finer levels (or straight to `due` when already expired).
+  void CascadeUpTo(uint64_t now_tick, std::vector<uint64_t>* maybe_due);
+
+  uint64_t granularity_;
+  size_t slots_per_level_;
+  uint64_t cursor_ = 0;  // next tick not yet covered at level 0
+  std::vector<Level> levels_;
+  std::unordered_map<uint64_t, Entry> live_;
+  uint64_t next_id_ = 1;
+  uint64_t next_seq_ = 0;
+  mutable std::optional<uint64_t> earliest_cache_;
+  mutable bool earliest_known_ = true;
+};
+
+}  // namespace softtimer
+
+#endif  // SOFTTIMER_SRC_TIMER_HIERARCHICAL_TIMING_WHEEL_H_

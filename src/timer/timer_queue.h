@@ -1,0 +1,93 @@
+// TimerQueue: the data-structure interface under the soft-timer facility.
+//
+// The paper maintains scheduled soft-timer events in "a modified form of
+// timing wheels [Varghese & Lauck]". This library provides three
+// interchangeable implementations behind one interface:
+//
+//   HeapTimerQueue           - binary heap; the textbook baseline.
+//   HashedTimingWheel        - single-level hashed wheel with rounds.
+//   HierarchicalTimingWheel  - multi-level cascading wheel.
+//   CalloutListTimerQueue    - sorted list; the 4.3BSD callout structure
+//                              timing wheels were invented to replace.
+//
+// All of them deal in abstract unsigned "ticks" (the facility maps its
+// measurement clock onto ticks). Deadlines are absolute tick values.
+//
+// Semantics shared by all implementations (enforced by the conformance suite
+// in tests/timer_queue_conformance_test.cc):
+//
+//  * ExpireUpTo(now) fires every pending timer with deadline <= now, in
+//    (deadline, schedule-order) order.
+//  * A timer scheduled with a deadline that is already in the past fires on
+//    the next ExpireUpTo call.
+//  * A callback may schedule or cancel timers; a timer scheduled from inside
+//    a callback with an already-due deadline clamps to one tick past the
+//    current ExpireUpTo time and fires on the next ExpireUpTo call that
+//    reaches it.
+//  * Cancel returns true exactly once per scheduled timer that has neither
+//    fired nor been cancelled.
+
+#ifndef SOFTTIMER_SRC_TIMER_TIMER_QUEUE_H_
+#define SOFTTIMER_SRC_TIMER_TIMER_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+
+namespace softtimer {
+
+// Identifies one scheduled timer. Default-constructed ids are invalid.
+struct TimerId {
+  uint64_t value = 0;
+  bool valid() const { return value != 0; }
+};
+
+class TimerQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  virtual ~TimerQueue() = default;
+
+  // Schedules `cb` to fire once `ExpireUpTo(now)` is called with
+  // now >= deadline_tick.
+  virtual TimerId Schedule(uint64_t deadline_tick, Callback cb) = 0;
+
+  // Cancels a pending timer. Returns false if it already fired or was
+  // already cancelled.
+  virtual bool Cancel(TimerId id) = 0;
+
+  // Fires all timers with deadline <= now_tick; returns how many fired.
+  virtual size_t ExpireUpTo(uint64_t now_tick) = 0;
+
+  // Exact earliest pending deadline, or nullopt when empty. May cost a scan
+  // of pending entries in the wheel implementations (cached between calls).
+  virtual std::optional<uint64_t> EarliestDeadline() const = 0;
+
+  // Number of pending timers.
+  virtual size_t size() const = 0;
+  bool empty() const { return size() == 0; }
+
+  // Implementation name, for bench labels.
+  virtual std::string name() const = 0;
+};
+
+// Factory selector used by SoftTimerFacility config.
+enum class TimerQueueKind {
+  kHeap,
+  kHashedWheel,
+  kHierarchicalWheel,
+  kCalloutList,
+};
+
+// Creates a queue of the given kind. `tick_granularity` is the wheel slot
+// width in ticks (ignored by the heap).
+std::unique_ptr<TimerQueue> MakeTimerQueue(TimerQueueKind kind,
+                                           uint64_t tick_granularity = 1);
+
+const char* TimerQueueKindName(TimerQueueKind kind);
+
+}  // namespace softtimer
+
+#endif  // SOFTTIMER_SRC_TIMER_TIMER_QUEUE_H_

@@ -1,0 +1,75 @@
+#include "src/workload/stochastic_load.h"
+
+#include <cassert>
+
+namespace softtimer {
+
+StochasticKernelLoad::StochasticKernelLoad(Kernel* kernel, Config config)
+    : kernel_(kernel), config_(std::move(config)), rng_(config_.rng_seed) {
+  assert(!config_.ops.empty());
+  assert(config_.duty_cycle > 0.0 && config_.duty_cycle <= 1.0);
+  for (const auto& op : config_.ops) {
+    total_weight_ += op.weight;
+  }
+}
+
+void StochasticKernelLoad::Start() {
+  RunBurst();
+  if (config_.device_intr_rate_hz > 0) {
+    ScheduleDeviceInterrupt();
+  }
+}
+
+const StochasticKernelLoad::OpClass& StochasticKernelLoad::DrawOp() {
+  double pick = rng_.NextDouble() * total_weight_;
+  for (const auto& op : config_.ops) {
+    pick -= op.weight;
+    if (pick <= 0) {
+      return op;
+    }
+  }
+  return config_.ops.back();
+}
+
+void StochasticKernelLoad::RunBurst() {
+  SimTime burst_end = SimTime::Max();
+  if (config_.duty_cycle < 1.0) {
+    burst_end = kernel_->sim()->now() + rng_.ExpDuration(config_.burst_mean);
+  }
+  RunNextOp(burst_end);
+}
+
+void StochasticKernelLoad::RunNextOp(SimTime burst_end) {
+  Simulator* sim = kernel_->sim();
+  if (sim->now() >= burst_end) {
+    // Burst over: idle for the complementary share of the duty cycle, then
+    // burst again. (The idle loop owns the CPU meanwhile.)
+    double idle_share = (1.0 - config_.duty_cycle) / config_.duty_cycle;
+    SimDuration gap = rng_.ExpDuration(config_.burst_mean * idle_share);
+    sim->ScheduleAfter(gap, [this] { RunBurst(); });
+    return;
+  }
+  const OpClass& cls = DrawOp();
+  SimDuration cost = rng_.LogNormalDuration(cls.median, cls.sigma);
+  if (cost > cls.cap) {
+    cost = cls.cap;
+  }
+  ++ops_run_;
+  auto cont = [this, burst_end] { RunNextOp(burst_end); };
+  if (cls.is_trigger) {
+    kernel_->KernelOp(cls.source, cost, cont);
+  } else {
+    kernel_->cpu(0).Submit(kernel_->profile().Work(cost), cont);
+  }
+}
+
+void StochasticKernelLoad::ScheduleDeviceInterrupt() {
+  SimDuration gap = rng_.ExpDuration(
+      SimDuration::Seconds(1.0 / config_.device_intr_rate_hz));
+  kernel_->sim()->ScheduleAfter(gap, [this] {
+    kernel_->RaiseInterrupt(config_.device_intr_source, config_.device_intr_work);
+    ScheduleDeviceInterrupt();
+  });
+}
+
+}  // namespace softtimer

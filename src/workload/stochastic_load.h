@@ -1,0 +1,68 @@
+// Stochastic kernel-entry generator for the non-web workloads of Table 1.
+//
+// A single simulated "process" executes a serial stream of operations drawn
+// from a weighted mixture: kernel entries (syscalls, traps, network output)
+// and pure user-mode compute stretches (which produce no trigger and widen
+// the interval between the surrounding ones). An optional duty cycle turns
+// the process into bursts separated by idle time - on an idle CPU the
+// kernel's idle loop takes over trigger generation (the ST-nfs regime) - and
+// an optional Poisson device-interrupt stream models disk/network
+// interrupts.
+
+#ifndef SOFTTIMER_SRC_WORKLOAD_STOCHASTIC_LOAD_H_
+#define SOFTTIMER_SRC_WORKLOAD_STOCHASTIC_LOAD_H_
+
+#include <vector>
+
+#include "src/machine/kernel.h"
+#include "src/sim/random.h"
+
+namespace softtimer {
+
+class StochasticKernelLoad {
+ public:
+  struct OpClass {
+    double weight = 1.0;
+    TriggerSource source = TriggerSource::kSyscall;
+    // false: user-mode compute (no kernel entry).
+    bool is_trigger = true;
+    SimDuration median = SimDuration::Micros(5);
+    double sigma = 0.5;
+    SimDuration cap = SimDuration::Millis(2);
+  };
+
+  struct Config {
+    std::vector<OpClass> ops;
+    // Fraction of wall time the process is runnable. 1.0 = CPU-saturating.
+    double duty_cycle = 1.0;
+    // Mean busy-burst length when duty_cycle < 1.
+    SimDuration burst_mean = SimDuration::Micros(100);
+    // Poisson device interrupts (0 = none).
+    double device_intr_rate_hz = 0.0;
+    TriggerSource device_intr_source = TriggerSource::kOtherIntr;
+    SimDuration device_intr_work = SimDuration::Micros(10);
+    uint64_t rng_seed = 17;
+  };
+
+  StochasticKernelLoad(Kernel* kernel, Config config);
+
+  void Start();
+
+  uint64_t ops_run() const { return ops_run_; }
+
+ private:
+  void RunBurst();
+  void RunNextOp(SimTime burst_end);
+  void ScheduleDeviceInterrupt();
+  const OpClass& DrawOp();
+
+  Kernel* kernel_;
+  Config config_;
+  Rng rng_;
+  double total_weight_ = 0;
+  uint64_t ops_run_ = 0;
+};
+
+}  // namespace softtimer
+
+#endif  // SOFTTIMER_SRC_WORKLOAD_STOCHASTIC_LOAD_H_

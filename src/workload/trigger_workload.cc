@@ -1,0 +1,283 @@
+#include "src/workload/trigger_workload.h"
+
+#include <utility>
+
+#include "src/httpsim/http_testbed.h"
+#include "src/appsim/compile_job_model.h"
+#include "src/appsim/media_player_model.h"
+#include "src/nfssim/nfs_server_model.h"
+#include "src/workload/background_compute.h"
+#include "src/workload/stochastic_load.h"
+
+namespace softtimer {
+
+const char* WorkloadKindName(WorkloadKind kind) {
+  switch (kind) {
+    case WorkloadKind::kApache:
+      return "ST-Apache";
+    case WorkloadKind::kApacheCompute:
+      return "ST-Apache-compute";
+    case WorkloadKind::kFlash:
+      return "ST-Flash";
+    case WorkloadKind::kRealAudio:
+      return "ST-real-audio";
+    case WorkloadKind::kNfs:
+      return "ST-nfs";
+    case WorkloadKind::kKernelBuild:
+      return "ST-kernel-build";
+  }
+  return "?";
+}
+
+namespace {
+
+// --- Web-server workloads (mechanistic, via httpsim) ------------------------
+
+class HttpTriggerWorkload : public TriggerWorkload {
+ public:
+  HttpTriggerWorkload(WorkloadKind kind, const MachineProfile& profile, uint64_t seed)
+      : kind_(kind) {
+    HttpTestbed::Config cfg;
+    cfg.profile = profile;
+    cfg.rng_seed = seed;
+    cfg.server.kind = (kind == WorkloadKind::kFlash) ? HttpServerModel::ServerKind::kFlash
+                                                      : HttpServerModel::ServerKind::kApache;
+    testbed_ = std::make_unique<HttpTestbed>(std::move(cfg));
+    if (kind == WorkloadKind::kApacheCompute) {
+      BackgroundCompute::Config bc;
+      bc.rng_seed = seed + 4242;
+      compute_ = std::make_unique<BackgroundCompute>(&testbed_->kernel(), bc);
+    }
+  }
+
+  Kernel& kernel() override { return testbed_->kernel(); }
+  Simulator& sim() override { return testbed_->sim(); }
+
+  void Start() override {
+    testbed_->Start();
+    if (compute_) {
+      compute_->Start();
+    }
+  }
+
+  std::string name() const override { return WorkloadKindName(kind_); }
+
+ private:
+  WorkloadKind kind_;
+  std::unique_ptr<HttpTestbed> testbed_;
+  std::unique_ptr<BackgroundCompute> compute_;
+};
+
+// --- NFS workload (mechanistic: disk model + RPC server) --------------------
+
+class NfsTriggerWorkload : public TriggerWorkload {
+ public:
+  NfsTriggerWorkload(const MachineProfile& profile, uint64_t seed) {
+    Kernel::Config kc;
+    kc.profile = profile;
+    kc.rng_seed = seed;
+    // The disk-bound server idles ~90% of the time; the spinning idle loop
+    // is the dominant trigger source (the paper's 2 us ST-nfs samples).
+    kc.idle_behavior = Kernel::IdleBehavior::kSpin;
+    kernel_ = std::make_unique<Kernel>(&sim_, kc);
+
+    Link::Config lan;
+    lan.bandwidth_bps = 100e6;
+    lan.propagation_delay = SimDuration::Micros(5);
+    uplink_ = std::make_unique<Link>(&sim_, lan);
+    downlink_ = std::make_unique<Link>(&sim_, lan);
+    nic_ = std::make_unique<Nic>(&sim_, kernel_.get(), downlink_.get(), Nic::Config{});
+
+    NfsServerModel::Config sc;
+    sc.rng_seed = seed + 5;
+    server_ = std::make_unique<NfsServerModel>(kernel_.get(), nic_.get(), sc);
+    nic_->set_rx_handler([this](const Packet& p) { server_->OnPacket(p); });
+    uplink_->set_receiver([this](const Packet& p) { nic_->OnWireRx(p); });
+
+    NfsClientFarm::Config fc;
+    fc.rng_seed = seed + 9;
+    farm_ = std::make_unique<NfsClientFarm>(&sim_, uplink_.get(), fc);
+    downlink_->set_receiver([this](const Packet& p) { farm_->OnPacket(p); });
+  }
+
+  Kernel& kernel() override { return *kernel_; }
+  Simulator& sim() override { return sim_; }
+  void Start() override { farm_->Start(); }
+  std::string name() const override { return "ST-nfs"; }
+
+ private:
+  Simulator sim_;
+  std::unique_ptr<Kernel> kernel_;
+  std::unique_ptr<Link> uplink_;
+  std::unique_ptr<Link> downlink_;
+  std::unique_ptr<Nic> nic_;
+  std::unique_ptr<NfsServerModel> server_;
+  std::unique_ptr<NfsClientFarm> farm_;
+};
+
+// --- Application workloads (mechanistic) -------------------------------------
+
+class MediaPlayerTriggerWorkload : public TriggerWorkload {
+ public:
+  MediaPlayerTriggerWorkload(const MachineProfile& profile, uint64_t seed) {
+    Kernel::Config kc;
+    kc.profile = profile;
+    kc.rng_seed = seed;
+    kc.idle_behavior = Kernel::IdleBehavior::kSpin;
+    kernel_ = std::make_unique<Kernel>(&sim_, kc);
+    MediaPlayerModel::Config mc;
+    mc.rng_seed = seed + 3;
+    player_ = std::make_unique<MediaPlayerModel>(kernel_.get(), mc);
+  }
+  Kernel& kernel() override { return *kernel_; }
+  Simulator& sim() override { return sim_; }
+  void Start() override { player_->Start(); }
+  std::string name() const override { return "ST-real-audio"; }
+
+ private:
+  Simulator sim_;
+  std::unique_ptr<Kernel> kernel_;
+  std::unique_ptr<MediaPlayerModel> player_;
+};
+
+class CompileTriggerWorkload : public TriggerWorkload {
+ public:
+  CompileTriggerWorkload(const MachineProfile& profile, uint64_t seed) {
+    Kernel::Config kc;
+    kc.profile = profile;
+    kc.rng_seed = seed;
+    kc.idle_behavior = Kernel::IdleBehavior::kSpin;
+    kernel_ = std::make_unique<Kernel>(&sim_, kc);
+    CompileJobModel::Config cc;
+    cc.rng_seed = seed + 7;
+    build_ = std::make_unique<CompileJobModel>(kernel_.get(), cc);
+  }
+  Kernel& kernel() override { return *kernel_; }
+  Simulator& sim() override { return sim_; }
+  void Start() override { build_->Start(); }
+  std::string name() const override { return "ST-kernel-build"; }
+
+ private:
+  Simulator sim_;
+  std::unique_ptr<Kernel> kernel_;
+  std::unique_ptr<CompileJobModel> build_;
+};
+
+// --- Stochastic workloads ----------------------------------------------------
+
+class StochasticTriggerWorkload : public TriggerWorkload {
+ public:
+  StochasticTriggerWorkload(WorkloadKind kind, const MachineProfile& profile, uint64_t seed)
+      : kind_(kind) {
+    Kernel::Config kc;
+    kc.profile = profile;
+    kc.rng_seed = seed;
+    // These workloads leave idle time; the idle loop polls (ST-nfs's 2 us
+    // samples come from exactly that).
+    kc.idle_behavior = Kernel::IdleBehavior::kSpin;
+    kernel_ = std::make_unique<Kernel>(&sim_, kc);
+
+    StochasticKernelLoad::Config lc = LoadConfigFor(kind);
+    lc.rng_seed = seed + 31;
+    load_ = std::make_unique<StochasticKernelLoad>(kernel_.get(), std::move(lc));
+  }
+
+  Kernel& kernel() override { return *kernel_; }
+  Simulator& sim() override { return sim_; }
+  void Start() override { load_->Start(); }
+  std::string name() const override { return WorkloadKindName(kind_); }
+
+ private:
+  using Op = StochasticKernelLoad::OpClass;
+
+  static SimDuration Us(double v) { return SimDuration::Micros(v); }
+
+  static StochasticKernelLoad::Config LoadConfigFor(WorkloadKind kind) {
+    StochasticKernelLoad::Config c;
+    switch (kind) {
+      case WorkloadKind::kNfs:
+        // Disk-bound NFS server: ~90% idle (Section 5.3); short RPC bursts
+        // of syscall/ip work, disk interrupts, and an idle loop that yields
+        // the dominant ~2 us samples.
+        c.ops = {
+            Op{0.45, TriggerSource::kSyscall, true, Us(5), 0.5, Us(100)},
+            Op{0.25, TriggerSource::kIpOutput, true, Us(5), 0.5, Us(100)},
+            Op{0.15, TriggerSource::kTcpIpOthers, true, Us(4), 0.5, Us(100)},
+            Op{0.15, TriggerSource::kSyscall, false, Us(6), 0.6, Us(200)},
+            // Rare long uninterruptible stretch (buffer-cache/driver work):
+            // the source of the paper's 910 us maximum.
+            Op{0.004, TriggerSource::kSyscall, false, Us(90), 1.0, Us(850)},
+        };
+        c.duty_cycle = 0.10;
+        c.burst_mean = Us(120);
+        c.device_intr_rate_hz = 250;  // disk completions
+        c.device_intr_work = Us(14);
+        break;
+      case WorkloadKind::kRealAudio:
+        // RealPlayer saturates the CPU with user-mode decoding but "performs
+        // many system calls" (Section 5.3): short syscalls interleaved with
+        // compute stretches.
+        c.ops = {
+            Op{0.62, TriggerSource::kSyscall, true, Us(4.6), 0.55, Us(300)},
+            Op{0.28, TriggerSource::kSyscall, false, Us(7), 0.75, Us(250)},
+            Op{0.05, TriggerSource::kTrap, true, Us(4), 0.5, Us(100)},
+            Op{0.03, TriggerSource::kIpOutput, true, Us(5), 0.5, Us(100)},
+        };
+        c.duty_cycle = 1.0;
+        c.device_intr_rate_hz = 120;  // incoming audio stream
+        c.device_intr_source = TriggerSource::kIpIntr;
+        c.device_intr_work = Us(10);
+        break;
+      case WorkloadKind::kKernelBuild:
+      default:
+        // Compilation: storms of very short syscalls and page faults,
+        // interrupted by heavy-tailed pure-compute runs (the 1 ms backup
+        // interrupt clips the longest gaps, as in the paper's max = 1000 us).
+        c.ops = {
+            Op{0.72, TriggerSource::kSyscall, true, Us(1.9), 0.45, Us(50)},
+            Op{0.14, TriggerSource::kTrap, true, Us(2.2), 0.5, Us(50)},
+            Op{0.050, TriggerSource::kSyscall, false, Us(12), 1.15, Us(980)},
+            Op{0.011, TriggerSource::kSyscall, false, Us(200), 0.9, Us(980)},
+        };
+        c.duty_cycle = 0.96;
+        c.burst_mean = SimDuration::Millis(3);
+        c.device_intr_rate_hz = 180;  // disk traffic
+        c.device_intr_work = Us(12);
+        break;
+    }
+    return c;
+  }
+
+  WorkloadKind kind_;
+  Simulator sim_;
+  std::unique_ptr<Kernel> kernel_;
+  std::unique_ptr<StochasticKernelLoad> load_;
+};
+
+}  // namespace
+
+std::unique_ptr<TriggerWorkload> MakeStochasticTriggerWorkload(WorkloadKind kind,
+                                                               const MachineProfile& profile,
+                                                               uint64_t seed) {
+  return std::make_unique<StochasticTriggerWorkload>(kind, profile, seed);
+}
+
+std::unique_ptr<TriggerWorkload> MakeTriggerWorkload(WorkloadKind kind,
+                                                     const MachineProfile& profile,
+                                                     uint64_t seed) {
+  switch (kind) {
+    case WorkloadKind::kApache:
+    case WorkloadKind::kApacheCompute:
+    case WorkloadKind::kFlash:
+      return std::make_unique<HttpTriggerWorkload>(kind, profile, seed);
+    case WorkloadKind::kNfs:
+      return std::make_unique<NfsTriggerWorkload>(profile, seed);
+    case WorkloadKind::kRealAudio:
+      return std::make_unique<MediaPlayerTriggerWorkload>(profile, seed);
+    case WorkloadKind::kKernelBuild:
+      return std::make_unique<CompileTriggerWorkload>(profile, seed);
+  }
+  return nullptr;
+}
+
+}  // namespace softtimer

@@ -1,0 +1,78 @@
+// The measured workloads of Section 5.3 (Figure 4 / Table 1), reproduced as
+// trigger-state generators:
+//
+//   ST-Apache          - the Apache web-server testbed (mechanistic, via
+//                        httpsim).
+//   ST-Apache-compute  - same, plus a compute-bound background process that
+//                        soaks up idle time in large scheduler quanta.
+//   ST-Flash           - the event-driven Flash server testbed.
+//   ST-real-audio      - a CPU-saturating media player (mechanistic, via
+//                        appsim::MediaPlayerModel): a decode pipeline of
+//                        user-mode compute bracketed by frequent syscalls,
+//                        plus stream packets and sound-card interrupts.
+//   ST-nfs             - a disk-bound NFS server, ~90% idle (mechanistic,
+//                        via nfssim + the storage disk model): the idle
+//                        loop dominates the trigger stream.
+//   ST-kernel-build    - a make-driven compiler (mechanistic, via
+//                        appsim::CompileJobModel): exec/IO syscall storms
+//                        separated by heavy-tailed compute runs, with disk
+//                        readahead and batched write-back.
+//
+// Every workload is a mechanistic simulation; the calibrated stochastic
+// generator (StochasticKernelLoad) remains available as a library for
+// synthetic trigger streams.
+
+#ifndef SOFTTIMER_SRC_WORKLOAD_TRIGGER_WORKLOAD_H_
+#define SOFTTIMER_SRC_WORKLOAD_TRIGGER_WORKLOAD_H_
+
+#include <memory>
+#include <string>
+
+#include "src/machine/kernel.h"
+#include "src/machine/machine_profile.h"
+#include "src/sim/simulator.h"
+
+namespace softtimer {
+
+enum class WorkloadKind {
+  kApache,
+  kApacheCompute,
+  kFlash,
+  kRealAudio,
+  kNfs,
+  kKernelBuild,
+};
+
+const char* WorkloadKindName(WorkloadKind kind);
+
+class TriggerWorkload {
+ public:
+  virtual ~TriggerWorkload() = default;
+
+  virtual Kernel& kernel() = 0;
+  virtual Simulator& sim() = 0;
+
+  // Kicks off load generation. Attach a trigger observer to kernel() before
+  // or after; samples flow once the simulation runs.
+  virtual void Start() = 0;
+
+  virtual std::string name() const = 0;
+};
+
+// Builds a ready-to-run workload on a machine of the given profile.
+std::unique_ptr<TriggerWorkload> MakeTriggerWorkload(WorkloadKind kind,
+                                                     const MachineProfile& profile,
+                                                     uint64_t seed);
+
+// Fitted-distribution alternative for the non-web workloads (kRealAudio,
+// kNfs, kKernelBuild): a StochasticKernelLoad with mixture parameters
+// calibrated to Table 1, instead of the mechanistic substrate. Useful for
+// ablating how much the mechanistic structure matters, and as a template
+// for synthesizing new trigger streams.
+std::unique_ptr<TriggerWorkload> MakeStochasticTriggerWorkload(WorkloadKind kind,
+                                                               const MachineProfile& profile,
+                                                               uint64_t seed);
+
+}  // namespace softtimer
+
+#endif  // SOFTTIMER_SRC_WORKLOAD_TRIGGER_WORKLOAD_H_

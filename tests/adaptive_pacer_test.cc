@@ -1,0 +1,101 @@
+#include "src/core/adaptive_pacer.h"
+
+#include <gtest/gtest.h>
+
+#include "src/sim/random.h"
+#include "src/stats/summary_stats.h"
+
+namespace softtimer {
+namespace {
+
+TEST(AdaptivePacerTest, OnScheduleUsesTargetInterval) {
+  AdaptivePacer p({40, 12});
+  p.StartTrain(1000);
+  // First packet leaves exactly at the train start: on schedule.
+  EXPECT_EQ(p.OnPacketSent(1000), 40u);
+  // Second packet on time at 1040.
+  EXPECT_EQ(p.OnPacketSent(1040), 40u);
+  EXPECT_EQ(p.packets_sent(), 2u);
+  EXPECT_EQ(p.catchup_decisions(), 0u);
+}
+
+TEST(AdaptivePacerTest, FallingBehindTriggersBurstInterval) {
+  AdaptivePacer p({40, 12});
+  p.StartTrain(0);
+  EXPECT_EQ(p.OnPacketSent(0), 40u);
+  // Packet 2 is 30 ticks late (should have left at 40, left at 70).
+  EXPECT_EQ(p.OnPacketSent(70), 12u);
+  EXPECT_EQ(p.catchup_decisions(), 1u);
+  // Packet 3 at 82: schedule says 2*40 = 80 -> still behind.
+  EXPECT_EQ(p.OnPacketSent(82), 12u);
+  // Packet 4 at 94: schedule says 120 -> caught up, back to target.
+  EXPECT_EQ(p.OnPacketSent(94), 40u);
+}
+
+TEST(AdaptivePacerTest, CatchupConvergesToTargetRate) {
+  // Simulate soft-timer fire delays: each scheduled delta is realized with a
+  // random extra delay; the adaptive rule must keep the average interval at
+  // the target as long as the burst rate has headroom.
+  AdaptivePacer p({40, 12});
+  Rng rng(7);
+  uint64_t now = 0;
+  p.StartTrain(now);
+  SummaryStats intervals;
+  uint64_t prev = now;
+  uint64_t delta = p.OnPacketSent(now);
+  for (int i = 0; i < 20'000; ++i) {
+    uint64_t delay = static_cast<uint64_t>(rng.Exponential(12.0));  // soft-timer lateness
+    now += delta + 1 + delay;
+    intervals.Add(static_cast<double>(now - prev));
+    prev = now;
+    delta = p.OnPacketSent(now);
+  }
+  EXPECT_NEAR(intervals.mean(), 40.0, 1.0);
+}
+
+TEST(AdaptivePacerTest, SaturatesWhenBurstRateInsufficient) {
+  // With lateness whose mean exceeds the headroom, the achieved interval
+  // degrades toward min_burst + lateness (the Table 4 "65.9 us at min
+  // interval 35" regime).
+  AdaptivePacer p({40, 35});
+  Rng rng(7);
+  uint64_t now = 0;
+  p.StartTrain(now);
+  SummaryStats intervals;
+  uint64_t prev = now;
+  uint64_t delta = p.OnPacketSent(now);
+  for (int i = 0; i < 20'000; ++i) {
+    uint64_t delay = static_cast<uint64_t>(rng.Exponential(25.0));
+    now += delta + 1 + delay;
+    intervals.Add(static_cast<double>(now - prev));
+    prev = now;
+    delta = p.OnPacketSent(now);
+  }
+  // Mean must exceed the target (pacer cannot keep up) but stay near
+  // min_burst + mean delay + 1.
+  EXPECT_GT(intervals.mean(), 55.0);
+  EXPECT_NEAR(intervals.mean(), 35 + 25 + 1, 3.0);
+}
+
+TEST(AdaptivePacerTest, StartTrainResetsSchedule) {
+  AdaptivePacer p({40, 12});
+  p.StartTrain(0);
+  p.OnPacketSent(0);
+  p.OnPacketSent(500);  // far behind
+  EXPECT_GT(p.catchup_decisions(), 0u);
+  p.StartTrain(10'000);
+  EXPECT_EQ(p.packets_sent(), 0u);
+  // Fresh train: on schedule again.
+  EXPECT_EQ(p.OnPacketSent(10'000), 40u);
+}
+
+TEST(FixedPacerTest, AlwaysTargetInterval) {
+  FixedPacer p(40);
+  p.StartTrain(0);
+  EXPECT_EQ(p.OnPacketSent(0), 40u);
+  EXPECT_EQ(p.OnPacketSent(500), 40u);  // no catch-up, ever
+  EXPECT_EQ(p.packets_sent(), 2u);
+}
+
+}  // namespace
+}  // namespace softtimer

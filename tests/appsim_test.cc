@@ -1,0 +1,111 @@
+// Tests for the application substrates behind ST-real-audio and
+// ST-kernel-build.
+
+#include <gtest/gtest.h>
+
+#include "src/appsim/compile_job_model.h"
+#include "src/appsim/media_player_model.h"
+#include "src/stats/sample_set.h"
+
+namespace softtimer {
+namespace {
+
+Kernel::Config SpinKernel() {
+  Kernel::Config kc;
+  kc.profile = MachineProfile::PentiumII300();
+  kc.idle_behavior = Kernel::IdleBehavior::kSpin;
+  return kc;
+}
+
+TEST(MediaPlayerModelTest, SaturatesTheCpu) {
+  Simulator sim;
+  Kernel k(&sim, SpinKernel());
+  MediaPlayerModel player(&k, MediaPlayerModel::Config{});
+  player.Start();
+  SimDuration horizon = SimDuration::Seconds(1);
+  sim.RunFor(horizon);
+  // "an example of an application that saturates the CPU".
+  double busy = k.cpu(0).work_time().ToSeconds() / horizon.ToSeconds();
+  EXPECT_GT(busy, 0.9);
+  EXPECT_GT(player.stats().decode_units, 20'000u);
+}
+
+TEST(MediaPlayerModelTest, SyscallsDominateItsTriggerMix) {
+  Simulator sim;
+  Kernel k(&sim, SpinKernel());
+  MediaPlayerModel player(&k, MediaPlayerModel::Config{});
+  player.Start();
+  sim.RunFor(SimDuration::Seconds(1));
+  const auto& by = k.stats().triggers_by_source;
+  uint64_t syscalls = by[static_cast<size_t>(TriggerSource::kSyscall)];
+  EXPECT_GT(static_cast<double>(syscalls), 0.7 * static_cast<double>(k.stats().triggers));
+  // The low-rate interrupt streams exist but are minor.
+  EXPECT_GT(player.stats().stream_packets, 50u);
+  EXPECT_GT(player.stats().audio_interrupts, 50u);
+}
+
+TEST(MediaPlayerModelTest, IntervalDistributionMatchesPaperRegime) {
+  Simulator sim;
+  Kernel k(&sim, SpinKernel());
+  MediaPlayerModel player(&k, MediaPlayerModel::Config{});
+  SampleSet intervals;
+  k.set_trigger_observer(
+      [&](TriggerSource, SimTime, SimDuration d) { intervals.Add(d.ToMicros()); });
+  player.Start();
+  sim.RunFor(SimDuration::Seconds(1));
+  EXPECT_NEAR(intervals.mean(), 8.5, 2.5);   // paper: 8.47
+  EXPECT_NEAR(intervals.Median(), 6.0, 2.0);  // paper: 6
+}
+
+TEST(CompileJobModelTest, MostlyBusyWithHeavyTailedIntervals) {
+  Simulator sim;
+  Kernel k(&sim, SpinKernel());
+  CompileJobModel build(&k, CompileJobModel::Config{});
+  SampleSet intervals;
+  k.set_trigger_observer(
+      [&](TriggerSource, SimTime, SimDuration d) { intervals.Add(d.ToMicros()); });
+  build.Start();
+  SimDuration horizon = SimDuration::Seconds(1);
+  sim.RunFor(horizon);
+  double busy = k.cpu(0).work_time().ToSeconds() / horizon.ToSeconds();
+  EXPECT_GT(busy, 0.85);
+  EXPECT_GT(build.stats().jobs, 100u);
+  // Bimodal shape: 2 us-class median from the syscall storms, heavy tail
+  // from the compute runs (paper: median 2, mean 5.63, sd 47.9).
+  EXPECT_NEAR(intervals.Median(), 2.0, 1.0);
+  EXPECT_GT(intervals.mean(), 4.0);
+  EXPECT_LT(intervals.mean(), 10.0);
+  EXPECT_GT(intervals.stddev(), 15.0);
+}
+
+TEST(CompileJobModelTest, DiskSeesReadsAndBatchedWriteback) {
+  Simulator sim;
+  Kernel k(&sim, SpinKernel());
+  CompileJobModel build(&k, CompileJobModel::Config{});
+  build.Start();
+  sim.RunFor(SimDuration::Seconds(1));
+  EXPECT_GT(build.stats().disk_reads, 5u);
+  EXPECT_GT(build.stats().disk_writes, 5u);
+  // Write-back is batched: far fewer writes than jobs.
+  EXPECT_LT(build.stats().disk_writes * 8, build.stats().jobs);
+  // The spindle is loaded but not saturated (compilation stays CPU-bound).
+  double disk_busy = build.disk().stats().busy_time.ToSeconds() / 1.0;
+  EXPECT_LT(disk_busy, 0.95);
+}
+
+TEST(CompileJobModelTest, TrapsComeFromExecAndFaultStorms) {
+  Simulator sim;
+  Kernel k(&sim, SpinKernel());
+  CompileJobModel build(&k, CompileJobModel::Config{});
+  build.Start();
+  sim.RunFor(SimDuration::Millis(500));
+  const auto& by = k.stats().triggers_by_source;
+  uint64_t traps = by[static_cast<size_t>(TriggerSource::kTrap)];
+  uint64_t syscalls = by[static_cast<size_t>(TriggerSource::kSyscall)];
+  EXPECT_GT(traps, 10'000u);
+  // Storms are ~30% faults.
+  EXPECT_NEAR(static_cast<double>(traps) / static_cast<double>(traps + syscalls), 0.3, 0.08);
+}
+
+}  // namespace
+}  // namespace softtimer

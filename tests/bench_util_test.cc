@@ -1,0 +1,57 @@
+#include "bench/bench_util.h"
+
+#include <gtest/gtest.h>
+
+namespace softtimer {
+namespace {
+
+TEST(FmtTest, FormatsLikePrintf) {
+  EXPECT_EQ(Fmt("%.2f", 3.14159), "3.14");
+  EXPECT_EQ(Fmt("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(Fmt("plain"), "plain");
+}
+
+TEST(ParseBenchOptionsTest, Defaults) {
+  char prog[] = "bench";
+  char* argv[] = {prog};
+  BenchOptions opt = ParseBenchOptions(1, argv);
+  EXPECT_DOUBLE_EQ(opt.scale, 1.0);
+  EXPECT_FALSE(opt.full);
+  EXPECT_TRUE(opt.dump_dir.empty());
+}
+
+TEST(ParseBenchOptionsTest, FastFullScaleAndDump) {
+  char prog[] = "bench";
+  char fast[] = "--fast";
+  char* argv1[] = {prog, fast};
+  EXPECT_DOUBLE_EQ(ParseBenchOptions(2, argv1).scale, 0.3);
+
+  char full[] = "--full";
+  char* argv2[] = {prog, full};
+  BenchOptions f = ParseBenchOptions(2, argv2);
+  EXPECT_TRUE(f.full);
+  EXPECT_GT(f.scale, 1.0);
+
+  char scale[] = "--scale=0.25";
+  char dump[] = "--dump-dir=/tmp/x";
+  char* argv3[] = {prog, scale, dump};
+  BenchOptions s = ParseBenchOptions(3, argv3);
+  EXPECT_DOUBLE_EQ(s.scale, 0.25);
+  EXPECT_EQ(s.dump_dir, "/tmp/x");
+}
+
+TEST(TextTableTest, PrintsAlignedColumns) {
+  // Smoke: must not crash with ragged rows and renders every cell.
+  TextTable t({"a", "long-header"});
+  t.AddRow({"1", "2"});
+  t.AddRow({"wide-cell"});  // ragged: second cell missing
+  ::testing::internal::CaptureStdout();
+  t.Print();
+  std::string out = ::testing::internal::GetCapturedStdout();
+  EXPECT_NE(out.find("long-header"), std::string::npos);
+  EXPECT_NE(out.find("wide-cell"), std::string::npos);
+  EXPECT_NE(out.find("+--"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace softtimer

@@ -1,0 +1,54 @@
+#include "src/core/clock_source.h"
+
+#include <gtest/gtest.h>
+
+namespace softtimer {
+namespace {
+
+TEST(SimClockSourceTest, TickComputation) {
+  Simulator sim;
+  SimClockSource clock(&sim, 1'000'000);  // 1 MHz: 1 tick = 1 us
+  EXPECT_EQ(clock.NowTicks(), 0u);
+  sim.RunUntil(SimTime::FromNanos(999));
+  EXPECT_EQ(clock.NowTicks(), 0u);  // floor
+  sim.RunUntil(SimTime::FromNanos(1000));
+  EXPECT_EQ(clock.NowTicks(), 1u);
+  sim.RunUntil(SimTime::FromNanos(123'456'789));
+  EXPECT_EQ(clock.NowTicks(), 123'456u);
+}
+
+TEST(SimClockSourceTest, HighResolutionClock) {
+  Simulator sim;
+  SimClockSource clock(&sim, 100'000'000);  // 100 MHz: 1 tick = 10 ns
+  sim.RunUntil(SimTime::FromNanos(25));
+  EXPECT_EQ(clock.NowTicks(), 2u);
+  EXPECT_EQ(clock.TickPeriod().nanos(), 10);
+}
+
+TEST(SimClockSourceTest, TimeOfTickIsInverseOfNowTicks) {
+  Simulator sim;
+  SimClockSource clock(&sim, 1'000'000);
+  for (uint64_t tick : {0ULL, 1ULL, 17ULL, 1000ULL, 123'456ULL}) {
+    SimTime t = clock.TimeOfTick(tick);
+    // At exactly t, NowTicks() >= tick; one nanosecond earlier it is < tick.
+    Simulator sim2;
+    SimClockSource c2(&sim2, 1'000'000);
+    sim2.RunUntil(t);
+    EXPECT_GE(c2.NowTicks(), tick);
+    if (t > SimTime::Zero()) {
+      Simulator sim3;
+      SimClockSource c3(&sim3, 1'000'000);
+      sim3.RunUntil(t - SimDuration::Nanos(1));
+      EXPECT_LT(c3.NowTicks(), tick);
+    }
+  }
+}
+
+TEST(SimClockSourceTest, ResolutionHz) {
+  Simulator sim;
+  SimClockSource clock(&sim, 44'100);
+  EXPECT_EQ(clock.ResolutionHz(), 44'100u);
+}
+
+}  // namespace
+}  // namespace softtimer

@@ -1,0 +1,108 @@
+#include "src/machine/cpu.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace softtimer {
+namespace {
+
+TEST(CpuTest, JobsRunFifoWithStatedDurations) {
+  Simulator sim;
+  Cpu cpu(&sim, 0);
+  std::vector<int64_t> done_at;
+  cpu.Submit(SimDuration::Micros(10), [&] { done_at.push_back(sim.now().nanos_since_origin()); });
+  cpu.Submit(SimDuration::Micros(5), [&] { done_at.push_back(sim.now().nanos_since_origin()); });
+  sim.RunUntilIdle();
+  EXPECT_EQ(done_at, (std::vector<int64_t>{10'000, 15'000}));
+  EXPECT_EQ(cpu.jobs_completed(), 2u);
+  EXPECT_EQ(cpu.work_time().nanos(), 15'000);
+}
+
+TEST(CpuTest, OnStartRunsAtExecutionStart) {
+  Simulator sim;
+  Cpu cpu(&sim, 0);
+  std::vector<int64_t> started_at;
+  auto record_start = [&] { started_at.push_back(sim.now().nanos_since_origin()); };
+  cpu.Submit(SimDuration::Micros(10), {}, record_start);
+  cpu.Submit(SimDuration::Micros(10), {}, record_start);
+  sim.RunUntilIdle();
+  EXPECT_EQ(started_at, (std::vector<int64_t>{0, 10'000}));
+}
+
+TEST(CpuTest, StealPostponesCurrentJob) {
+  Simulator sim;
+  Cpu cpu(&sim, 0);
+  SimTime done;
+  cpu.Submit(SimDuration::Micros(10), [&] { done = sim.now(); });
+  sim.RunUntil(SimTime::FromNanos(4'000));
+  cpu.Steal(SimDuration::Micros(3));  // interrupt mid-job
+  sim.RunUntilIdle();
+  EXPECT_EQ(done.nanos_since_origin(), 13'000);
+  EXPECT_EQ(cpu.stolen_time().nanos(), 3'000);
+}
+
+TEST(CpuTest, StealWhileIdleOnlyAccounts) {
+  Simulator sim;
+  Cpu cpu(&sim, 0);
+  cpu.Steal(SimDuration::Micros(5));
+  EXPECT_FALSE(cpu.busy());
+  EXPECT_EQ(cpu.stolen_time().nanos(), 5'000);
+  // A job submitted afterwards is not delayed.
+  SimTime done;
+  cpu.Submit(SimDuration::Micros(2), [&] { done = sim.now(); });
+  sim.RunUntilIdle();
+  EXPECT_EQ(done.nanos_since_origin(), 2'000);
+}
+
+TEST(CpuTest, MultipleStealsAccumulate) {
+  Simulator sim;
+  Cpu cpu(&sim, 0);
+  SimTime done;
+  cpu.Submit(SimDuration::Micros(10), [&] { done = sim.now(); });
+  sim.RunUntil(SimTime::FromNanos(1'000));
+  cpu.Steal(SimDuration::Micros(1));
+  sim.RunUntil(SimTime::FromNanos(2'000));
+  cpu.Steal(SimDuration::Micros(1));
+  sim.RunUntilIdle();
+  EXPECT_EQ(done.nanos_since_origin(), 12'000);
+}
+
+TEST(CpuTest, BusyTransitionsObserved) {
+  Simulator sim;
+  Cpu cpu(&sim, 0);
+  std::vector<bool> transitions;
+  cpu.set_state_observer([&](bool busy) { transitions.push_back(busy); });
+  cpu.Submit(SimDuration::Micros(1));
+  cpu.Submit(SimDuration::Micros(1));  // no extra transition while busy
+  sim.RunUntilIdle();
+  EXPECT_EQ(transitions, (std::vector<bool>{true, false}));
+}
+
+TEST(CpuTest, OnDoneMaySubmitMoreWorkWithoutIdleBlip) {
+  Simulator sim;
+  Cpu cpu(&sim, 0);
+  std::vector<bool> transitions;
+  cpu.set_state_observer([&](bool busy) { transitions.push_back(busy); });
+  int chained = 0;
+  cpu.Submit(SimDuration::Micros(1), [&] {
+    if (++chained < 3) {
+      cpu.Submit(SimDuration::Micros(1));
+    }
+  });
+  sim.RunUntilIdle();
+  // One busy at the start, one idle at the very end; no flapping between.
+  EXPECT_EQ(transitions, (std::vector<bool>{true, false}));
+}
+
+TEST(CpuTest, ZeroLengthJobCompletes) {
+  Simulator sim;
+  Cpu cpu(&sim, 0);
+  bool ran = false;
+  cpu.Submit(SimDuration::Zero(), [&] { ran = true; });
+  sim.RunUntilIdle();
+  EXPECT_TRUE(ran);
+}
+
+}  // namespace
+}  // namespace softtimer

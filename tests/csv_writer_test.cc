@@ -1,0 +1,82 @@
+#include "src/stats/csv_writer.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace softtimer {
+namespace {
+
+std::string ReadAll(const std::string& path) {
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+TEST(CsvWriterTest, WritesHeaderAndRows) {
+  std::string path = TempPath("basic.csv");
+  {
+    CsvWriter w(path);
+    ASSERT_TRUE(w.ok());
+    w.WriteHeader({"a", "b"});
+    w.WriteRow(std::vector<double>{1.5, 2.0});
+    w.WriteRow(std::vector<std::string>{"x", "y"});
+  }
+  EXPECT_EQ(ReadAll(path), "a,b\n1.5,2\nx,y\n");
+  std::remove(path.c_str());
+}
+
+TEST(CsvWriterTest, UnopenableFileReportsNotOk) {
+  CsvWriter w("/nonexistent-dir-zzz/file.csv");
+  EXPECT_FALSE(w.ok());
+  w.WriteRow(std::vector<double>{1.0});  // must not crash
+}
+
+TEST(CsvWriterTest, CdfDumpIsMonotone) {
+  SampleSet s;
+  for (int i = 0; i < 500; ++i) {
+    s.Add((i * 31) % 97);
+  }
+  std::string path = TempPath("cdf.csv");
+  ASSERT_TRUE(WriteCdfCsv(path, s, 50));
+  std::ifstream in(path);
+  std::string header;
+  std::getline(in, header);
+  EXPECT_EQ(header, "x,fraction");
+  double prev_x = -1, prev_f = -1;
+  std::string line;
+  int rows = 0;
+  while (std::getline(in, line)) {
+    double x, f;
+    ASSERT_EQ(std::sscanf(line.c_str(), "%lf,%lf", &x, &f), 2);
+    EXPECT_GE(x, prev_x);
+    EXPECT_GT(f, prev_f);
+    prev_x = x;
+    prev_f = f;
+    ++rows;
+  }
+  EXPECT_EQ(rows, 50);
+  EXPECT_DOUBLE_EQ(prev_f, 1.0);
+  std::remove(path.c_str());
+}
+
+TEST(CsvWriterTest, WindowedMediansDump) {
+  WindowedMedian w(SimTime::Zero(), SimDuration::Millis(1));
+  w.Add(SimTime::FromNanos(100'000), 5);
+  w.Add(SimTime::FromNanos(1'200'000), 9);
+  std::string path = TempPath("win.csv");
+  ASSERT_TRUE(WriteWindowedMediansCsv(path, w.Finish()));
+  std::string content = ReadAll(path);
+  EXPECT_EQ(content, "window_start_us,median_us,samples\n0,5,1\n1000,9,1\n");
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace softtimer

@@ -1,0 +1,98 @@
+// Workload-shape variations through the HTTP testbed: response size scaling,
+// request pipelining depth, and NIC/link parameter sensitivity - the knobs a
+// downstream user of the library will turn first.
+
+#include <gtest/gtest.h>
+
+#include "src/httpsim/http_testbed.h"
+
+namespace softtimer {
+namespace {
+
+double Throughput(HttpTestbed::Config cfg) {
+  HttpTestbed bed(cfg);
+  return bed.Measure(SimDuration::Millis(200), SimDuration::Millis(800)).conn_per_sec;
+}
+
+HttpTestbed::Config Base() {
+  HttpTestbed::Config cfg;
+  cfg.profile = MachineProfile::PentiumII300();
+  return cfg;
+}
+
+TEST(HttpVariantsTest, LargerFilesLowerConnectionThroughput) {
+  HttpTestbed::Config small = Base();
+  small.workload.file_bytes = 1024;
+  HttpTestbed::Config big = Base();
+  big.workload.file_bytes = 64 * 1024;
+  double xs = Throughput(small);
+  double xb = Throughput(big);
+  EXPECT_GT(xs, xb * 1.5);
+}
+
+TEST(HttpVariantsTest, ResponseBytesMatchConfiguredFileSize) {
+  for (uint32_t bytes : {512u, 6144u, 20'000u}) {
+    HttpTestbed::Config cfg = Base();
+    cfg.workload.file_bytes = bytes;
+    HttpTestbed bed(cfg);
+    bed.Measure(SimDuration::Millis(200), SimDuration::Millis(400));
+    uint64_t expected_packets =
+        (bytes + cfg.workload.response_header_bytes + kDefaultMss - 1) / kDefaultMss;
+    double per_resp = static_cast<double>(bed.server().stats().data_packets_sent) /
+                      static_cast<double>(bed.server().stats().responses_completed);
+    // Allow for responses still in flight at the window edges.
+    EXPECT_NEAR(per_resp, static_cast<double>(expected_packets),
+                0.1 * static_cast<double>(expected_packets) + 0.1)
+        << bytes;
+  }
+}
+
+TEST(HttpVariantsTest, DeeperPipeliningAmortizesMore) {
+  HttpTestbed::Config shallow = Base();
+  shallow.workload.persistent = true;
+  shallow.workload.requests_per_connection = 2;
+  HttpTestbed::Config deep = Base();
+  deep.workload.persistent = true;
+  deep.workload.requests_per_connection = 20;
+  HttpTestbed bs(shallow), bd(deep);
+  double rs = bs.Measure(SimDuration::Millis(200), SimDuration::Millis(800)).req_per_sec;
+  double rd = bd.Measure(SimDuration::Millis(200), SimDuration::Millis(800)).req_per_sec;
+  EXPECT_GT(rd, rs * 1.15);
+}
+
+TEST(HttpVariantsTest, MoreLinksRaiseAggregateDeliveryNotCpuBoundThroughput) {
+  // The server CPU is the bottleneck: going 3 -> 6 links must not change
+  // throughput much (the paper's testbeds were CPU-saturated).
+  HttpTestbed::Config three = Base();
+  three.num_links = 3;
+  HttpTestbed::Config six = Base();
+  six.num_links = 6;
+  double x3 = Throughput(three);
+  double x6 = Throughput(six);
+  EXPECT_NEAR(x6 / x3, 1.0, 0.15);
+}
+
+TEST(HttpVariantsTest, SlowerLanBecomesTheBottleneck) {
+  HttpTestbed::Config slow = Base();
+  slow.num_links = 1;
+  slow.lan_bandwidth_bps = 5e6;  // 5 Mbps: ~1.5 ms serialization per response
+  double x = Throughput(slow);
+  // 5 Mbps / (6.4 KB + overhead) ~= 90 conn/s tops.
+  EXPECT_LT(x, 120);
+}
+
+TEST(HttpVariantsTest, FasterMachineScalesAllServerKinds) {
+  for (auto kind : {HttpServerModel::ServerKind::kApache, HttpServerModel::ServerKind::kFlash}) {
+    HttpTestbed::Config slow = Base();
+    slow.server.kind = kind;
+    HttpTestbed::Config fast = Base();
+    fast.server.kind = kind;
+    fast.profile = MachineProfile::PentiumIII500Xeon();
+    double r = Throughput(fast) / Throughput(slow);
+    EXPECT_GT(r, 1.3);
+    EXPECT_LT(r, 1.9);
+  }
+}
+
+}  // namespace
+}  // namespace softtimer

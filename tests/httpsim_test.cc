@@ -1,0 +1,134 @@
+// Integration tests for the LAN web-server testbed: throughput plausibility,
+// saturation behaviour, P-HTTP, pacing disciplines, and the interactions the
+// paper's experiments rely on (hardware timers slow the server down; soft
+// timers do not; polling beats interrupts).
+
+#include <gtest/gtest.h>
+
+#include "src/httpsim/http_testbed.h"
+
+namespace softtimer {
+namespace {
+
+HttpTestbed::Config BaseCfg() {
+  HttpTestbed::Config cfg;
+  cfg.profile = MachineProfile::PentiumII300();
+  return cfg;
+}
+
+TEST(HttpTestbedTest, ApacheServesAtCalibratedRate) {
+  HttpTestbed bed(BaseCfg());
+  auto r = bed.Measure(SimDuration::Millis(200), SimDuration::Millis(800));
+  // Calibrated against Table 3's 774 conn/s (PII-300); allow slack.
+  EXPECT_GT(r.conn_per_sec, 650);
+  EXPECT_LT(r.conn_per_sec, 900);
+  EXPECT_EQ(r.req_per_sec, r.conn_per_sec);  // one request per connection
+}
+
+TEST(HttpTestbedTest, FlashOutpacesApache) {
+  HttpTestbed apache(BaseCfg());
+  HttpTestbed::Config fc = BaseCfg();
+  fc.server.kind = HttpServerModel::ServerKind::kFlash;
+  HttpTestbed flash(fc);
+  double a = apache.Measure(SimDuration::Millis(200), SimDuration::Millis(800)).conn_per_sec;
+  double f = flash.Measure(SimDuration::Millis(200), SimDuration::Millis(800)).conn_per_sec;
+  EXPECT_GT(f, a * 1.4);
+}
+
+TEST(HttpTestbedTest, ServerIsSaturatedNotClientLimited) {
+  // Doubling the client population must not raise throughput much.
+  HttpTestbed::Config few = BaseCfg();
+  few.clients_per_link = 8;
+  HttpTestbed::Config many = BaseCfg();
+  many.clients_per_link = 16;
+  double x1 = HttpTestbed(few).Measure(SimDuration::Millis(200), SimDuration::Millis(800)).conn_per_sec;
+  double x2 = HttpTestbed(many).Measure(SimDuration::Millis(200), SimDuration::Millis(800)).conn_per_sec;
+  EXPECT_LT(x2, x1 * 1.1);
+}
+
+TEST(HttpTestbedTest, PersistentHttpRaisesRequestThroughput) {
+  HttpTestbed::Config cfg = BaseCfg();
+  cfg.workload.persistent = true;
+  cfg.workload.requests_per_connection = 10;
+  HttpTestbed phttp(cfg);
+  HttpTestbed http(BaseCfg());
+  auto rp = phttp.Measure(SimDuration::Millis(200), SimDuration::Millis(800));
+  auto rh = http.Measure(SimDuration::Millis(200), SimDuration::Millis(800));
+  EXPECT_GT(rp.req_per_sec, rh.req_per_sec * 1.3);
+  // Roughly 10 requests per completed connection.
+  EXPECT_NEAR(rp.req_per_sec / std::max(rp.conn_per_sec, 1.0), 10.0, 2.0);
+}
+
+TEST(HttpTestbedTest, ExtraHardwareTimerReducesThroughputLinearly) {
+  HttpTestbed base(BaseCfg());
+  double x0 = base.Measure(SimDuration::Millis(200), SimDuration::Millis(800)).conn_per_sec;
+  HttpTestbed loaded(BaseCfg());
+  loaded.kernel().AddPeriodicHardwareTimer(50'000, SimDuration::Zero());
+  double x1 = loaded.Measure(SimDuration::Millis(200), SimDuration::Millis(800)).conn_per_sec;
+  double overhead = 1.0 - x1 / x0;
+  // 50 kHz * 4.45 us ~= 22%.
+  EXPECT_GT(overhead, 0.15);
+  EXPECT_LT(overhead, 0.30);
+}
+
+TEST(HttpTestbedTest, SoftPacingCostsLittleHardPacingCostsALot) {
+  HttpTestbed::Config soft = BaseCfg();
+  soft.server.tx = HttpServerModel::TxDiscipline::kSoftPaced;
+  HttpTestbed::Config hard = BaseCfg();
+  hard.server.tx = HttpServerModel::TxDiscipline::kHardPaced;
+  double x0 = HttpTestbed(BaseCfg()).Measure(SimDuration::Millis(200), SimDuration::Millis(800)).conn_per_sec;
+  double xs = HttpTestbed(soft).Measure(SimDuration::Millis(200), SimDuration::Millis(800)).conn_per_sec;
+  double xh = HttpTestbed(hard).Measure(SimDuration::Millis(200), SimDuration::Millis(800)).conn_per_sec;
+  EXPECT_GT(xs / x0, 0.93);  // soft: a few percent
+  EXPECT_LT(xh / x0, 0.85);  // hard: tens of percent
+}
+
+TEST(HttpTestbedTest, SoftPollingBeatsInterrupts) {
+  HttpTestbed::Config polled = BaseCfg();
+  SoftTimerNetPoller::Config pc;
+  pc.governor.aggregation_quota = 5;
+  pc.governor.min_interval_ticks = 10;
+  pc.governor.max_interval_ticks = 4000;
+  pc.governor.initial_interval_ticks = 50;
+  polled.polling = pc;
+  double xi = HttpTestbed(BaseCfg()).Measure(SimDuration::Millis(200), SimDuration::Millis(800)).conn_per_sec;
+  double xp = HttpTestbed(polled).Measure(SimDuration::Millis(200), SimDuration::Millis(800)).conn_per_sec;
+  EXPECT_GT(xp, xi * 1.02);
+}
+
+TEST(HttpTestbedTest, XeonProfileScalesThroughputUp) {
+  HttpTestbed::Config xeon = BaseCfg();
+  xeon.profile = MachineProfile::PentiumIII500Xeon();
+  double x300 = HttpTestbed(BaseCfg()).Measure(SimDuration::Millis(200), SimDuration::Millis(800)).conn_per_sec;
+  double x500 = HttpTestbed(xeon).Measure(SimDuration::Millis(200), SimDuration::Millis(800)).conn_per_sec;
+  EXPECT_GT(x500, x300 * 1.3);
+  EXPECT_LT(x500, x300 * 1.8);
+}
+
+TEST(HttpTestbedTest, ResponseTimesAreMeasured) {
+  HttpTestbed bed(BaseCfg());
+  auto r = bed.Measure(SimDuration::Millis(200), SimDuration::Millis(800));
+  // 6 KB over Fast Ethernet plus server time: sub-10ms under this load.
+  EXPECT_GT(r.mean_response_us, 500);
+  EXPECT_LT(r.mean_response_us, 50'000);
+}
+
+TEST(HttpTestbedTest, DeterministicForSameSeed) {
+  HttpTestbed a(BaseCfg());
+  HttpTestbed b(BaseCfg());
+  auto ra = a.Measure(SimDuration::Millis(200), SimDuration::Millis(500));
+  auto rb = b.Measure(SimDuration::Millis(200), SimDuration::Millis(500));
+  EXPECT_EQ(ra.conn_per_sec, rb.conn_per_sec);
+  EXPECT_EQ(ra.triggers, rb.triggers);
+}
+
+TEST(HttpTestbedTest, DifferentSeedsStayClose) {
+  HttpTestbed::Config c2 = BaseCfg();
+  c2.rng_seed = 9999;
+  auto ra = HttpTestbed(BaseCfg()).Measure(SimDuration::Millis(200), SimDuration::Millis(800));
+  auto rb = HttpTestbed(c2).Measure(SimDuration::Millis(200), SimDuration::Millis(800));
+  EXPECT_NEAR(rb.conn_per_sec / ra.conn_per_sec, 1.0, 0.08);
+}
+
+}  // namespace
+}  // namespace softtimer

@@ -1,0 +1,279 @@
+// Tests for machine::Kernel: trigger accounting, soft-timer integration,
+// hardware interrupts (overhead, disabled windows, tick deferral/merging),
+// the idle-loop policy of Section 5.2, and multi-CPU idle arbitration.
+
+#include "src/machine/kernel.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace softtimer {
+namespace {
+
+Kernel::Config BaseConfig() {
+  Kernel::Config c;
+  c.profile = MachineProfile::PentiumII300();
+  c.idle_poll_jitter_sigma = 0;  // deterministic idle polls for the tests
+  return c;
+}
+
+TEST(KernelTest, TriggerRecordsIntervalsAndSources) {
+  Simulator sim;
+  Kernel k(&sim, BaseConfig());
+  std::vector<double> intervals;
+  std::vector<TriggerSource> sources;
+  k.set_trigger_observer([&](TriggerSource s, SimTime, SimDuration d) {
+    sources.push_back(s);
+    intervals.push_back(d.ToMicros());
+  });
+  k.Trigger(TriggerSource::kSyscall);  // first: no interval
+  sim.RunUntil(SimTime::FromNanos(20'000));
+  k.Trigger(TriggerSource::kIpOutput);
+  sim.RunUntil(SimTime::FromNanos(50'000));
+  k.Trigger(TriggerSource::kTrap);
+  ASSERT_EQ(intervals.size(), 2u);
+  EXPECT_DOUBLE_EQ(intervals[0], 20.0);
+  EXPECT_DOUBLE_EQ(intervals[1], 30.0);
+  EXPECT_EQ(sources[0], TriggerSource::kIpOutput);
+  EXPECT_EQ(k.stats().triggers, 3u);
+  EXPECT_EQ(k.stats().triggers_by_source[static_cast<size_t>(TriggerSource::kSyscall)], 1u);
+}
+
+TEST(KernelTest, TriggerDispatchesDueSoftEvents) {
+  Simulator sim;
+  Kernel k(&sim, BaseConfig());
+  k.cpu(0).Submit(SimDuration::Millis(10));  // busy: the idle loop stays out
+  int fired = 0;
+  k.soft_timers().ScheduleSoftEvent(10, [&](const SoftTimerFacility::FireInfo& info) {
+    ++fired;
+    EXPECT_EQ(info.source, TriggerSource::kSyscall);
+  });
+  sim.RunUntil(SimTime::FromNanos(20'000));
+  k.Trigger(TriggerSource::kSyscall);
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(KernelTest, BackupInterruptBoundsSoftEventDelay) {
+  // With no trigger states at all, the 1 kHz backup interrupt fires the
+  // event within T + X + 1 ticks.
+  Simulator sim;
+  Kernel::Config cfg = BaseConfig();
+  cfg.idle_behavior = Kernel::IdleBehavior::kHaltPolicy;
+  Kernel k(&sim, cfg);
+  // Prevent idle polling from being the rescuer: no CPU-idle polls happen
+  // when the facility halt-check runs before... (the halt policy does poll
+  // when an event is due; to isolate the backup path, make the CPU busy.)
+  k.cpu(0).Submit(SimDuration::Seconds(10));
+  uint64_t fired_tick = 0;
+  k.soft_timers().ScheduleSoftEvent(100, [&](const SoftTimerFacility::FireInfo& info) {
+    fired_tick = info.fired_tick;
+  });
+  sim.RunUntil(SimTime::Zero() + SimDuration::Millis(5));
+  EXPECT_GT(fired_tick, 100u);
+  EXPECT_LT(fired_tick, 100 + k.soft_timers().ticks_per_backup_interval() + 2);
+}
+
+TEST(KernelTest, KernelOpChargesCpuAndTriggersAtStart) {
+  Simulator sim;
+  Kernel k(&sim, BaseConfig());
+  std::vector<int64_t> trigger_times;
+  k.set_trigger_observer([&](TriggerSource, SimTime now, SimDuration) {
+    trigger_times.push_back(now.nanos_since_origin());
+  });
+  k.Trigger(TriggerSource::kTrap);  // reference point at t=0
+  bool done = false;
+  k.KernelOp(TriggerSource::kSyscall, SimDuration::Micros(30), [&] { done = true; });
+  k.KernelOp(TriggerSource::kSyscall, SimDuration::Micros(30));
+  // Stop before the first 1 ms backup tick so it does not pollute the
+  // observer stream.
+  sim.RunUntil(SimTime::Zero() + SimDuration::Micros(200));
+  EXPECT_TRUE(done);
+  // Second op triggers when it starts executing (after the first one's ~30us
+  // plus the trigger-check steals), not at submission.
+  ASSERT_EQ(trigger_times.size(), 2u);
+  EXPECT_EQ(trigger_times[0], 0);
+  EXPECT_GE(trigger_times[1], 30'000);
+  EXPECT_LT(trigger_times[1], 32'000);
+}
+
+TEST(KernelTest, RaiseInterruptStealsOverheadAndSetsDisabledWindow) {
+  Simulator sim;
+  Kernel k(&sim, BaseConfig());
+  SimTime done;
+  k.cpu(0).Submit(SimDuration::Micros(100), [&] { done = sim.now(); });
+  sim.RunUntil(SimTime::FromNanos(10'000));
+  EXPECT_FALSE(k.interrupts_disabled());
+  bool handler_ran = false;
+  k.RaiseInterrupt(TriggerSource::kIpIntr, SimDuration::Micros(9), [&] { handler_ran = true; });
+  EXPECT_TRUE(handler_ran);
+  EXPECT_TRUE(k.interrupts_disabled());
+  sim.RunUntilIdle(SimTime::Zero() + SimDuration::Millis(500));
+  // Job took 100 us + 4.45 (overhead) + 9 (handler) + trigger-check noise.
+  EXPECT_GE(done.nanos_since_origin(), 113'450);
+  EXPECT_LT(done.nanos_since_origin(), 114'000);
+}
+
+TEST(KernelTest, PeriodicTimerFiresAtConfiguredRate) {
+  Simulator sim;
+  Kernel k(&sim, BaseConfig());
+  k.cpu(0).Submit(SimDuration::Seconds(10));  // keep busy; no idle loop noise
+  int fires = 0;
+  int id = k.AddPeriodicHardwareTimer(10'000, SimDuration::Zero(), [&] { ++fires; });
+  sim.RunUntil(SimTime::Zero() + SimDuration::Millis(100));
+  // 10 kHz for 100 ms = ~1000 ticks (a few deferred/merged by the backup
+  // interrupt's disabled windows).
+  EXPECT_GE(fires, 950);
+  EXPECT_LE(fires, 1001);
+  auto stats = k.periodic_timer_stats(id);
+  EXPECT_EQ(stats.fired, static_cast<uint64_t>(fires));
+}
+
+TEST(KernelTest, PeriodicTicksDeferWhileInterruptsDisabledAndMergeWhenPending) {
+  Simulator sim;
+  Kernel k(&sim, BaseConfig());
+  k.cpu(0).Submit(SimDuration::Seconds(10));
+  std::vector<int64_t> fire_times;
+  int id = k.AddPeriodicHardwareTimer(100'000, SimDuration::Zero(),
+                                      [&] { fire_times.push_back(sim.now().nanos_since_origin()); });
+  // Hold interrupts disabled for 35 us via a long device interrupt: the
+  // first 10us-tick in the window defers to the window's end; the following
+  // two merge into it (lost).
+  sim.RunUntil(SimTime::FromNanos(15'000));
+  k.RaiseInterrupt(TriggerSource::kOtherIntr, SimDuration::Micros(30.55));  // 4.45 + 30.55 = 35
+  sim.RunUntil(SimTime::FromNanos(100'000));
+  auto stats = k.periodic_timer_stats(id);
+  EXPECT_GE(stats.lost, 2u);
+  // The deferred tick fired exactly when the window closed.
+  bool found_deferred = false;
+  for (int64_t t : fire_times) {
+    if (t == 50'000) {
+      found_deferred = true;
+    }
+  }
+  EXPECT_TRUE(found_deferred);
+}
+
+TEST(KernelTest, RemovePeriodicTimerStopsIt) {
+  Simulator sim;
+  Kernel k(&sim, BaseConfig());
+  int fires = 0;
+  int id = k.AddPeriodicHardwareTimer(1'000'000, SimDuration::Zero(), [&] { ++fires; });
+  sim.RunUntil(SimTime::FromNanos(10'500));
+  int before = fires;
+  EXPECT_GT(before, 0);
+  k.RemovePeriodicHardwareTimer(id);
+  sim.RunUntil(SimTime::FromNanos(100'000));
+  EXPECT_EQ(fires, before);
+}
+
+// --- Idle-loop policy (Section 5.2) ----------------------------------------
+
+TEST(KernelTest, IdleLoopPollsWhenEventDueBeforeBackupTick) {
+  Simulator sim;
+  Kernel::Config cfg = BaseConfig();
+  cfg.idle_behavior = Kernel::IdleBehavior::kHaltPolicy;
+  Kernel k(&sim, cfg);
+  uint64_t fired_tick = 0;
+  k.soft_timers().ScheduleSoftEvent(50, [&](const SoftTimerFacility::FireInfo& info) {
+    fired_tick = info.fired_tick;
+    EXPECT_EQ(info.source, TriggerSource::kIdleLoop);
+  });
+  sim.RunUntil(SimTime::Zero() + SimDuration::Millis(2));
+  // Fired by the idle loop within a few poll intervals of the deadline, far
+  // earlier than the 1 ms backup tick.
+  EXPECT_GT(fired_tick, 50u);
+  EXPECT_LT(fired_tick, 60u);
+}
+
+TEST(KernelTest, IdleLoopHaltsWhenNothingDueBeforeBackupTick) {
+  Simulator sim;
+  Kernel::Config cfg = BaseConfig();
+  cfg.idle_behavior = Kernel::IdleBehavior::kHaltPolicy;
+  Kernel k(&sim, cfg);
+  // No soft events: the idle loop must not generate any trigger states.
+  sim.RunUntil(SimTime::Zero() + SimDuration::Millis(10));
+  EXPECT_EQ(k.stats().triggers_by_source[static_cast<size_t>(TriggerSource::kIdleLoop)], 0u);
+}
+
+TEST(KernelTest, SpinModePollsRegardless) {
+  Simulator sim;
+  Kernel::Config cfg = BaseConfig();
+  cfg.idle_behavior = Kernel::IdleBehavior::kSpin;
+  Kernel k(&sim, cfg);
+  sim.RunUntil(SimTime::Zero() + SimDuration::Millis(1));
+  // ~2 us polls for 1 ms ~= 500 idle triggers.
+  uint64_t idle_triggers =
+      k.stats().triggers_by_source[static_cast<size_t>(TriggerSource::kIdleLoop)];
+  EXPECT_GT(idle_triggers, 400u);
+  EXPECT_LT(idle_triggers, 600u);
+}
+
+TEST(KernelTest, IdlePollingStopsWhileCpuBusy) {
+  Simulator sim;
+  Kernel::Config cfg = BaseConfig();
+  cfg.idle_behavior = Kernel::IdleBehavior::kSpin;
+  Kernel k(&sim, cfg);
+  sim.RunUntil(SimTime::Zero() + SimDuration::Millis(1));
+  uint64_t before = k.stats().triggers_by_source[static_cast<size_t>(TriggerSource::kIdleLoop)];
+  k.cpu(0).Submit(SimDuration::Millis(5));
+  sim.RunUntil(SimTime::Zero() + SimDuration::Millis(5));
+  uint64_t during = k.stats().triggers_by_source[static_cast<size_t>(TriggerSource::kIdleLoop)];
+  EXPECT_LE(during - before, 2u);  // at most one straggler
+  sim.RunUntil(SimTime::Zero() + SimDuration::Millis(7));
+  uint64_t after = k.stats().triggers_by_source[static_cast<size_t>(TriggerSource::kIdleLoop)];
+  EXPECT_GT(after, during + 300);  // resumed
+}
+
+TEST(KernelTest, NewSoftEventWakesIdlePolling) {
+  Simulator sim;
+  Kernel::Config cfg = BaseConfig();
+  cfg.idle_behavior = Kernel::IdleBehavior::kHaltPolicy;
+  Kernel k(&sim, cfg);
+  sim.RunUntil(SimTime::Zero() + SimDuration::Micros(100));
+  // CPU idle and halted (nothing pending). Scheduling an event must restart
+  // polling without waiting for the backup tick.
+  uint64_t fired_tick = 0;
+  k.soft_timers().ScheduleSoftEvent(20, [&](const SoftTimerFacility::FireInfo& info) {
+    fired_tick = info.fired_tick;
+  });
+  sim.RunUntil(SimTime::Zero() + SimDuration::Millis(2));
+  EXPECT_GT(fired_tick, 120u);
+  EXPECT_LT(fired_tick, 132u);
+}
+
+TEST(KernelTest, OnlyOneIdleCpuPolls) {
+  Simulator sim;
+  Kernel::Config cfg = BaseConfig();
+  cfg.num_cpus = 2;
+  cfg.idle_behavior = Kernel::IdleBehavior::kHaltPolicy;
+  Kernel k(&sim, cfg);
+  // Keep an event always pending so polling stays allowed.
+  std::function<void(const SoftTimerFacility::FireInfo&)> resched =
+      [&](const SoftTimerFacility::FireInfo&) { k.soft_timers().ScheduleSoftEvent(30, resched); };
+  k.soft_timers().ScheduleSoftEvent(30, resched);
+  sim.RunUntil(SimTime::Zero() + SimDuration::Millis(5));
+  // Idle triggers come from exactly one CPU at a time; with both idle, rule
+  // (b) allows only one to poll. The poll rate must therefore match a single
+  // CPU's (~2 us period), not double it.
+  uint64_t idle_triggers =
+      k.stats().triggers_by_source[static_cast<size_t>(TriggerSource::kIdleLoop)];
+  EXPECT_GT(idle_triggers, 2000u);
+  EXPECT_LT(idle_triggers, 3000u);
+}
+
+TEST(KernelTest, CpuIdleListenersNotified) {
+  Simulator sim;
+  Kernel k(&sim, BaseConfig());
+  std::vector<bool> idles;
+  k.AddCpuIdleListener([&](int cpu, bool idle) {
+    EXPECT_EQ(cpu, 0);
+    idles.push_back(idle);
+  });
+  k.cpu(0).Submit(SimDuration::Micros(5));
+  sim.RunUntil(SimTime::Zero() + SimDuration::Millis(1));
+  EXPECT_EQ(idles, (std::vector<bool>{false, true}));
+}
+
+}  // namespace
+}  // namespace softtimer

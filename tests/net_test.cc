@@ -1,0 +1,272 @@
+// Tests for the network substrate: Link (serialization, propagation,
+// drop-tail), WanPath, Nic (interrupt vs polled rx, tx-complete coalescing),
+// and the SoftTimerNetPoller's mode switching.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/machine/kernel.h"
+#include "src/net/link.h"
+#include "src/net/nic.h"
+#include "src/net/soft_timer_net_poller.h"
+#include "src/net/wan_path.h"
+
+namespace softtimer {
+namespace {
+
+Packet DataPacket(uint64_t id, uint32_t bytes) {
+  Packet p;
+  p.id = id;
+  p.kind = Packet::Kind::kData;
+  p.size_bytes = bytes;
+  return p;
+}
+
+TEST(LinkTest, SerializationPlusPropagation) {
+  Simulator sim;
+  Link::Config cfg;
+  cfg.bandwidth_bps = 100e6;  // 1500 B = 120 us
+  cfg.propagation_delay = SimDuration::Micros(5);
+  Link link(&sim, cfg);
+  SimTime arrival;
+  link.set_receiver([&](const Packet&) { arrival = sim.now(); });
+  link.Send(DataPacket(1, 1500));
+  sim.RunUntilIdle();
+  EXPECT_EQ(arrival.nanos_since_origin(), 125'000);
+  EXPECT_EQ(link.stats().sent, 1u);
+  EXPECT_EQ(link.stats().bytes_sent, 1500u);
+}
+
+TEST(LinkTest, BackToBackPacketsQueueBehindSerializer) {
+  Simulator sim;
+  Link::Config cfg;
+  cfg.bandwidth_bps = 100e6;
+  cfg.propagation_delay = SimDuration::Zero();
+  Link link(&sim, cfg);
+  std::vector<int64_t> arrivals;
+  link.set_receiver([&](const Packet&) { arrivals.push_back(sim.now().nanos_since_origin()); });
+  link.Send(DataPacket(1, 1500));
+  link.Send(DataPacket(2, 1500));
+  link.Send(DataPacket(3, 1500));
+  sim.RunUntilIdle();
+  EXPECT_EQ(arrivals, (std::vector<int64_t>{120'000, 240'000, 360'000}));
+}
+
+TEST(LinkTest, DropTailWhenQueueFull) {
+  Simulator sim;
+  Link::Config cfg;
+  cfg.bandwidth_bps = 100e6;
+  cfg.queue_limit_packets = 2;
+  Link link(&sim, cfg);
+  int received = 0;
+  link.set_receiver([&](const Packet&) { ++received; });
+  EXPECT_TRUE(link.Send(DataPacket(1, 1500)));
+  EXPECT_TRUE(link.Send(DataPacket(2, 1500)));
+  EXPECT_FALSE(link.Send(DataPacket(3, 1500)));  // dropped
+  sim.RunUntilIdle();
+  EXPECT_EQ(received, 2);
+  EXPECT_EQ(link.stats().dropped, 1u);
+  // Queue drained: sending works again.
+  EXPECT_TRUE(link.Send(DataPacket(4, 1500)));
+  sim.RunUntilIdle();
+  EXPECT_EQ(received, 3);
+}
+
+TEST(WanPathTest, BothDirectionsDelay) {
+  Simulator sim;
+  WanPath::Config cfg;
+  cfg.bottleneck_bps = 50e6;
+  cfg.one_way_delay = SimDuration::Millis(50);
+  WanPath wan(&sim, cfg);
+  SimTime fwd_arrival, rev_arrival;
+  wan.forward().set_receiver([&](const Packet&) { fwd_arrival = sim.now(); });
+  wan.reverse().set_receiver([&](const Packet&) { rev_arrival = sim.now(); });
+  wan.forward().Send(DataPacket(1, 1500));  // 240 us serialization
+  wan.reverse().Send(DataPacket(2, 40));
+  sim.RunUntilIdle();
+  EXPECT_EQ(fwd_arrival.nanos_since_origin(), 50'240'000);
+  EXPECT_NEAR(static_cast<double>(rev_arrival.nanos_since_origin()), 50'006'400, 100);
+}
+
+class NicFixture : public ::testing::Test {
+ protected:
+  NicFixture() {
+    Kernel::Config kc;
+    kc.profile = MachineProfile::PentiumII300();
+    kc.idle_poll_jitter_sigma = 0;
+    kernel_ = std::make_unique<Kernel>(&sim_, kc);
+    Link::Config lc;
+    tx_link_ = std::make_unique<Link>(&sim_, lc);
+    nic_ = std::make_unique<Nic>(&sim_, kernel_.get(), tx_link_.get(), Nic::Config{});
+    nic_->set_rx_handler([this](const Packet& p) { delivered_.push_back(p.id); });
+    // Keep the CPU busy so steals/interrupts are measurable against it.
+    kernel_->cpu(0).Submit(SimDuration::Seconds(10));
+  }
+
+  Simulator sim_;
+  std::unique_ptr<Kernel> kernel_;
+  std::unique_ptr<Link> tx_link_;
+  std::unique_ptr<Nic> nic_;
+  std::vector<uint64_t> delivered_;
+};
+
+TEST_F(NicFixture, InterruptModeDeliversImmediatelyWithIpIntrTrigger) {
+  uint64_t before = kernel_->stats().triggers_by_source[static_cast<size_t>(TriggerSource::kIpIntr)];
+  nic_->OnWireRx(DataPacket(7, 1500));
+  EXPECT_EQ(delivered_, (std::vector<uint64_t>{7}));
+  EXPECT_EQ(nic_->stats().rx_interrupts, 1u);
+  EXPECT_EQ(
+      kernel_->stats().triggers_by_source[static_cast<size_t>(TriggerSource::kIpIntr)],
+      before + 1);
+}
+
+TEST_F(NicFixture, PolledModeBuffersUntilPoll) {
+  nic_->SetMode(Nic::Mode::kPolled);
+  nic_->OnWireRx(DataPacket(1, 1500));
+  nic_->OnWireRx(DataPacket(2, 1500));
+  EXPECT_TRUE(delivered_.empty());
+  EXPECT_EQ(nic_->rx_ring_depth(), 2u);
+  EXPECT_EQ(nic_->Poll(64), 2u);
+  EXPECT_EQ(delivered_, (std::vector<uint64_t>{1, 2}));
+  EXPECT_EQ(nic_->stats().rx_interrupts, 0u);
+  EXPECT_EQ(nic_->stats().polled_packets, 2u);
+}
+
+TEST_F(NicFixture, PollRespectsMaxPackets) {
+  nic_->SetMode(Nic::Mode::kPolled);
+  for (int i = 0; i < 5; ++i) {
+    nic_->OnWireRx(DataPacket(static_cast<uint64_t>(i), 1500));
+  }
+  EXPECT_EQ(nic_->Poll(3), 3u);
+  EXPECT_EQ(nic_->rx_ring_depth(), 2u);
+}
+
+TEST_F(NicFixture, RingOverflowDrops) {
+  nic_->SetMode(Nic::Mode::kPolled);
+  for (int i = 0; i < 300; ++i) {
+    nic_->OnWireRx(DataPacket(static_cast<uint64_t>(i), 60));
+  }
+  EXPECT_EQ(nic_->rx_ring_depth(), 256u);  // default ring size
+  EXPECT_EQ(nic_->stats().rx_dropped, 44u);
+}
+
+TEST_F(NicFixture, SwitchingToInterruptModeFlushesRing) {
+  nic_->SetMode(Nic::Mode::kPolled);
+  nic_->OnWireRx(DataPacket(9, 1500));
+  EXPECT_TRUE(delivered_.empty());
+  nic_->SetMode(Nic::Mode::kInterrupt);
+  EXPECT_EQ(delivered_, (std::vector<uint64_t>{9}));
+}
+
+TEST_F(NicFixture, PolledBatchCostsLessThanInterrupts) {
+  // Process the same 8 packets both ways and compare stolen CPU time.
+  SimDuration before = kernel_->cpu(0).stolen_time();
+  for (int i = 0; i < 8; ++i) {
+    nic_->OnWireRx(DataPacket(static_cast<uint64_t>(i), 1500));
+  }
+  SimDuration interrupt_cost = kernel_->cpu(0).stolen_time() - before;
+
+  nic_->SetMode(Nic::Mode::kPolled);
+  for (int i = 0; i < 8; ++i) {
+    nic_->OnWireRx(DataPacket(static_cast<uint64_t>(100 + i), 1500));
+  }
+  before = kernel_->cpu(0).stolen_time();
+  nic_->Poll(64);
+  SimDuration poll_cost = kernel_->cpu(0).stolen_time() - before;
+  EXPECT_LT(poll_cost.nanos(), interrupt_cost.nanos() / 2);
+}
+
+TEST_F(NicFixture, AckProcessingCheaperThanData) {
+  SimDuration before = kernel_->cpu(0).stolen_time();
+  nic_->OnWireRx(DataPacket(1, 1500));
+  SimDuration data_cost = kernel_->cpu(0).stolen_time() - before;
+
+  Packet ack;
+  ack.id = 2;
+  ack.kind = Packet::Kind::kAck;
+  ack.size_bytes = 40;
+  before = kernel_->cpu(0).stolen_time();
+  nic_->OnWireRx(ack);
+  SimDuration ack_cost = kernel_->cpu(0).stolen_time() - before;
+  EXPECT_LT(ack_cost, data_cost);
+}
+
+TEST_F(NicFixture, TxCompletionsCoalesceIntoOneInterrupt) {
+  for (int i = 0; i < 5; ++i) {
+    nic_->Transmit(DataPacket(static_cast<uint64_t>(i), 1500));
+  }
+  sim_.RunUntil(SimTime::Zero() + SimDuration::Millis(3));
+  EXPECT_EQ(nic_->stats().tx_packets, 5u);
+  EXPECT_EQ(nic_->stats().tx_complete_interrupts, 1u);
+}
+
+TEST(SoftTimerNetPollerTest, DrainsNicUnderBusyCpuAndTracksQuota) {
+  Simulator sim;
+  Kernel::Config kc;
+  kc.profile = MachineProfile::PentiumII300();
+  Kernel kernel(&sim, kc);
+  Link::Config lc;
+  Link tx(&sim, lc);
+  Nic nic(&sim, &kernel, &tx, Nic::Config{});
+  int delivered = 0;
+  nic.set_rx_handler([&](const Packet&) { ++delivered; });
+
+  SoftTimerNetPoller::Config pc;
+  pc.governor.aggregation_quota = 2.0;
+  pc.governor.min_interval_ticks = 10;
+  pc.governor.max_interval_ticks = 2000;
+  pc.governor.initial_interval_ticks = 50;
+  SoftTimerNetPoller poller(&kernel, {&nic}, pc);
+  poller.Start();
+
+  // Busy CPU with steady kernel entries (trigger states for the poll
+  // events), plus packet arrivals every 60 us.
+  std::function<void()> churn = [&] {
+    kernel.KernelOp(TriggerSource::kSyscall, SimDuration::Micros(18), churn);
+  };
+  churn();
+  std::function<void()> arrivals = [&] {
+    nic.OnWireRx(DataPacket(1, 1500));
+    sim.ScheduleAfter(SimDuration::Micros(60), arrivals);
+  };
+  sim.ScheduleAfter(SimDuration::Micros(60), arrivals);
+
+  sim.RunUntil(SimTime::Zero() + SimDuration::Millis(200));
+  EXPECT_EQ(nic.mode(), Nic::Mode::kPolled);
+  EXPECT_GT(delivered, 3000);
+  EXPECT_EQ(nic.stats().rx_interrupts, 0u);
+  // The governor steers found-per-poll toward the quota.
+  double found_per_poll = static_cast<double>(poller.stats().packets) /
+                          static_cast<double>(poller.stats().polls);
+  EXPECT_NEAR(found_per_poll, 2.0, 0.8);
+}
+
+TEST(SoftTimerNetPollerTest, IdleCpuReenablesInterrupts) {
+  Simulator sim;
+  Kernel::Config kc;
+  kc.profile = MachineProfile::PentiumII300();
+  Kernel kernel(&sim, kc);
+  Link::Config lc;
+  Link tx(&sim, lc);
+  Nic nic(&sim, &kernel, &tx, Nic::Config{});
+  int delivered = 0;
+  nic.set_rx_handler([&](const Packet&) { ++delivered; });
+
+  SoftTimerNetPoller::Config pc;
+  SoftTimerNetPoller poller(&kernel, {&nic}, pc);
+  poller.Start();
+
+  // CPU busy for 1 ms, then idle.
+  kernel.cpu(0).Submit(SimDuration::Millis(1));
+  sim.RunUntil(SimTime::Zero() + SimDuration::Micros(500));
+  EXPECT_EQ(nic.mode(), Nic::Mode::kPolled);
+  sim.RunUntil(SimTime::Zero() + SimDuration::Millis(2));
+  EXPECT_EQ(nic.mode(), Nic::Mode::kInterrupt);
+  // A packet arriving while idle is processed immediately via interrupt.
+  nic.OnWireRx(DataPacket(5, 1500));
+  EXPECT_EQ(delivered, 1);
+}
+
+}  // namespace
+}  // namespace softtimer

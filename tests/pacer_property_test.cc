@@ -1,0 +1,124 @@
+// Parameterized property sweeps for AdaptivePacer against synthetic
+// soft-timer delay processes: for every (target, burst-floor, delay-regime)
+// combination, either the achieved mean interval equals the target (when the
+// burst headroom covers the mean lateness) or it converges to
+// burst-floor + mean lateness + 1 (saturation) - the structure of
+// Tables 4/5.
+
+#include <gtest/gtest.h>
+
+#include "src/core/adaptive_pacer.h"
+#include "src/core/poll_governor.h"
+#include "src/sim/random.h"
+#include "src/stats/summary_stats.h"
+
+namespace softtimer {
+namespace {
+
+struct SweepParam {
+  uint64_t target;
+  uint64_t min_burst;
+  double mean_delay;  // soft-timer lateness beyond the scheduled delta
+};
+
+class PacerSweep : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(PacerSweep, MeanMatchesTargetOrSaturates) {
+  const SweepParam& p = GetParam();
+  AdaptivePacer pacer({p.target, p.min_burst});
+  Rng rng(99);
+  uint64_t now = 0;
+  pacer.StartTrain(now);
+  SummaryStats intervals;
+  uint64_t prev = now;
+  uint64_t delta = pacer.OnPacketSent(now);
+  for (int i = 0; i < 40'000; ++i) {
+    uint64_t lateness = 1 + static_cast<uint64_t>(rng.Exponential(p.mean_delay));
+    now += delta + lateness;
+    intervals.Add(static_cast<double>(now - prev));
+    prev = now;
+    delta = pacer.OnPacketSent(now);
+  }
+  double saturated_mean = static_cast<double>(p.min_burst) + p.mean_delay + 1.0;
+  if (saturated_mean < static_cast<double>(p.target)) {
+    // Headroom exists: the adaptive rule holds the target.
+    EXPECT_NEAR(intervals.mean(), static_cast<double>(p.target),
+                static_cast<double>(p.target) * 0.03);
+  } else {
+    // No headroom: the pacer degrades gracefully to the saturation floor.
+    EXPECT_NEAR(intervals.mean(), saturated_mean, saturated_mean * 0.06);
+    EXPECT_GT(intervals.mean(), static_cast<double>(p.target));
+  }
+  // Intervals never dip below the burst floor (plus the +1 rounding tick).
+  EXPECT_GE(intervals.min(), static_cast<double>(p.min_burst));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Regimes, PacerSweep,
+    ::testing::Values(
+        // The Table 4 sweep at mean soft-timer delay ~ the ST-Apache regime.
+        SweepParam{40, 12, 14.0}, SweepParam{40, 20, 14.0}, SweepParam{40, 25, 14.0},
+        SweepParam{40, 30, 14.0}, SweepParam{40, 35, 14.0},
+        // The Table 5 sweep.
+        SweepParam{60, 12, 14.0}, SweepParam{60, 30, 14.0}, SweepParam{60, 35, 14.0},
+        // Fast pacing at Gigabit rates with tiny delays.
+        SweepParam{12, 6, 1.5}, SweepParam{20, 12, 3.0},
+        // Slow pacing, large delays.
+        SweepParam{240, 120, 60.0}, SweepParam{1000, 100, 200.0}),
+    [](const ::testing::TestParamInfo<SweepParam>& info) {
+      return "t" + std::to_string(info.param.target) + "_b" +
+             std::to_string(info.param.min_burst) + "_d" +
+             std::to_string(static_cast<int>(info.param.mean_delay));
+    });
+
+struct GovernorParam {
+  double quota;
+  double rate_per_tick;
+};
+
+class GovernorSweep : public ::testing::TestWithParam<GovernorParam> {};
+
+TEST_P(GovernorSweep, HoldsQuotaAcrossRatesAndQuotas) {
+  const GovernorParam& p = GetParam();
+  PollGovernor::Config c;
+  c.aggregation_quota = p.quota;
+  c.min_interval_ticks = 5;
+  c.max_interval_ticks = 20'000;
+  c.initial_interval_ticks = 100;
+  PollGovernor g(c);
+  Rng rng(7);
+  uint64_t interval = c.initial_interval_ticks;
+  double carry = 0;
+  double found_sum = 0;
+  int measured = 0;
+  for (int i = 0; i < 4'000; ++i) {
+    carry += static_cast<double>(interval) * p.rate_per_tick;
+    size_t found = static_cast<size_t>(carry);
+    carry -= static_cast<double>(found);
+    if (i > 800) {
+      found_sum += static_cast<double>(found);
+      ++measured;
+    }
+    interval = g.OnPoll(found, interval);
+  }
+  double per_poll = found_sum / measured;
+  // Achievable unless the quota forces an interval outside the clamp.
+  double needed_interval = p.quota / p.rate_per_tick;
+  if (needed_interval >= 5 && needed_interval <= 20'000) {
+    EXPECT_NEAR(per_poll, p.quota, p.quota * 0.30)
+        << "rate " << p.rate_per_tick << " quota " << p.quota;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RateQuotaGrid, GovernorSweep,
+    ::testing::Values(GovernorParam{1, 0.002}, GovernorParam{1, 0.02}, GovernorParam{1, 0.1},
+                      GovernorParam{2, 0.002}, GovernorParam{2, 0.02}, GovernorParam{5, 0.02},
+                      GovernorParam{5, 0.1}, GovernorParam{10, 0.02}, GovernorParam{15, 0.1}),
+    [](const ::testing::TestParamInfo<GovernorParam>& info) {
+      return "q" + std::to_string(static_cast<int>(info.param.quota)) + "_r" +
+             std::to_string(static_cast<int>(info.param.rate_per_tick * 1000));
+    });
+
+}  // namespace
+}  // namespace softtimer

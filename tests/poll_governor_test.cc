@@ -1,0 +1,110 @@
+#include "src/core/poll_governor.h"
+
+#include <gtest/gtest.h>
+
+#include "src/sim/random.h"
+
+namespace softtimer {
+namespace {
+
+PollGovernor::Config BaseConfig() {
+  PollGovernor::Config c;
+  c.aggregation_quota = 1.0;
+  c.min_interval_ticks = 10;
+  c.max_interval_ticks = 4000;
+  c.initial_interval_ticks = 50;
+  return c;
+}
+
+TEST(PollGovernorTest, ConvergesToQuotaUnderPoissonArrivals) {
+  for (double quota : {1.0, 2.0, 5.0, 10.0}) {
+    PollGovernor::Config c = BaseConfig();
+    c.aggregation_quota = quota;
+    PollGovernor g(c);
+    Rng rng(17);
+    const double rate = 0.008;  // packets per tick (8k pkts/s at 1 MHz)
+    uint64_t interval = c.initial_interval_ticks;
+    double carry = 0.0;
+    double found_sum = 0;
+    int polls = 0;
+    for (int i = 0; i < 3000; ++i) {
+      carry += static_cast<double>(interval) * rate;
+      size_t found = static_cast<size_t>(carry);
+      carry -= static_cast<double>(found);
+      // Settle first, then measure.
+      if (i > 500) {
+        found_sum += static_cast<double>(found);
+        ++polls;
+      }
+      interval = g.OnPoll(found, interval);
+    }
+    EXPECT_NEAR(found_sum / polls, quota, quota * 0.2) << "quota " << quota;
+  }
+}
+
+TEST(PollGovernorTest, RespectsIntervalClamp) {
+  PollGovernor::Config c = BaseConfig();
+  PollGovernor g(c);
+  // A flood of packets drives the interval to the floor.
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_GE(g.OnPoll(1000, g.current_interval_ticks()), c.min_interval_ticks);
+  }
+  EXPECT_EQ(g.current_interval_ticks(), c.min_interval_ticks);
+  // Silence drives it to the ceiling.
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_LE(g.OnPoll(0, g.current_interval_ticks()), c.max_interval_ticks);
+  }
+  EXPECT_EQ(g.current_interval_ticks(), c.max_interval_ticks);
+}
+
+TEST(PollGovernorTest, StepFactorBoundsChangeRate) {
+  PollGovernor::Config c = BaseConfig();
+  c.max_step_factor = 2.0;
+  PollGovernor g(c);
+  uint64_t before = g.current_interval_ticks();
+  g.OnPoll(10'000, before);  // enormous convoy
+  EXPECT_GE(g.current_interval_ticks(), before / 2);
+  before = g.current_interval_ticks();
+  g.OnPoll(0, before);
+  EXPECT_LE(g.current_interval_ticks(), before * 2);
+}
+
+TEST(PollGovernorTest, RatioOfSumsHandlesBurstyArrivals) {
+  // Convoys: most polls find nothing, every 8th finds a burst of 8. A
+  // correct rate estimate is still 1 packet/interval on average.
+  PollGovernor::Config c = BaseConfig();
+  PollGovernor g(c);
+  uint64_t interval = c.initial_interval_ticks;
+  for (int i = 0; i < 2000; ++i) {
+    size_t found = (i % 8 == 7) ? 8 : 0;
+    interval = g.OnPoll(found, 125);  // elapsed fixed: rate = 1/125 per tick
+  }
+  EXPECT_NEAR(g.rate_estimate(), 1.0 / 125.0, 0.25 / 125.0);
+}
+
+TEST(PollGovernorTest, ResetRateForgetsHistory) {
+  PollGovernor g(BaseConfig());
+  for (int i = 0; i < 50; ++i) {
+    g.OnPoll(0, 1000);  // long silence
+  }
+  g.ResetRate();
+  EXPECT_EQ(g.rate_estimate(), 0.0);
+  g.OnPoll(10, 100);
+  EXPECT_NEAR(g.rate_estimate(), 0.1, 1e-9);
+}
+
+TEST(PollGovernorTest, ZeroElapsedIsTolerated) {
+  PollGovernor g(BaseConfig());
+  EXPECT_GE(g.OnPoll(5, 0), BaseConfig().min_interval_ticks);
+}
+
+TEST(PollGovernorTest, Counters) {
+  PollGovernor g(BaseConfig());
+  g.OnPoll(3, 100);
+  g.OnPoll(2, 100);
+  EXPECT_EQ(g.polls(), 2u);
+  EXPECT_EQ(g.packets_found_total(), 5u);
+}
+
+}  // namespace
+}  // namespace softtimer

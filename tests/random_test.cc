@@ -1,0 +1,141 @@
+#include "src/sim/random.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "src/stats/summary_stats.h"
+
+namespace softtimer {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(12345);
+  Rng b(12345);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextU64() == b.NextU64()) {
+      ++same;
+    }
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng r(7);
+  for (int i = 0; i < 10'000; ++i) {
+    double x = r.NextDouble();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(RngTest, UniformU64RespectsBound) {
+  Rng r(7);
+  for (uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL}) {
+    for (int i = 0; i < 1000; ++i) {
+      EXPECT_LT(r.UniformU64(bound), bound);
+    }
+  }
+}
+
+TEST(RngTest, UniformU64IsRoughlyUniform) {
+  Rng r(11);
+  std::vector<int> counts(10, 0);
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) {
+    ++counts[r.UniformU64(10)];
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(c, n / 10, n / 10 * 0.1);
+  }
+}
+
+TEST(RngTest, UniformIntInclusiveEnds) {
+  Rng r(3);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10'000; ++i) {
+    int64_t v = r.UniformInt(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    saw_lo |= (v == -2);
+    saw_hi |= (v == 2);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, ExponentialMeanMatches) {
+  Rng r(5);
+  SummaryStats s;
+  for (int i = 0; i < 200'000; ++i) {
+    s.Add(r.Exponential(40.0));
+  }
+  EXPECT_NEAR(s.mean(), 40.0, 0.5);
+  EXPECT_NEAR(s.stddev(), 40.0, 1.0);  // exp: sd == mean
+}
+
+TEST(RngTest, NormalMoments) {
+  Rng r(5);
+  SummaryStats s;
+  for (int i = 0; i < 200'000; ++i) {
+    s.Add(r.Normal(10.0, 3.0));
+  }
+  EXPECT_NEAR(s.mean(), 10.0, 0.05);
+  EXPECT_NEAR(s.stddev(), 3.0, 0.05);
+}
+
+TEST(RngTest, LogNormalMedianIsMedian) {
+  Rng r(9);
+  std::vector<double> v;
+  for (int i = 0; i < 100'001; ++i) {
+    v.push_back(r.LogNormalMedian(18.0, 1.0));
+  }
+  std::nth_element(v.begin(), v.begin() + v.size() / 2, v.end());
+  EXPECT_NEAR(v[v.size() / 2], 18.0, 0.5);
+}
+
+TEST(RngTest, ParetoBoundedRespectsBounds) {
+  Rng r(13);
+  for (int i = 0; i < 10'000; ++i) {
+    double x = r.ParetoBounded(20.0, 1.1, 1000.0);
+    EXPECT_GE(x, 20.0);
+    EXPECT_LE(x, 1000.0);
+  }
+}
+
+TEST(RngTest, DurationHelpers) {
+  Rng r(21);
+  SummaryStats s;
+  for (int i = 0; i < 100'000; ++i) {
+    s.Add(r.ExpDuration(SimDuration::Micros(30)).ToMicros());
+  }
+  EXPECT_NEAR(s.mean(), 30.0, 0.5);
+  SimDuration ln = r.LogNormalDuration(SimDuration::Micros(10), 0.5);
+  EXPECT_GT(ln, SimDuration::Zero());
+}
+
+TEST(RngTest, ForkProducesIndependentStreams) {
+  Rng parent(42);
+  Rng c1 = parent.Fork(1);
+  Rng c2 = parent.Fork(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (c1.NextU64() == c2.NextU64()) {
+      ++same;
+    }
+  }
+  EXPECT_EQ(same, 0);
+}
+
+}  // namespace
+}  // namespace softtimer

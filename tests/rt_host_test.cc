@@ -1,0 +1,121 @@
+// Real-time host tests. These use actual wall-clock sleeps; delays are kept
+// in the hundreds-of-microseconds range and assertions are loose upper
+// bounds so the suite stays robust on loaded machines.
+
+#include "src/rt/rt_soft_timer_host.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+namespace softtimer {
+namespace {
+
+TEST(MonotonicClockSourceTest, TicksAdvanceWithWallTime) {
+  MonotonicClockSource clock(1'000'000);
+  uint64_t t0 = clock.NowTicks();
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  uint64_t t1 = clock.NowTicks();
+  EXPECT_GE(t1 - t0, 2'000u);   // at least 2 ms of 1 us ticks
+  EXPECT_LT(t1 - t0, 500'000u);  // and not absurdly more
+}
+
+TEST(MonotonicClockSourceTest, UntilTickIsZeroForPast) {
+  MonotonicClockSource clock(1'000'000);
+  EXPECT_EQ(clock.UntilTick(0).count(), 0);
+  uint64_t future = clock.NowTicks() + 10'000;
+  auto wait = clock.UntilTick(future);
+  EXPECT_GT(wait.count(), 5'000'000);   // > 5 ms
+  EXPECT_LE(wait.count(), 10'100'000);  // <= ~10 ms
+}
+
+TEST(RtHostTest, EventFiresFromApplicationPolls) {
+  RtSoftTimerHost host;
+  bool fired = false;
+  auto start = std::chrono::steady_clock::now();
+  host.facility().ScheduleSoftEvent(500,  // 500 us
+                                    [&](const SoftTimerFacility::FireInfo&) { fired = true; });
+  while (!fired &&
+         std::chrono::steady_clock::now() - start < std::chrono::milliseconds(200)) {
+    // A busy event loop passing through its trigger point.
+    host.PollTriggerState();
+  }
+  EXPECT_TRUE(fired);
+  auto elapsed = std::chrono::duration_cast<std::chrono::microseconds>(
+                     std::chrono::steady_clock::now() - start)
+                     .count();
+  EXPECT_GE(elapsed, 500);
+}
+
+TEST(RtHostTest, SleepAndDispatchHonorsDeadline) {
+  RtSoftTimerHost host;
+  bool fired = false;
+  host.facility().ScheduleSoftEvent(1'000,
+                                    [&](const SoftTimerFacility::FireInfo&) { fired = true; });
+  auto start = std::chrono::steady_clock::now();
+  while (!fired &&
+         std::chrono::steady_clock::now() - start < std::chrono::milliseconds(500)) {
+    host.SleepAndDispatch();
+  }
+  EXPECT_TRUE(fired);
+  auto elapsed_us = std::chrono::duration_cast<std::chrono::microseconds>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+  EXPECT_GE(elapsed_us, 1'000);
+  // Generous bound: scheduler jitter, but nowhere near the 500 ms cap.
+  EXPECT_LT(elapsed_us, 300'000);
+}
+
+TEST(RtHostTest, SleepWithoutEventsBoundsAtBackupPeriod) {
+  RtSoftTimerHost::Config cfg;
+  cfg.interrupt_clock_hz = 1'000;  // 1 ms backup
+  RtSoftTimerHost host(cfg);
+  auto start = std::chrono::steady_clock::now();
+  host.SleepAndDispatch();
+  auto elapsed_us = std::chrono::duration_cast<std::chrono::microseconds>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+  EXPECT_GE(elapsed_us, 900);
+  EXPECT_LT(elapsed_us, 100'000);
+  EXPECT_EQ(host.stats().backup_checks, 1u);
+}
+
+TEST(RtHostTest, RunForDispatchesPeriodicWork) {
+  RtSoftTimerHost host;
+  int fires = 0;
+  std::function<void(const SoftTimerFacility::FireInfo&)> periodic =
+      [&](const SoftTimerFacility::FireInfo&) {
+        ++fires;
+        host.facility().ScheduleSoftEvent(1'000, periodic);  // every ~1 ms
+      };
+  host.facility().ScheduleSoftEvent(1'000, periodic);
+  host.RunFor(std::chrono::milliseconds(30));
+  // ~30 fires expected; accept a broad band for loaded CI machines.
+  EXPECT_GE(fires, 10);
+  EXPECT_LE(fires, 40);
+}
+
+TEST(RtHostTest, LatenessStaysWithinPaperBoundUnderSleepLoop) {
+  RtSoftTimerHost host;
+  uint64_t x = host.facility().ticks_per_backup_interval();
+  SummaryStats lateness;
+  std::function<void(const SoftTimerFacility::FireInfo&)> handler =
+      [&](const SoftTimerFacility::FireInfo& info) {
+        lateness.Add(static_cast<double>(info.lateness_ticks()));
+        if (lateness.count() < 20) {
+          host.facility().ScheduleSoftEvent(700, handler);
+        }
+      };
+  host.facility().ScheduleSoftEvent(700, handler);
+  host.RunFor(std::chrono::milliseconds(60));
+  ASSERT_GE(lateness.count(), 10u);
+  // T < actual: lateness >= 1 always. The upper bound holds as long as the
+  // OS wakes us near the requested time; allow generous scheduler slop for
+  // loaded CI machines.
+  EXPECT_GE(lateness.min(), 1.0);
+  EXPECT_LT(lateness.max(), static_cast<double>(6 * x));
+}
+
+}  // namespace
+}  // namespace softtimer

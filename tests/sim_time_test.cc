@@ -1,0 +1,65 @@
+#include "src/sim/time.h"
+
+#include <gtest/gtest.h>
+
+namespace softtimer {
+namespace {
+
+TEST(SimDurationTest, FactoriesRoundToNanoseconds) {
+  EXPECT_EQ(SimDuration::Nanos(7).nanos(), 7);
+  EXPECT_EQ(SimDuration::Micros(4.45).nanos(), 4450);
+  EXPECT_EQ(SimDuration::Millis(1.5).nanos(), 1'500'000);
+  EXPECT_EQ(SimDuration::Seconds(2).nanos(), 2'000'000'000);
+  // Rounding, not truncation.
+  EXPECT_EQ(SimDuration::Micros(0.0006).nanos(), 1);
+  EXPECT_EQ(SimDuration::Micros(-0.0006).nanos(), -1);
+}
+
+TEST(SimDurationTest, Arithmetic) {
+  SimDuration a = SimDuration::Micros(10);
+  SimDuration b = SimDuration::Micros(4);
+  EXPECT_EQ((a + b).nanos(), 14'000);
+  EXPECT_EQ((a - b).nanos(), 6'000);
+  EXPECT_EQ((-b).nanos(), -4'000);
+  EXPECT_EQ((a * int64_t{3}).nanos(), 30'000);
+  EXPECT_EQ((a * 0.5).nanos(), 5'000);
+  EXPECT_EQ((a / int64_t{2}).nanos(), 5'000);
+  EXPECT_EQ(a / b, 2);  // integer ratio
+  a += b;
+  EXPECT_EQ(a.nanos(), 14'000);
+  a -= b;
+  EXPECT_EQ(a.nanos(), 10'000);
+}
+
+TEST(SimDurationTest, Comparisons) {
+  EXPECT_LT(SimDuration::Micros(1), SimDuration::Micros(2));
+  EXPECT_EQ(SimDuration::Millis(1), SimDuration::Micros(1000));
+  EXPECT_GT(SimDuration::Zero(), SimDuration::Micros(-1));
+  EXPECT_LE(SimDuration::Zero(), SimDuration::Zero());
+}
+
+TEST(SimDurationTest, Conversions) {
+  SimDuration d = SimDuration::Micros(1500);
+  EXPECT_DOUBLE_EQ(d.ToMicros(), 1500.0);
+  EXPECT_DOUBLE_EQ(d.ToMillis(), 1.5);
+  EXPECT_DOUBLE_EQ(d.ToSeconds(), 0.0015);
+}
+
+TEST(SimTimeTest, PointArithmetic) {
+  SimTime t0 = SimTime::Zero();
+  SimTime t1 = t0 + SimDuration::Millis(2);
+  EXPECT_EQ((t1 - t0).nanos(), 2'000'000);
+  EXPECT_EQ((t1 - SimDuration::Millis(1)).nanos_since_origin(), 1'000'000);
+  EXPECT_LT(t0, t1);
+  t1 += SimDuration::Millis(1);
+  EXPECT_EQ(t1.nanos_since_origin(), 3'000'000);
+}
+
+TEST(SimTimeTest, ToStringPicksUnits) {
+  EXPECT_EQ(SimDuration::Nanos(12).ToString(), "12ns");
+  EXPECT_EQ(SimDuration::Micros(4.45).ToString(), "4.45us");
+  EXPECT_NE(SimDuration::Seconds(3).ToString().find("s"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace softtimer

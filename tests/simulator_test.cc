@@ -1,0 +1,153 @@
+#include "src/sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/sim/event_queue.h"
+
+namespace softtimer {
+namespace {
+
+TEST(EventQueueTest, PopsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.Push(SimTime::FromNanos(30), [&] { order.push_back(3); });
+  q.Push(SimTime::FromNanos(10), [&] { order.push_back(1); });
+  q.Push(SimTime::FromNanos(20), [&] { order.push_back(2); });
+  while (!q.empty()) {
+    q.Pop().cb();
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, FifoAmongEqualTimes) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    q.Push(SimTime::FromNanos(100), [&order, i] { order.push_back(i); });
+  }
+  while (!q.empty()) {
+    q.Pop().cb();
+  }
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueueTest, CancelDropsEvent) {
+  EventQueue q;
+  int ran = 0;
+  EventHandle h = q.Push(SimTime::FromNanos(10), [&] { ++ran; });
+  q.Push(SimTime::FromNanos(20), [&] { ++ran; });
+  EXPECT_TRUE(q.Cancel(h));
+  EXPECT_FALSE(q.Cancel(h));  // second cancel fails
+  EXPECT_EQ(q.size(), 1u);
+  while (!q.empty()) {
+    q.Pop().cb();
+  }
+  EXPECT_EQ(ran, 1);
+}
+
+TEST(EventQueueTest, CancelInvalidHandleIsFalse) {
+  EventQueue q;
+  EXPECT_FALSE(q.Cancel(EventHandle{}));
+}
+
+TEST(SimulatorTest, TimeAdvancesToEventTimes) {
+  Simulator sim;
+  std::vector<int64_t> times;
+  sim.ScheduleAt(SimTime::FromNanos(50), [&] { times.push_back(sim.now().nanos_since_origin()); });
+  sim.ScheduleAfter(SimDuration::Nanos(10), [&] { times.push_back(sim.now().nanos_since_origin()); });
+  sim.RunUntilIdle();
+  EXPECT_EQ(times, (std::vector<int64_t>{10, 50}));
+}
+
+TEST(SimulatorTest, RunUntilAdvancesClockEvenWithoutEvents) {
+  Simulator sim;
+  sim.RunUntil(SimTime::FromNanos(1000));
+  EXPECT_EQ(sim.now().nanos_since_origin(), 1000);
+}
+
+TEST(SimulatorTest, RunUntilDoesNotRunLaterEvents) {
+  Simulator sim;
+  int ran = 0;
+  sim.ScheduleAt(SimTime::FromNanos(100), [&] { ++ran; });
+  sim.ScheduleAt(SimTime::FromNanos(300), [&] { ++ran; });
+  sim.RunUntil(SimTime::FromNanos(200));
+  EXPECT_EQ(ran, 1);
+  EXPECT_EQ(sim.now().nanos_since_origin(), 200);
+  sim.RunUntil(SimTime::FromNanos(400));
+  EXPECT_EQ(ran, 2);
+}
+
+TEST(SimulatorTest, PastScheduleClampsToNow) {
+  Simulator sim;
+  sim.RunUntil(SimTime::FromNanos(500));
+  bool ran = false;
+  sim.ScheduleAt(SimTime::FromNanos(100), [&] {
+    ran = true;
+    EXPECT_EQ(sim.now().nanos_since_origin(), 500);
+  });
+  sim.RunUntilIdle();
+  EXPECT_TRUE(ran);
+}
+
+TEST(SimulatorTest, HandlersCanScheduleMoreEvents) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 10) {
+      sim.ScheduleAfter(SimDuration::Nanos(5), chain);
+    }
+  };
+  sim.ScheduleAfter(SimDuration::Nanos(5), chain);
+  sim.RunUntilIdle();
+  EXPECT_EQ(depth, 10);
+  EXPECT_EQ(sim.now().nanos_since_origin(), 50);
+}
+
+TEST(SimulatorTest, RequestStopEndsRun) {
+  Simulator sim;
+  int ran = 0;
+  sim.ScheduleAt(SimTime::FromNanos(10), [&] {
+    ++ran;
+    sim.RequestStop();
+  });
+  sim.ScheduleAt(SimTime::FromNanos(20), [&] { ++ran; });
+  sim.RunUntilIdle();
+  EXPECT_EQ(ran, 1);
+  sim.RunUntilIdle();  // resumes
+  EXPECT_EQ(ran, 2);
+}
+
+TEST(SimulatorTest, CancelPreventsExecution) {
+  Simulator sim;
+  int ran = 0;
+  EventHandle h = sim.ScheduleAfter(SimDuration::Nanos(10), [&] { ++ran; });
+  EXPECT_TRUE(sim.Cancel(h));
+  sim.RunUntilIdle();
+  EXPECT_EQ(ran, 0);
+}
+
+TEST(SimulatorTest, EventsProcessedCounts) {
+  Simulator sim;
+  for (int i = 0; i < 7; ++i) {
+    sim.ScheduleAfter(SimDuration::Nanos(i), [] {});
+  }
+  sim.RunUntilIdle();
+  EXPECT_EQ(sim.events_processed(), 7u);
+}
+
+TEST(SimulatorTest, StepRunsExactlyOneEvent) {
+  Simulator sim;
+  int ran = 0;
+  sim.ScheduleAfter(SimDuration::Nanos(1), [&] { ++ran; });
+  sim.ScheduleAfter(SimDuration::Nanos(2), [&] { ++ran; });
+  EXPECT_TRUE(sim.Step());
+  EXPECT_EQ(ran, 1);
+  EXPECT_TRUE(sim.Step());
+  EXPECT_EQ(ran, 2);
+  EXPECT_FALSE(sim.Step());
+}
+
+}  // namespace
+}  // namespace softtimer

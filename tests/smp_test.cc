@@ -1,0 +1,112 @@
+// Multi-CPU behaviour: per-CPU trigger-interval streams, dispatch cost
+// charged to the CPU that hit the trigger state, and the Section 5.2
+// idle-CPU arbitration under churn.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/machine/kernel.h"
+
+namespace softtimer {
+namespace {
+
+Kernel::Config TwoCpuCfg() {
+  Kernel::Config c;
+  c.profile = MachineProfile::PentiumII300();
+  c.num_cpus = 2;
+  c.idle_poll_jitter_sigma = 0;
+  return c;
+}
+
+TEST(SmpTest, TriggerIntervalsArePerCpu) {
+  Simulator sim;
+  Kernel k(&sim, TwoCpuCfg());
+  // CPU 0 triggers every 100 us; CPU 1 every 30 us, interleaved. Intervals
+  // must reflect each CPU's own cadence, not the merged stream.
+  std::vector<double> intervals;
+  k.set_trigger_observer(
+      [&](TriggerSource, SimTime, SimDuration d) { intervals.push_back(d.ToMicros()); });
+  for (int i = 1; i <= 30; ++i) {
+    sim.ScheduleAt(SimTime::FromNanos(i * 30'000),
+                   [&k] { k.Trigger(TriggerSource::kSyscall, 1); });
+  }
+  for (int i = 1; i <= 9; ++i) {
+    sim.ScheduleAt(SimTime::FromNanos(i * 100'000),
+                   [&k] { k.Trigger(TriggerSource::kTrap, 0); });
+  }
+  sim.RunUntil(SimTime::FromNanos(950'000));
+  int near30 = 0, near100 = 0, other = 0;
+  for (double v : intervals) {
+    if (v > 29 && v < 31) {
+      ++near30;
+    } else if (v > 99 && v < 101) {
+      ++near100;
+    } else {
+      ++other;
+    }
+  }
+  EXPECT_EQ(near30, 29);
+  EXPECT_EQ(near100, 8);
+  EXPECT_EQ(other, 0);  // no cross-CPU 30/100-mixture artifacts
+}
+
+TEST(SmpTest, DispatchCostChargedToTriggeringCpu) {
+  Simulator sim;
+  Kernel k(&sim, TwoCpuCfg());
+  // Both CPUs busy; the soft event is dispatched from CPU 1's trigger state.
+  k.cpu(0).Submit(SimDuration::Millis(10));
+  k.cpu(1).Submit(SimDuration::Millis(10));
+  k.soft_timers().ScheduleSoftEvent(5, [](const SoftTimerFacility::FireInfo&) {});
+  SimDuration cpu0_before = k.cpu(0).stolen_time();
+  SimDuration cpu1_before = k.cpu(1).stolen_time();
+  sim.RunUntil(SimTime::FromNanos(20'000));
+  k.Trigger(TriggerSource::kSyscall, 1);
+  SimDuration cpu0_delta = k.cpu(0).stolen_time() - cpu0_before;
+  SimDuration cpu1_delta = k.cpu(1).stolen_time() - cpu1_before;
+  // CPU 1 paid check + dispatch; CPU 0 paid at most backup-tick noise (none
+  // in 20 us).
+  EXPECT_GT(cpu1_delta, k.profile().soft_dispatch_cost);
+  EXPECT_EQ(cpu0_delta, SimDuration::Zero());
+}
+
+TEST(SmpTest, SecondIdleCpuTakesOverPollingWhenFirstGoesBusy) {
+  Simulator sim;
+  Kernel::Config cfg = TwoCpuCfg();
+  cfg.idle_behavior = Kernel::IdleBehavior::kHaltPolicy;
+  Kernel k(&sim, cfg);
+  // A periodic soft event keeps polling permitted forever.
+  std::function<void(const SoftTimerFacility::FireInfo&)> resched =
+      [&](const SoftTimerFacility::FireInfo&) { k.soft_timers().ScheduleSoftEvent(40, resched); };
+  k.soft_timers().ScheduleSoftEvent(40, resched);
+  sim.RunUntil(SimTime::Zero() + SimDuration::Millis(2));
+  uint64_t fired_before = k.soft_timers().stats().dispatches;
+  EXPECT_GT(fired_before, 20u);
+
+  // Occupy CPU 0 (the likely poller) with a long job; the other idle CPU
+  // must pick up polling and events keep firing at the same pace.
+  k.cpu(0).Submit(SimDuration::Millis(4));
+  sim.RunUntil(SimTime::Zero() + SimDuration::Millis(6));
+  uint64_t fired_during = k.soft_timers().stats().dispatches - fired_before;
+  EXPECT_GT(fired_during, 60u);  // ~100 expected over 4 ms at 40 us cadence
+}
+
+TEST(SmpTest, ResetTriggerStatsClearsEveryCpu) {
+  Simulator sim;
+  Kernel k(&sim, TwoCpuCfg());
+  std::vector<double> intervals;
+  k.set_trigger_observer(
+      [&](TriggerSource, SimTime, SimDuration d) { intervals.push_back(d.ToMicros()); });
+  k.Trigger(TriggerSource::kSyscall, 0);
+  k.Trigger(TriggerSource::kSyscall, 1);
+  k.ResetTriggerStats();
+  // The first post-reset trigger on each CPU must not report a stale
+  // interval spanning the reset.
+  sim.RunUntil(SimTime::FromNanos(500'000));
+  k.Trigger(TriggerSource::kSyscall, 0);
+  k.Trigger(TriggerSource::kSyscall, 1);
+  EXPECT_TRUE(intervals.empty());
+}
+
+}  // namespace
+}  // namespace softtimer

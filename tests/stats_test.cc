@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/stats/rate_ewma.h"
+#include "src/stats/sample_set.h"
+#include "src/stats/summary_stats.h"
+#include "src/stats/windowed_median.h"
+
+namespace softtimer {
+namespace {
+
+TEST(SummaryStatsTest, BasicMoments) {
+  SummaryStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    s.Add(x);
+  }
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);  // classic textbook data set
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(SummaryStatsTest, EmptyIsZero) {
+  SummaryStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+}
+
+TEST(SummaryStatsTest, MergeMatchesCombinedStream) {
+  SummaryStats a, b, all;
+  for (int i = 0; i < 100; ++i) {
+    double x = std::sin(i) * 10 + i;
+    (i % 2 ? a : b).Add(x);
+    all.Add(x);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.stddev(), all.stddev(), 1e-9);
+  EXPECT_EQ(a.min(), all.min());
+  EXPECT_EQ(a.max(), all.max());
+}
+
+TEST(SummaryStatsTest, MergeWithEmpty) {
+  SummaryStats a, empty;
+  a.Add(5);
+  a.Merge(empty);
+  EXPECT_EQ(a.count(), 1u);
+  empty.Merge(a);
+  EXPECT_EQ(empty.count(), 1u);
+  EXPECT_EQ(empty.mean(), 5.0);
+}
+
+TEST(SampleSetTest, ExactPercentiles) {
+  SampleSet s;
+  for (int i = 1; i <= 100; ++i) {
+    s.Add(i);
+  }
+  EXPECT_DOUBLE_EQ(s.Percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(100), 100.0);
+  EXPECT_NEAR(s.Median(), 50.5, 1e-9);
+  EXPECT_NEAR(s.Percentile(90), 90.1, 1e-9);
+}
+
+TEST(SampleSetTest, FractionAbove) {
+  SampleSet s;
+  for (int i = 1; i <= 10; ++i) {
+    s.Add(i);
+  }
+  EXPECT_DOUBLE_EQ(s.FractionAbove(10), 0.0);
+  EXPECT_DOUBLE_EQ(s.FractionAbove(5), 0.5);
+  EXPECT_DOUBLE_EQ(s.FractionAbove(0), 1.0);
+}
+
+TEST(SampleSetTest, CdfAt) {
+  SampleSet s;
+  for (int i = 1; i <= 4; ++i) {
+    s.Add(i);
+  }
+  std::vector<double> cdf = s.CdfAt({0.5, 2.0, 4.0, 9.0});
+  EXPECT_DOUBLE_EQ(cdf[0], 0.0);
+  EXPECT_DOUBLE_EQ(cdf[1], 0.5);
+  EXPECT_DOUBLE_EQ(cdf[2], 1.0);
+  EXPECT_DOUBLE_EQ(cdf[3], 1.0);
+}
+
+TEST(SampleSetTest, ReservoirKeepsMomentsExact) {
+  SampleSet s(100);  // tiny reservoir
+  SummaryStats ref;
+  for (int i = 0; i < 10'000; ++i) {
+    double x = (i * 37) % 1000;
+    s.Add(x);
+    ref.Add(x);
+  }
+  EXPECT_EQ(s.count(), 10'000u);
+  EXPECT_EQ(s.retained().size(), 100u);
+  EXPECT_DOUBLE_EQ(s.mean(), ref.mean());
+  EXPECT_DOUBLE_EQ(s.max(), ref.max());
+  // Percentiles are estimates from the reservoir but must stay in range.
+  EXPECT_GE(s.Median(), 0.0);
+  EXPECT_LE(s.Median(), 999.0);
+}
+
+TEST(SampleSetTest, CdfCurveIsMonotone) {
+  SampleSet s;
+  for (int i = 0; i < 1000; ++i) {
+    s.Add((i * 7919) % 501);
+  }
+  auto curve = s.CdfCurve(20);
+  ASSERT_EQ(curve.size(), 20u);
+  for (size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GE(curve[i].x, curve[i - 1].x);
+    EXPECT_GT(curve[i].fraction, curve[i - 1].fraction);
+  }
+  EXPECT_DOUBLE_EQ(curve.back().fraction, 1.0);
+}
+
+TEST(WindowedMedianTest, MediansPerWindow) {
+  WindowedMedian w(SimTime::Zero(), SimDuration::Millis(1));
+  // Window 0: values 1,3,5 -> median 3. Window 1: 10, 20 -> 15.
+  w.Add(SimTime::FromNanos(100'000), 1);
+  w.Add(SimTime::FromNanos(200'000), 3);
+  w.Add(SimTime::FromNanos(900'000), 5);
+  w.Add(SimTime::FromNanos(1'100'000), 10);
+  w.Add(SimTime::FromNanos(1'900'000), 20);
+  auto windows = w.Finish();
+  ASSERT_EQ(windows.size(), 2u);
+  EXPECT_DOUBLE_EQ(windows[0].median, 3.0);
+  EXPECT_EQ(windows[0].count, 3u);
+  EXPECT_DOUBLE_EQ(windows[1].median, 15.0);
+}
+
+TEST(WindowedMedianTest, EmptyWindowsAreSkipped) {
+  WindowedMedian w(SimTime::Zero(), SimDuration::Millis(1));
+  w.Add(SimTime::FromNanos(100'000), 1);
+  // Jump over several empty windows.
+  w.Add(SimTime::FromNanos(5'500'000), 9);
+  auto windows = w.Finish();
+  ASSERT_EQ(windows.size(), 2u);
+  EXPECT_EQ(windows[0].window_start, SimTime::Zero());
+  EXPECT_EQ(windows[1].window_start.nanos_since_origin(), 5'000'000);
+}
+
+TEST(RateEwmaTest, FirstObservationPrimes) {
+  RateEwma e(0.5);
+  EXPECT_FALSE(e.primed());
+  e.Observe(10);
+  EXPECT_TRUE(e.primed());
+  EXPECT_DOUBLE_EQ(e.value(), 10.0);
+  e.Observe(20);
+  EXPECT_DOUBLE_EQ(e.value(), 15.0);
+  e.Reset();
+  EXPECT_FALSE(e.primed());
+}
+
+}  // namespace
+}  // namespace softtimer

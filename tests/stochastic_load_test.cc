@@ -1,0 +1,130 @@
+// Tests for StochasticKernelLoad and BackgroundCompute - the generators
+// behind the non-web Table 1 workloads.
+
+#include "src/workload/stochastic_load.h"
+
+#include <gtest/gtest.h>
+
+#include "src/stats/sample_set.h"
+#include "src/workload/background_compute.h"
+
+namespace softtimer {
+namespace {
+
+Kernel::Config KernelCfg(Kernel::IdleBehavior idle = Kernel::IdleBehavior::kHaltPolicy) {
+  Kernel::Config kc;
+  kc.profile = MachineProfile::PentiumII300();
+  kc.idle_behavior = idle;
+  return kc;
+}
+
+TEST(StochasticLoadTest, GeneratesConfiguredSourceMix) {
+  Simulator sim;
+  Kernel kernel(&sim, KernelCfg());
+  StochasticKernelLoad::Config cfg;
+  cfg.ops = {
+      {0.7, TriggerSource::kSyscall, true, SimDuration::Micros(5), 0.3, SimDuration::Micros(50)},
+      {0.3, TriggerSource::kTrap, true, SimDuration::Micros(5), 0.3, SimDuration::Micros(50)},
+  };
+  StochasticKernelLoad load(&kernel, cfg);
+  load.Start();
+  sim.RunFor(SimDuration::Millis(100));
+  const auto& by = kernel.stats().triggers_by_source;
+  double syscalls = static_cast<double>(by[static_cast<size_t>(TriggerSource::kSyscall)]);
+  double traps = static_cast<double>(by[static_cast<size_t>(TriggerSource::kTrap)]);
+  EXPECT_NEAR(syscalls / (syscalls + traps), 0.7, 0.05);
+  EXPECT_GT(load.ops_run(), 5'000u);
+}
+
+TEST(StochasticLoadTest, NonTriggerOpsWidenIntervalsWithoutSamples) {
+  Simulator sim;
+  Kernel kernel(&sim, KernelCfg());
+  // Alternating 5 us trigger ops and 20 us silent compute: the mean trigger
+  // interval must reflect the combined cost (~25 us+), not 5 us.
+  StochasticKernelLoad::Config cfg;
+  cfg.ops = {
+      {0.5, TriggerSource::kSyscall, true, SimDuration::Micros(5), 0.0, SimDuration::Micros(50)},
+      {0.5, TriggerSource::kSyscall, false, SimDuration::Micros(20), 0.0, SimDuration::Micros(50)},
+  };
+  StochasticKernelLoad load(&kernel, cfg);
+  SampleSet intervals;
+  kernel.set_trigger_observer(
+      [&](TriggerSource, SimTime, SimDuration d) { intervals.Add(d.ToMicros()); });
+  load.Start();
+  sim.RunFor(SimDuration::Millis(50));
+  // Per trigger op: 5 us own cost plus on average one 20 us compute stretch.
+  EXPECT_GT(intervals.mean(), 15.0);
+  EXPECT_LT(intervals.mean(), 40.0);
+}
+
+TEST(StochasticLoadTest, DutyCycleLeavesCpuIdle) {
+  Simulator sim;
+  Kernel kernel(&sim, KernelCfg(Kernel::IdleBehavior::kSpin));
+  StochasticKernelLoad::Config cfg;
+  cfg.ops = {
+      {1.0, TriggerSource::kSyscall, true, SimDuration::Micros(5), 0.2, SimDuration::Micros(50)},
+  };
+  cfg.duty_cycle = 0.2;
+  cfg.burst_mean = SimDuration::Micros(100);
+  StochasticKernelLoad load(&kernel, cfg);
+  load.Start();
+  SimDuration horizon = SimDuration::Seconds(1);
+  sim.RunFor(horizon);
+  double busy_frac = kernel.cpu(0).work_time().ToSeconds() / horizon.ToSeconds();
+  EXPECT_NEAR(busy_frac, 0.2, 0.06);
+  // The idle loop dominates the trigger stream (the ST-nfs regime).
+  uint64_t idle = kernel.stats().triggers_by_source[static_cast<size_t>(TriggerSource::kIdleLoop)];
+  EXPECT_GT(static_cast<double>(idle), 0.5 * static_cast<double>(kernel.stats().triggers));
+}
+
+TEST(StochasticLoadTest, DeviceInterruptsArriveAtConfiguredRate) {
+  Simulator sim;
+  Kernel kernel(&sim, KernelCfg());
+  StochasticKernelLoad::Config cfg;
+  cfg.ops = {
+      {1.0, TriggerSource::kSyscall, true, SimDuration::Micros(10), 0.2, SimDuration::Micros(50)},
+  };
+  cfg.device_intr_rate_hz = 2'000;
+  cfg.device_intr_source = TriggerSource::kIpIntr;
+  StochasticKernelLoad load(&kernel, cfg);
+  load.Start();
+  sim.RunFor(SimDuration::Seconds(1));
+  uint64_t intr = kernel.stats().triggers_by_source[static_cast<size_t>(TriggerSource::kIpIntr)];
+  EXPECT_NEAR(static_cast<double>(intr), 2'000.0, 200.0);
+}
+
+TEST(StochasticLoadTest, CostCapLimitsTail) {
+  Simulator sim;
+  Kernel kernel(&sim, KernelCfg());
+  StochasticKernelLoad::Config cfg;
+  cfg.ops = {
+      {1.0, TriggerSource::kSyscall, true, SimDuration::Micros(10), 2.0,  // huge sigma
+       SimDuration::Micros(80)},
+  };
+  StochasticKernelLoad load(&kernel, cfg);
+  SampleSet intervals;
+  kernel.set_trigger_observer(
+      [&](TriggerSource, SimTime, SimDuration d) { intervals.Add(d.ToMicros()); });
+  load.Start();
+  sim.RunFor(SimDuration::Millis(200));
+  // Intervals = op cost (capped at 80) plus small steal noise.
+  EXPECT_LT(intervals.max(), 90.0);
+}
+
+TEST(BackgroundComputeTest, ConsumesCpuWithoutTriggers) {
+  Simulator sim;
+  Kernel kernel(&sim, KernelCfg());
+  BackgroundCompute::Config cfg;
+  cfg.period = SimDuration::Millis(1);
+  cfg.chunk_median = SimDuration::Micros(200);
+  BackgroundCompute bg(&kernel, cfg);
+  bg.Start();
+  sim.RunFor(SimDuration::Seconds(1));
+  EXPECT_GT(bg.chunks_run(), 800u);
+  // Compute is pure user-mode: only backup-interrupt triggers appear.
+  EXPECT_EQ(kernel.stats().triggers_by_source[static_cast<size_t>(TriggerSource::kSyscall)], 0u);
+  EXPECT_GT(kernel.cpu(0).work_time(), SimDuration::Millis(150));
+}
+
+}  // namespace
+}  // namespace softtimer

@@ -1,0 +1,346 @@
+// TCP endpoint tests: receiver ACK policy (delayed ACKs, big ACKs,
+// out-of-order dup ACKs) and sender behaviour (slow start, window limits,
+// fast retransmit, RTO, rate-based pacing), plus full sender<->receiver
+// integration over a WanPath including loss.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/machine/kernel.h"
+#include "src/net/wan_path.h"
+#include "src/tcp/tcp_receiver.h"
+#include "src/tcp/tcp_sender.h"
+
+namespace softtimer {
+namespace {
+
+Packet Segment(uint64_t seq, uint32_t payload, bool fin = false) {
+  Packet p;
+  p.kind = Packet::Kind::kData;
+  p.seq = seq;
+  p.payload = payload;
+  p.size_bytes = payload + kTcpIpHeaderBytes;
+  p.fin = fin;
+  return p;
+}
+
+// --- Receiver ---------------------------------------------------------------
+
+TEST(TcpReceiverTest, AcksEveryOtherSegment) {
+  Simulator sim;
+  TcpReceiver rx(&sim, TcpReceiver::Config{});
+  std::vector<uint64_t> acks;
+  rx.set_ack_sender([&](Packet p) { acks.push_back(p.ack_seq); });
+  rx.OnSegment(Segment(0, 1448));
+  EXPECT_TRUE(acks.empty());  // first segment: delayed
+  rx.OnSegment(Segment(1448, 1448));
+  EXPECT_EQ(acks, (std::vector<uint64_t>{2896}));
+  rx.Shutdown();
+}
+
+TEST(TcpReceiverTest, LoneSegmentWaitsForDelackSweep) {
+  Simulator sim;
+  TcpReceiver::Config cfg;
+  cfg.delack_sweep_phase = SimDuration::Millis(100);
+  TcpReceiver rx(&sim, cfg);
+  std::vector<int64_t> ack_times;
+  rx.set_ack_sender([&](Packet) { ack_times.push_back(sim.now().nanos_since_origin()); });
+  sim.RunUntil(SimTime::Zero() + SimDuration::Millis(150));
+  rx.OnSegment(Segment(0, 1448));
+  sim.RunUntil(SimTime::Zero() + SimDuration::Millis(400));
+  // Sweeps run at 100, 300, 500 ms; the 150 ms segment is ACKed at 300 ms.
+  ASSERT_EQ(ack_times.size(), 1u);
+  EXPECT_EQ(ack_times[0], 300'000'000);
+  EXPECT_EQ(rx.stats().delack_fires, 1u);
+  rx.Shutdown();
+}
+
+TEST(TcpReceiverTest, FinAckedImmediately) {
+  Simulator sim;
+  TcpReceiver rx(&sim, TcpReceiver::Config{});
+  std::vector<uint64_t> acks;
+  rx.set_ack_sender([&](Packet p) { acks.push_back(p.ack_seq); });
+  rx.OnSegment(Segment(0, 500, /*fin=*/true));
+  EXPECT_EQ(acks, (std::vector<uint64_t>{500}));
+  rx.Shutdown();
+}
+
+TEST(TcpReceiverTest, OutOfOrderGeneratesDupAcksAndReassembles) {
+  Simulator sim;
+  TcpReceiver rx(&sim, TcpReceiver::Config{});
+  std::vector<uint64_t> acks;
+  rx.set_ack_sender([&](Packet p) { acks.push_back(p.ack_seq); });
+  rx.OnSegment(Segment(0, 1448));
+  rx.OnSegment(Segment(2896, 1448));  // hole at 1448
+  rx.OnSegment(Segment(4344, 1448));
+  // Each out-of-order segment produced a dup ACK at the hole.
+  EXPECT_EQ(acks, (std::vector<uint64_t>{1448, 1448}));
+  EXPECT_EQ(rx.stats().out_of_order, 2u);
+  // Filling the hole delivers everything.
+  rx.OnSegment(Segment(1448, 1448));
+  EXPECT_EQ(rx.bytes_received(), 5792u);
+  rx.Shutdown();
+}
+
+TEST(TcpReceiverTest, SpuriousRetransmissionReAcked) {
+  Simulator sim;
+  TcpReceiver rx(&sim, TcpReceiver::Config{});
+  std::vector<uint64_t> acks;
+  rx.set_ack_sender([&](Packet p) { acks.push_back(p.ack_seq); });
+  rx.OnSegment(Segment(0, 1448));
+  rx.OnSegment(Segment(1448, 1448));
+  rx.OnSegment(Segment(0, 1448));  // old data again
+  EXPECT_EQ(acks, (std::vector<uint64_t>{2896, 2896}));
+  rx.Shutdown();
+}
+
+TEST(TcpReceiverTest, SlowApplicationProducesBigAcks) {
+  // Appendix A.3: ACKs wait for the application read; a burst arriving
+  // before the read is covered by one big ACK.
+  Simulator sim;
+  TcpReceiver::Config cfg;
+  cfg.app_read_delay = SimDuration::Millis(5);
+  TcpReceiver rx(&sim, cfg);
+  std::vector<uint64_t> acks;
+  rx.set_ack_sender([&](Packet p) { acks.push_back(p.ack_seq); });
+  for (int i = 0; i < 8; ++i) {
+    rx.OnSegment(Segment(static_cast<uint64_t>(i) * 1448, 1448));
+  }
+  EXPECT_TRUE(acks.empty());
+  sim.RunUntil(SimTime::Zero() + SimDuration::Millis(10));
+  ASSERT_EQ(acks.size(), 1u);
+  EXPECT_EQ(acks[0], 8u * 1448u);
+  EXPECT_EQ(rx.stats().max_segments_per_ack, 8u);
+  rx.Shutdown();
+}
+
+TEST(TcpReceiverTest, NotifyWhenReceivedFires) {
+  Simulator sim;
+  TcpReceiver rx(&sim, TcpReceiver::Config{});
+  bool notified = false;
+  rx.NotifyWhenReceived(2896, [&] { notified = true; });
+  rx.OnSegment(Segment(0, 1448));
+  EXPECT_FALSE(notified);
+  rx.OnSegment(Segment(1448, 1448));
+  EXPECT_TRUE(notified);
+  rx.Shutdown();
+}
+
+// --- Sender -----------------------------------------------------------------
+
+struct SenderHarness {
+  SenderHarness(TcpSender::Config cfg) : kernel(&sim, KernelCfg()), sender(&kernel, cfg) {
+    sender.set_packet_sender([this](Packet p) { sent.push_back(p); });
+  }
+  static Kernel::Config KernelCfg() {
+    Kernel::Config kc;
+    kc.profile = MachineProfile::PentiumII300();
+    kc.idle_poll_fast_forward = true;
+    return kc;
+  }
+  void AckThrough(uint64_t seq) {
+    Packet ack;
+    ack.kind = Packet::Kind::kAck;
+    ack.ack_seq = seq;
+    sender.OnAck(ack);
+  }
+  Simulator sim;
+  Kernel kernel;
+  TcpSender sender;
+  std::vector<Packet> sent;
+};
+
+TEST(TcpSenderTest, SlowStartDoublesPerRoundWithPerAckGrowth) {
+  TcpSender::Config cfg;
+  cfg.initial_cwnd_segments = 1;
+  SenderHarness h(cfg);
+  h.sender.StartTransfer(100 * 1448);
+  ASSERT_EQ(h.sent.size(), 1u);  // initial window: 1 segment
+  h.AckThrough(1448);
+  // cwnd 2: two more segments in flight.
+  EXPECT_EQ(h.sent.size(), 3u);
+  h.AckThrough(3 * 1448);
+  // One cumulative ACK covering two segments grows cwnd by one MSS (growth
+  // is per ACK received, which is why delayed ACKs slow slow-start): cwnd 3,
+  // nothing in flight -> 3 new segments.
+  EXPECT_EQ(h.sent.size(), 6u);
+}
+
+TEST(TcpSenderTest, RespectsReceiverWindow) {
+  TcpSender::Config cfg;
+  cfg.initial_cwnd_segments = 100;
+  cfg.rwnd_bytes = 4 * 1448;
+  SenderHarness h(cfg);
+  h.sender.StartTransfer(100 * 1448);
+  EXPECT_EQ(h.sent.size(), 4u);  // window-limited despite huge cwnd
+}
+
+TEST(TcpSenderTest, MaxBurstLimitsPerAckReleases) {
+  TcpSender::Config cfg;
+  cfg.initial_cwnd_segments = 1;
+  cfg.max_burst_segments = 2;
+  SenderHarness h(cfg);
+  h.sender.StartTransfer(100 * 1448);
+  EXPECT_EQ(h.sent.size(), 1u);
+  h.AckThrough(1448);
+  h.AckThrough(1448 * 2);  // would open a bigger window...
+  // ...but each ACK releases at most 2 segments.
+  EXPECT_LE(h.sent.size(), 5u);
+}
+
+TEST(TcpSenderTest, FastRetransmitOnTripleDupAck) {
+  TcpSender::Config cfg;
+  cfg.initial_cwnd_segments = 8;
+  SenderHarness h(cfg);
+  h.sender.StartTransfer(20 * 1448);
+  ASSERT_GE(h.sent.size(), 8u);
+  size_t before = h.sent.size();
+  h.AckThrough(1448);  // segment 2 lost, later ones arrive:
+  for (int i = 0; i < 3; ++i) {
+    h.AckThrough(1448);  // dup acks
+  }
+  EXPECT_EQ(h.sender.stats().fast_retransmits, 1u);
+  // The retransmitted segment is the hole (seq 1448).
+  bool found = false;
+  for (size_t i = before; i < h.sent.size(); ++i) {
+    if (h.sent[i].seq == 1448) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(TcpSenderTest, RtoRetransmitsFromHole) {
+  TcpSender::Config cfg;
+  cfg.initial_cwnd_segments = 2;
+  cfg.rto_initial = SimDuration::Millis(100);
+  SenderHarness h(cfg);
+  h.sender.StartTransfer(4 * 1448);
+  size_t before = h.sent.size();
+  // No ACKs at all: the RTO fires and resends from seq 0.
+  h.sim.RunUntil(SimTime::Zero() + SimDuration::Millis(300));
+  EXPECT_GE(h.sender.stats().timeouts, 1u);
+  EXPECT_GT(h.sent.size(), before);
+  EXPECT_EQ(h.sent[before].seq, 0u);
+}
+
+TEST(TcpSenderTest, CompletionFiresWhenFullyAcked) {
+  TcpSender::Config cfg;
+  cfg.initial_cwnd_segments = 4;
+  SenderHarness h(cfg);
+  bool complete = false;
+  h.sender.StartTransfer(2 * 1448, [&] { complete = true; });
+  EXPECT_FALSE(complete);
+  h.AckThrough(2 * 1448);
+  EXPECT_TRUE(complete);
+  EXPECT_TRUE(h.sender.transfer_complete());
+}
+
+TEST(TcpSenderTest, RateBasedPacesAtTargetInterval) {
+  TcpSender::Config cfg;
+  cfg.mode = TcpSender::Mode::kRateBased;
+  cfg.pace_target_interval_ticks = 120;
+  cfg.pace_min_burst_interval_ticks = 12;
+  SenderHarness h(cfg);
+  h.sender.StartTransfer(50 * 1448);
+  h.sim.RunUntil(SimTime::Zero() + SimDuration::Millis(20));
+  ASSERT_EQ(h.sent.size(), 50u);
+  // Average spacing ~= 120 us (soft-timer jitter compensated by catch-up).
+  double total_us = (h.sent.back().sent_at - h.sent.front().sent_at).ToMicros();
+  EXPECT_NEAR(total_us / 49.0, 120.0, 8.0);
+  // Last segment carries FIN.
+  EXPECT_TRUE(h.sent.back().fin);
+}
+
+TEST(TcpSenderTest, RateBasedIgnoresAckClocking) {
+  TcpSender::Config cfg;
+  cfg.mode = TcpSender::Mode::kRateBased;
+  cfg.pace_target_interval_ticks = 100;
+  cfg.pace_min_burst_interval_ticks = 12;
+  SenderHarness h(cfg);
+  h.sender.StartTransfer(10 * 1448);
+  // No ACKs arrive at all; everything is still transmitted.
+  h.sim.RunUntil(SimTime::Zero() + SimDuration::Millis(5));
+  EXPECT_EQ(h.sent.size(), 10u);
+}
+
+// --- End-to-end over the WAN -------------------------------------------------
+
+struct E2E {
+  explicit E2E(TcpSender::Config scfg, double loss_every_n = 0) : kernel(&sim, KernelCfg()),
+        sender(&kernel, scfg), wan(&sim, WanCfg()), receiver(&sim, TcpReceiver::Config{}) {
+    sender.set_packet_sender([this, loss_every_n](Packet p) {
+      ++tx_count;
+      if (loss_every_n > 0 && (tx_count % static_cast<uint64_t>(loss_every_n)) == 0) {
+        return;  // drop deterministically
+      }
+      wan.forward().Send(p);
+    });
+    wan.forward().set_receiver([this](const Packet& p) { receiver.OnSegment(p); });
+    receiver.set_ack_sender([this](Packet p) { wan.reverse().Send(p); });
+    wan.reverse().set_receiver([this](const Packet& p) { sender.OnAck(p); });
+  }
+  static Kernel::Config KernelCfg() {
+    Kernel::Config kc;
+    kc.profile = MachineProfile::PentiumII300();
+    kc.idle_poll_fast_forward = true;
+    return kc;
+  }
+  static WanPath::Config WanCfg() {
+    WanPath::Config wc;
+    wc.bottleneck_bps = 50e6;
+    wc.one_way_delay = SimDuration::Millis(10);
+    return wc;
+  }
+  Simulator sim;
+  Kernel kernel;
+  TcpSender sender;
+  WanPath wan;
+  TcpReceiver receiver;
+  uint64_t tx_count = 0;
+};
+
+TEST(TcpEndToEndTest, LosslessTransferDeliversAllBytesInOrder) {
+  TcpSender::Config cfg;
+  cfg.initial_cwnd_segments = 2;
+  E2E e(cfg);
+  bool done = false;
+  e.receiver.NotifyWhenReceived(200 * 1448, [&] { done = true; });
+  e.sender.StartTransfer(200 * 1448);
+  e.sim.RunUntil(SimTime::Zero() + SimDuration::Seconds(10));
+  EXPECT_TRUE(done);
+  EXPECT_EQ(e.receiver.bytes_received(), 200u * 1448u);
+  EXPECT_EQ(e.sender.stats().retransmits, 0u);
+}
+
+TEST(TcpEndToEndTest, RecoversFromPeriodicLoss) {
+  TcpSender::Config cfg;
+  cfg.initial_cwnd_segments = 2;
+  cfg.rto_initial = SimDuration::Millis(200);
+  E2E e(cfg, /*loss_every_n=*/37);
+  bool done = false;
+  e.receiver.NotifyWhenReceived(300 * 1448, [&] { done = true; });
+  e.sender.StartTransfer(300 * 1448);
+  e.sim.RunUntil(SimTime::Zero() + SimDuration::Seconds(60));
+  EXPECT_TRUE(done);
+  EXPECT_EQ(e.receiver.bytes_received(), 300u * 1448u);
+  EXPECT_GT(e.sender.stats().retransmits, 0u);
+}
+
+TEST(TcpEndToEndTest, RateBasedTransferCompletesUnderLoss) {
+  TcpSender::Config cfg;
+  cfg.mode = TcpSender::Mode::kRateBased;
+  cfg.pace_target_interval_ticks = 240;
+  cfg.pace_min_burst_interval_ticks = 240;
+  cfg.rto_initial = SimDuration::Millis(200);
+  E2E e(cfg, /*loss_every_n=*/53);
+  bool done = false;
+  e.receiver.NotifyWhenReceived(150 * 1448, [&] { done = true; });
+  e.sender.StartTransfer(150 * 1448);
+  e.sim.RunUntil(SimTime::Zero() + SimDuration::Seconds(60));
+  EXPECT_TRUE(done);
+}
+
+}  // namespace
+}  // namespace softtimer

@@ -1,0 +1,293 @@
+// Conformance suite shared by every TimerQueue implementation (heap, hashed
+// wheel, hierarchical wheel): the semantics documented in
+// src/timer/timer_queue.h, exercised identically via TEST_P, plus a
+// randomized differential test that replays the same operation stream
+// against a trivially-correct reference model.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "src/sim/random.h"
+#include "src/timer/timer_queue.h"
+
+namespace softtimer {
+namespace {
+
+class TimerQueueConformanceTest : public ::testing::TestWithParam<TimerQueueKind> {
+ protected:
+  std::unique_ptr<TimerQueue> Make(uint64_t granularity = 1) {
+    return MakeTimerQueue(GetParam(), granularity);
+  }
+};
+
+TEST_P(TimerQueueConformanceTest, FiresAtOrAfterDeadline) {
+  auto q = Make();
+  int fired = 0;
+  q->Schedule(100, [&] { ++fired; });
+  EXPECT_EQ(q->ExpireUpTo(99), 0u);
+  EXPECT_EQ(fired, 0);
+  EXPECT_EQ(q->ExpireUpTo(100), 1u);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(q->size(), 0u);
+}
+
+TEST_P(TimerQueueConformanceTest, FiresInDeadlineOrder) {
+  auto q = Make();
+  std::vector<int> order;
+  q->Schedule(300, [&] { order.push_back(3); });
+  q->Schedule(100, [&] { order.push_back(1); });
+  q->Schedule(200, [&] { order.push_back(2); });
+  EXPECT_EQ(q->ExpireUpTo(1000), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST_P(TimerQueueConformanceTest, FifoAmongEqualDeadlines) {
+  auto q = Make();
+  std::vector<int> order;
+  for (int i = 0; i < 8; ++i) {
+    q->Schedule(500, [&order, i] { order.push_back(i); });
+  }
+  q->ExpireUpTo(500);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7}));
+}
+
+TEST_P(TimerQueueConformanceTest, PastDeadlineFiresOnNextExpire) {
+  auto q = Make();
+  q->ExpireUpTo(1000);
+  int fired = 0;
+  q->Schedule(50, [&] { ++fired; });  // already in the past
+  EXPECT_EQ(q->ExpireUpTo(1001), 1u);
+  EXPECT_EQ(fired, 1);
+}
+
+TEST_P(TimerQueueConformanceTest, CancelSemantics) {
+  auto q = Make();
+  int fired = 0;
+  TimerId a = q->Schedule(100, [&] { ++fired; });
+  TimerId b = q->Schedule(100, [&] { ++fired; });
+  EXPECT_TRUE(q->Cancel(a));
+  EXPECT_FALSE(q->Cancel(a));          // double cancel
+  EXPECT_FALSE(q->Cancel(TimerId{}));  // invalid id
+  EXPECT_EQ(q->size(), 1u);
+  q->ExpireUpTo(200);
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(q->Cancel(b));  // already fired
+}
+
+TEST_P(TimerQueueConformanceTest, EarliestDeadlineTracksMin) {
+  auto q = Make();
+  EXPECT_FALSE(q->EarliestDeadline().has_value());
+  q->Schedule(300, [] {});
+  EXPECT_EQ(q->EarliestDeadline(), 300u);
+  TimerId early = q->Schedule(100, [] {});
+  EXPECT_EQ(q->EarliestDeadline(), 100u);
+  q->Cancel(early);
+  EXPECT_EQ(q->EarliestDeadline(), 300u);
+  q->ExpireUpTo(300);
+  EXPECT_FALSE(q->EarliestDeadline().has_value());
+}
+
+TEST_P(TimerQueueConformanceTest, CallbackMayScheduleFutureTimer) {
+  auto q = Make();
+  std::vector<uint64_t> fired_at;
+  q->Schedule(10, [&] {
+    fired_at.push_back(10);
+    q->Schedule(20, [&] { fired_at.push_back(20); });
+  });
+  q->ExpireUpTo(15);
+  EXPECT_EQ(fired_at, (std::vector<uint64_t>{10}));
+  q->ExpireUpTo(25);
+  EXPECT_EQ(fired_at, (std::vector<uint64_t>{10, 20}));
+}
+
+TEST_P(TimerQueueConformanceTest, CallbackSchedulingDueTimerFiresByNextExpire) {
+  auto q = Make();
+  int chained = 0;
+  q->Schedule(10, [&] {
+    q->Schedule(5, [&] { ++chained; });  // already due
+  });
+  q->ExpireUpTo(10);
+  // The past deadline clamps to the cursor (11); it fires as soon as time
+  // passes that point.
+  q->ExpireUpTo(11);
+  EXPECT_EQ(chained, 1);
+}
+
+TEST_P(TimerQueueConformanceTest, CallbackMayCancelPeer) {
+  auto q = Make();
+  int fired = 0;
+  TimerId victim{};
+  q->Schedule(10, [&] { q->Cancel(victim); });
+  victim = q->Schedule(10, [&] { ++fired; });
+  q->ExpireUpTo(100);
+  EXPECT_EQ(fired, 0);
+}
+
+TEST_P(TimerQueueConformanceTest, SelfReschedulingTicker) {
+  auto q = Make();
+  std::vector<uint64_t> fires;
+  uint64_t next = 10;
+  std::function<void()> tick = [&] {
+    fires.push_back(next);
+    next += 10;
+    if (next <= 100) {
+      q->Schedule(next, tick);
+    }
+  };
+  q->Schedule(next, tick);
+  for (uint64_t t = 0; t <= 120; ++t) {
+    q->ExpireUpTo(t);
+  }
+  EXPECT_EQ(fires.size(), 10u);
+  EXPECT_EQ(fires.front(), 10u);
+  EXPECT_EQ(fires.back(), 100u);
+}
+
+TEST_P(TimerQueueConformanceTest, LongHorizonDeadlines) {
+  // Deadlines far beyond any wheel horizon must still fire correctly.
+  auto q = Make();
+  std::vector<int> order;
+  q->Schedule(5, [&] { order.push_back(0); });
+  q->Schedule(100'000'000, [&] { order.push_back(2); });
+  q->Schedule(70'000, [&] { order.push_back(1); });
+  q->ExpireUpTo(10);
+  q->ExpireUpTo(80'000);
+  q->ExpireUpTo(200'000'000);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST_P(TimerQueueConformanceTest, WheelRoundCollisions) {
+  // Two timers that hash to the same bucket in different rounds (for a
+  // 1024-slot wheel at granularity 1, deadlines d and d + 1024).
+  auto q = Make();
+  std::vector<uint64_t> fires;
+  q->Schedule(100, [&] { fires.push_back(100); });
+  q->Schedule(100 + 1024, [&] { fires.push_back(1124); });
+  q->Schedule(100 + 2 * 1024, [&] { fires.push_back(2148); });
+  q->ExpireUpTo(100);
+  EXPECT_EQ(fires, (std::vector<uint64_t>{100}));
+  q->ExpireUpTo(1124);
+  EXPECT_EQ(fires, (std::vector<uint64_t>{100, 1124}));
+  q->ExpireUpTo(5000);
+  EXPECT_EQ(fires, (std::vector<uint64_t>{100, 1124, 2148}));
+}
+
+TEST_P(TimerQueueConformanceTest, RandomizedDifferentialAgainstReference) {
+  auto q = Make();
+  Rng rng(GetParam() == TimerQueueKind::kHeap ? 1 : 2);
+
+  // Reference model: multimap deadline -> (seq, id).
+  struct RefEntry {
+    uint64_t seq;
+    uint64_t key;
+  };
+  std::multimap<uint64_t, RefEntry> ref;
+  std::map<uint64_t, TimerId> live_ids;  // key -> impl id
+  uint64_t now = 0;
+  uint64_t cursor = 0;  // reference clamp point (mirrors the impls)
+  uint64_t seq = 0;
+  uint64_t next_key = 1;
+  std::vector<uint64_t> fired_impl;
+  std::vector<uint64_t> fired_ref;
+
+  for (int step = 0; step < 4000; ++step) {
+    double dice = rng.NextDouble();
+    if (dice < 0.55) {
+      // Schedule with a mix of short, long, and past deadlines.
+      uint64_t delta = 0;
+      double kind = rng.NextDouble();
+      if (kind < 0.6) {
+        delta = rng.UniformU64(64);
+      } else if (kind < 0.9) {
+        delta = rng.UniformU64(8192);
+      } else {
+        delta = rng.UniformU64(3'000'000);
+      }
+      uint64_t deadline = now + delta;
+      uint64_t key = next_key++;
+      live_ids[key] = q->Schedule(deadline, [&fired_impl, key] { fired_impl.push_back(key); });
+      // Past deadlines clamp up to the implementations' cursor.
+      ref.emplace(deadline < cursor ? cursor : deadline, RefEntry{seq++, key});
+    } else if (dice < 0.7 && !live_ids.empty()) {
+      // Cancel a random live timer.
+      auto it = live_ids.begin();
+      std::advance(it, static_cast<long>(rng.UniformU64(live_ids.size())));
+      EXPECT_TRUE(q->Cancel(it->second));
+      for (auto r = ref.begin(); r != ref.end(); ++r) {
+        if (r->second.key == it->first) {
+          ref.erase(r);
+          break;
+        }
+      }
+      live_ids.erase(it);
+    } else {
+      // Advance time and expire.
+      now += rng.UniformU64(300);
+      q->ExpireUpTo(now);
+      cursor = now + 1;
+      while (!ref.empty() && ref.begin()->first <= now) {
+        // Fire in (deadline, seq) order; multimap preserves insertion order
+        // among equal keys.
+        uint64_t key = ref.begin()->second.key;
+        fired_ref.push_back(key);
+        live_ids.erase(key);
+        ref.erase(ref.begin());
+      }
+      ASSERT_EQ(fired_impl, fired_ref) << "diverged at step " << step;
+      EXPECT_EQ(q->size(), ref.size());
+    }
+  }
+  // Drain everything.
+  now += 10'000'000;
+  q->ExpireUpTo(now);
+  while (!ref.empty() && ref.begin()->first <= now) {
+    fired_ref.push_back(ref.begin()->second.key);
+    ref.erase(ref.begin());
+  }
+  EXPECT_EQ(fired_impl, fired_ref);
+  EXPECT_EQ(q->size(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, TimerQueueConformanceTest,
+                         ::testing::Values(TimerQueueKind::kHeap,
+                                           TimerQueueKind::kHashedWheel,
+                                           TimerQueueKind::kHierarchicalWheel,
+                                           TimerQueueKind::kCalloutList),
+                         [](const ::testing::TestParamInfo<TimerQueueKind>& info) {
+                           switch (info.param) {
+                             case TimerQueueKind::kHeap:
+                               return "Heap";
+                             case TimerQueueKind::kHashedWheel:
+                               return "HashedWheel";
+                             case TimerQueueKind::kHierarchicalWheel:
+                               return "HierarchicalWheel";
+                             case TimerQueueKind::kCalloutList:
+                               return "CalloutList";
+                           }
+                           return "Unknown";
+                         });
+
+// Granularity > 1 wheels (not part of the heap's parameter space).
+TEST(HashedWheelGranularityTest, CoarseGranularityStillFiresCorrectly) {
+  for (TimerQueueKind kind : {TimerQueueKind::kHashedWheel, TimerQueueKind::kHierarchicalWheel}) {
+    auto q = MakeTimerQueue(kind, /*tick_granularity=*/8);
+    std::vector<uint64_t> fires;
+    q->Schedule(5, [&] { fires.push_back(5); });
+    q->Schedule(9, [&] { fires.push_back(9); });
+    q->Schedule(64, [&] { fires.push_back(64); });
+    q->ExpireUpTo(4);
+    EXPECT_TRUE(fires.empty());
+    q->ExpireUpTo(7);  // mid-bucket: only the due timer fires
+    EXPECT_EQ(fires, (std::vector<uint64_t>{5}));
+    q->ExpireUpTo(63);
+    EXPECT_EQ(fires, (std::vector<uint64_t>{5, 9}));
+    q->ExpireUpTo(64);
+    EXPECT_EQ(fires, (std::vector<uint64_t>{5, 9, 64}));
+  }
+}
+
+}  // namespace
+}  // namespace softtimer
