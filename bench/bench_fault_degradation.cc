@@ -1,0 +1,69 @@
+// Measures what the graceful-degradation layer costs when nothing is wrong:
+// every facility hot path runs twice, once with the seed configuration (no
+// DegradationPolicy instantiated) and once with degradation enabled but zero
+// faults injected. The delta is the price of the per-check policy
+// bookkeeping (density bucketing, backlog-age test) and the per-dispatch
+// budget accounting on an entirely healthy host.
+
+#include <benchmark/benchmark.h>
+
+#include "src/core/clock_source.h"
+#include "src/core/soft_timer_facility.h"
+#include "src/sim/simulator.h"
+
+namespace softtimer {
+namespace {
+
+struct Env {
+  explicit Env(bool degradation)
+      : clock(&sim, 1'000'000), facility(&clock, MakeConfig(degradation)) {}
+
+  static SoftTimerFacility::Config MakeConfig(bool degradation) {
+    SoftTimerFacility::Config cfg;
+    cfg.degradation.enabled = degradation;
+    cfg.degradation.handler_budget_ticks = 1'000;
+    return cfg;
+  }
+
+  Simulator sim;
+  SimClockSource clock;
+  SoftTimerFacility facility;
+};
+
+void TriggerCheckEmpty(benchmark::State& state, bool degradation) {
+  Env env(degradation);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(env.facility.OnTriggerState(TriggerSource::kSyscall));
+  }
+}
+
+void TriggerCheckEventPendingFarOut(benchmark::State& state, bool degradation) {
+  Env env(degradation);
+  env.facility.ScheduleSoftEvent(1'000'000'000,
+                                 [](const SoftTimerFacility::FireInfo&) {});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(env.facility.OnTriggerState(TriggerSource::kSyscall));
+  }
+}
+
+void ScheduleDispatchCycle(benchmark::State& state, bool degradation) {
+  Env env(degradation);
+  for (auto _ : state) {
+    env.facility.ScheduleSoftEvent(1, [](const SoftTimerFacility::FireInfo&) {},
+                                   /*handler_tag=*/7);
+    env.sim.RunUntil(env.sim.now() + SimDuration::Micros(2));
+    benchmark::DoNotOptimize(env.facility.OnTriggerState(TriggerSource::kSyscall));
+  }
+}
+
+BENCHMARK_CAPTURE(TriggerCheckEmpty, seed_baseline, false);
+BENCHMARK_CAPTURE(TriggerCheckEmpty, degradation_on, true);
+BENCHMARK_CAPTURE(TriggerCheckEventPendingFarOut, seed_baseline, false);
+BENCHMARK_CAPTURE(TriggerCheckEventPendingFarOut, degradation_on, true);
+BENCHMARK_CAPTURE(ScheduleDispatchCycle, seed_baseline, false);
+BENCHMARK_CAPTURE(ScheduleDispatchCycle, degradation_on, true);
+
+}  // namespace
+}  // namespace softtimer
+
+BENCHMARK_MAIN();

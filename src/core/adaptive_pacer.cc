@@ -1,5 +1,6 @@
 #include "src/core/adaptive_pacer.h"
 
+#include <algorithm>
 #include <cassert>
 
 namespace softtimer {
@@ -29,6 +30,28 @@ uint64_t AdaptivePacer::OnPacketSent(uint64_t now_tick) {
     return config_.min_burst_interval_ticks;
   }
   return config_.target_interval_ticks;
+}
+
+uint64_t AdaptivePacer::CoalescedBurstBudget(uint64_t now_tick) {
+  if (config_.max_coalesced_burst_packets <= 1) {
+    return 1;
+  }
+  // Next packet is on schedule at train_start + n * target (packet n+1 of
+  // the train). Whole intervals behind that is the deficit a stale wakeup
+  // may make up; the burst stays within the maximal allowable burst rate
+  // because deficit <= behind / min_burst_interval.
+  uint64_t on_schedule_tick =
+      train_start_tick_ + packets_sent_ * config_.target_interval_ticks;
+  if (now_tick <= on_schedule_tick) {
+    return 1;
+  }
+  uint64_t deficit = (now_tick - on_schedule_tick) / config_.target_interval_ticks;
+  uint64_t budget =
+      1 + std::min<uint64_t>(deficit, config_.max_coalesced_burst_packets - 1);
+  if (budget > 1) {
+    ++coalesced_bursts_;
+  }
+  return budget;
 }
 
 void FixedPacer::StartTrain(uint64_t now_tick) {

@@ -34,6 +34,13 @@ class AdaptivePacer {
     // Smallest interval the pacer may schedule when catching up; corresponds
     // to the maximal allowable burst rate (e.g. 12 us = 1500 B at 1 Gbps).
     uint64_t min_burst_interval_ticks = 0;
+    // Degradation recovery: when a pace event arrives several target
+    // intervals late (a trigger drought or quarantined host stalled the
+    // soft-timer stream), the caller may coalesce the missed schedule into
+    // one bounded burst at this wakeup instead of firing a convoy of
+    // catch-up events. Caps the packets per wakeup; 0 disables coalescing
+    // (every wakeup sends exactly one packet, the seed behaviour).
+    uint32_t max_coalesced_burst_packets = 0;
   };
 
   explicit AdaptivePacer(Config config);
@@ -46,15 +53,26 @@ class AdaptivePacer {
   // ticks) at which the next transmission event should be scheduled.
   uint64_t OnPacketSent(uint64_t now_tick);
 
+  // Packets the caller may transmit back-to-back at a (possibly stale)
+  // wakeup: 1 plus the whole target intervals the train is behind schedule,
+  // capped at max_coalesced_burst_packets. The burst replaces the deficit's
+  // worth of catch-up events, and its size is what the maximal allowable
+  // burst rate permits over the missed span, so one stale event cannot turn
+  // into an unbounded convoy. Always 1 when coalescing is disabled.
+  uint64_t CoalescedBurstBudget(uint64_t now_tick);
+
   uint64_t packets_sent() const { return packets_sent_; }
   // How often the catch-up (burst) branch was taken.
   uint64_t catchup_decisions() const { return catchup_decisions_; }
+  // Wakeups where CoalescedBurstBudget granted more than one packet.
+  uint64_t coalesced_bursts() const { return coalesced_bursts_; }
 
  private:
   Config config_;
   uint64_t train_start_tick_ = 0;
   uint64_t packets_sent_ = 0;
   uint64_t catchup_decisions_ = 0;
+  uint64_t coalesced_bursts_ = 0;
 };
 
 // Schedules every transmission at the fixed target interval regardless of

@@ -1,0 +1,149 @@
+#include "src/core/degradation_policy.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace softtimer {
+
+DegradationPolicy::DegradationPolicy(Config config, uint64_t ticks_per_backup_interval)
+    : config_(config), x_(ticks_per_backup_interval) {
+  assert(x_ > 0);
+  assert(config_.max_backup_rate_multiplier >= 1);
+  assert(config_.deescalate_after_healthy_intervals >= 1);
+  assert(config_.quarantine_after_strikes >= 1);
+  assert(config_.quarantine_release_after_clean >= 1);
+}
+
+void DegradationPolicy::AddDroughtListener(std::function<void(bool)> fn) {
+  drought_listeners_.push_back(std::move(fn));
+}
+
+void DegradationPolicy::NotifyDrought(bool entering) {
+  if (entering) {
+    ++stats_.droughts_detected;
+  } else {
+    ++stats_.droughts_ended;
+  }
+  for (auto& fn : drought_listeners_) {
+    fn(entering);
+  }
+}
+
+void DegradationPolicy::Escalate(uint64_t now_tick) {
+  // At most one escalation step per backup interval, so a burst of unhealthy
+  // checks within one interval cannot jump straight to the cap.
+  if (escalated_once_ && now_tick - last_escalate_tick_ < x_) {
+    return;
+  }
+  uint32_t next = std::min(config_.max_backup_rate_multiplier, multiplier_ * 2);
+  healthy_streak_ = 0;
+  last_escalate_tick_ = now_tick;
+  escalated_once_ = true;
+  if (next == multiplier_) {
+    return;  // already at the cap
+  }
+  bool was_nominal = multiplier_ == 1;
+  multiplier_ = next;
+  ++stats_.escalations;
+  if (was_nominal) {
+    NotifyDrought(true);
+  }
+}
+
+void DegradationPolicy::MaybeDeescalate() {
+  if (multiplier_ == 1 || healthy_streak_ < config_.deescalate_after_healthy_intervals) {
+    return;
+  }
+  multiplier_ /= 2;
+  ++stats_.deescalations;
+  healthy_streak_ = 0;
+  if (multiplier_ == 1) {
+    NotifyDrought(false);
+  }
+}
+
+void DegradationPolicy::OnCheck(uint64_t now_tick, TriggerSource source,
+                                std::optional<uint64_t> earliest_deadline, size_t pending) {
+  (void)source;
+  uint64_t interval = now_tick / x_;
+  if (!have_interval_) {
+    have_interval_ = true;
+    current_interval_ = interval;
+    checks_in_interval_ = 0;
+  }
+  if (interval != current_interval_) {
+    // The interval we just completed, plus any skipped entirely (a skipped
+    // interval means no check of any kind ran for a full backup period).
+    bool skipped = interval - current_interval_ > 1;
+    bool sparse = checks_in_interval_ < config_.density_floor_checks_per_interval;
+    if ((sparse || skipped) && pending > 0) {
+      Escalate(now_tick);
+    } else {
+      ++healthy_streak_;
+      MaybeDeescalate();
+    }
+    current_interval_ = interval;
+    checks_in_interval_ = 0;
+  }
+  ++checks_in_interval_;
+
+  if (earliest_deadline && now_tick > *earliest_deadline) {
+    double age = static_cast<double>(now_tick - *earliest_deadline);
+    if (age > config_.backlog_age_factor * static_cast<double>(x_)) {
+      Escalate(now_tick);
+    }
+  }
+}
+
+void DegradationPolicy::OnDispatchCost(uint32_t handler_tag, uint64_t cost_ticks) {
+  if (handler_tag == 0 || config_.handler_budget_ticks == 0) {
+    return;
+  }
+  HandlerRecord& h = handlers_[handler_tag];
+  if (cost_ticks >= config_.handler_budget_ticks) {
+    ++stats_.budget_overruns;
+    h.clean_streak = 0;
+    if (!h.quarantined && ++h.strikes >= config_.quarantine_after_strikes) {
+      h.quarantined = true;
+      ++quarantined_count_;
+      ++stats_.quarantines;
+    }
+  } else {
+    h.strikes = 0;
+    if (h.quarantined && ++h.clean_streak >= config_.quarantine_release_after_clean) {
+      h.quarantined = false;
+      h.clean_streak = 0;
+      --quarantined_count_;
+      ++stats_.releases;
+    }
+  }
+}
+
+void DegradationPolicy::NoteDeferred(bool quarantine) {
+  if (quarantine) {
+    ++stats_.deferred_quarantine;
+  } else {
+    ++stats_.deferred_batch_cap;
+  }
+}
+
+bool DegradationPolicy::IsQuarantined(uint32_t handler_tag) const {
+  if (quarantined_count_ == 0) {
+    return false;
+  }
+  auto it = handlers_.find(handler_tag);
+  return it != handlers_.end() && it->second.quarantined;
+}
+
+void DegradationPolicy::Release(uint32_t handler_tag) {
+  auto it = handlers_.find(handler_tag);
+  if (it == handlers_.end() || !it->second.quarantined) {
+    return;
+  }
+  it->second = HandlerRecord{};
+  --quarantined_count_;
+  ++stats_.releases;
+}
+
+}  // namespace softtimer

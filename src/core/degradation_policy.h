@@ -1,0 +1,165 @@
+// DegradationPolicy - graceful-degradation control for the soft-timer
+// facility.
+//
+// The paper's bound T < ActualEventTime < T + X + 1 silently assumes a
+// healthy host: trigger states keep arriving, the backup interrupt never
+// slips, and handlers return quickly. This policy watches for the regimes
+// where those assumptions break and drives the facility's (and its host's)
+// responses:
+//
+//  * Trigger drought / backup slip - the policy tracks the density of
+//    checks per backup interval and the age of the overdue backlog. When
+//    density falls below a floor while events are pending, or the backlog
+//    age exceeds backlog_age_factor * X, it escalates the backup-interrupt
+//    rate multiplier (the host reprograms its periodic timer to
+//    interrupt_clock_hz * multiplier - the paper's own safety net, turned
+//    up). De-escalation needs a streak of healthy intervals (hysteresis),
+//    so a single recovered interval does not flap the rate back down.
+//
+//  * Handler overrun - each dispatch's cost (reported by the host) is
+//    checked against a per-dispatch budget. A handler tag that blows the
+//    budget `quarantine_after_strikes` times in a row is quarantined: its
+//    events are deferred to backup-interrupt dispatches only, so a runaway
+//    handler cannot stall trigger-state batches. A quarantined tag is
+//    released automatically after a streak of in-budget dispatches, or
+//    manually via Release().
+//
+//  * Overdue-batch livelock - max_dispatches_per_check caps how many
+//    handlers one check may invoke; the facility carries the remainder to
+//    the next trigger state.
+//
+// The policy is pure tick-domain arithmetic: no clock, no allocation on the
+// per-check path, fully deterministic.
+
+#ifndef SOFTTIMER_SRC_CORE_DEGRADATION_POLICY_H_
+#define SOFTTIMER_SRC_CORE_DEGRADATION_POLICY_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "src/core/trigger.h"
+
+namespace softtimer {
+
+class DegradationPolicy {
+ public:
+  struct Config {
+    // Master switch; the facility only instantiates a policy when true, so
+    // the happy path of a non-degraded facility pays nothing.
+    bool enabled = false;
+
+    // --- Drought / backup-slip detection --------------------------------
+    // Minimum checks per backup interval considered healthy. Below this
+    // (with events pending), the backup rate escalates.
+    uint32_t density_floor_checks_per_interval = 4;
+    // Escalate when the earliest pending deadline is more than
+    // backlog_age_factor * X ticks overdue.
+    double backlog_age_factor = 2.0;
+    // Backup-rate multiplier doubles per escalation up to this cap.
+    uint32_t max_backup_rate_multiplier = 8;
+    // Consecutive healthy intervals required before each halving of the
+    // multiplier (hysteresis).
+    uint32_t deescalate_after_healthy_intervals = 4;
+
+    // --- Handler budget / quarantine ------------------------------------
+    // Per-dispatch handler cost budget in measurement ticks; 0 disables
+    // budget enforcement. Costs are whatever the host reports via the
+    // facility's dispatch-cost probe.
+    uint64_t handler_budget_ticks = 0;
+    // Consecutive over-budget dispatches before a tag is quarantined.
+    uint32_t quarantine_after_strikes = 3;
+    // Consecutive in-budget dispatches before a quarantined tag is
+    // released.
+    uint32_t quarantine_release_after_clean = 8;
+
+    // --- Batch cap -------------------------------------------------------
+    // Max handlers dispatched per OnTriggerState call; 0 = unlimited.
+    // Remainder is carried to the next check.
+    size_t max_dispatches_per_check = 0;
+  };
+
+  struct Stats {
+    uint64_t escalations = 0;
+    uint64_t deescalations = 0;
+    uint64_t droughts_detected = 0;   // multiplier left 1
+    uint64_t droughts_ended = 0;      // multiplier returned to 1
+    uint64_t budget_overruns = 0;     // dispatches costing >= budget
+    uint64_t quarantines = 0;
+    uint64_t releases = 0;
+    uint64_t deferred_quarantine = 0; // dispatch deferrals: quarantined tag
+    uint64_t deferred_batch_cap = 0;  // dispatch deferrals: batch cap hit
+  };
+
+  // `ticks_per_backup_interval` is the paper's X at the *base* (unescalated)
+  // backup rate; density and backlog ages are measured against it.
+  DegradationPolicy(Config config, uint64_t ticks_per_backup_interval);
+
+  // Called by the facility at the top of every OnTriggerState, before
+  // expiry. `earliest_deadline` / `pending` describe the queue at entry.
+  void OnCheck(uint64_t now_tick, TriggerSource source,
+               std::optional<uint64_t> earliest_deadline, size_t pending);
+
+  // Called by the facility after each handler returns, with the dispatch
+  // cost the host reported (0 when no probe is installed). Tag 0 is the
+  // anonymous tag and is exempt from budget enforcement.
+  void OnDispatchCost(uint32_t handler_tag, uint64_t cost_ticks);
+
+  // Deferral accounting (called by the facility when it defers a dispatch).
+  void NoteDeferred(bool quarantine);
+
+  bool IsQuarantined(uint32_t handler_tag) const;
+  // Manual release path; clears the tag's strike history.
+  void Release(uint32_t handler_tag);
+
+  // Current backup-rate multiplier the host should apply (1 = nominal).
+  uint32_t backup_rate_multiplier() const { return multiplier_; }
+  bool in_drought() const { return multiplier_ > 1; }
+  size_t max_dispatches_per_check() const { return config_.max_dispatches_per_check; }
+  uint64_t handler_budget_ticks() const { return config_.handler_budget_ticks; }
+  size_t quarantined_count() const { return quarantined_count_; }
+
+  // Listeners fire on drought transitions: entering=true when the
+  // multiplier first leaves 1, entering=false when it returns to 1.
+  // Downstream recovery hooks (e.g. PollGovernor::ResetRate) attach here.
+  void AddDroughtListener(std::function<void(bool entering)> fn);
+
+  const Stats& stats() const { return stats_; }
+  const Config& config() const { return config_; }
+
+ private:
+  struct HandlerRecord {
+    uint32_t strikes = 0;       // consecutive over-budget dispatches
+    uint32_t clean_streak = 0;  // consecutive in-budget dispatches
+    bool quarantined = false;
+  };
+
+  void Escalate(uint64_t now_tick);
+  void MaybeDeescalate();
+  void NotifyDrought(bool entering);
+
+  Config config_;
+  uint64_t x_;  // base ticks per backup interval
+
+  // Check-density tracking, bucketed by backup interval index.
+  bool have_interval_ = false;
+  uint64_t current_interval_ = 0;
+  uint64_t checks_in_interval_ = 0;
+
+  uint32_t multiplier_ = 1;
+  uint32_t healthy_streak_ = 0;
+  uint64_t last_escalate_tick_ = 0;
+  bool escalated_once_ = false;
+
+  std::unordered_map<uint32_t, HandlerRecord> handlers_;
+  size_t quarantined_count_ = 0;
+  std::vector<std::function<void(bool)>> drought_listeners_;
+  Stats stats_;
+};
+
+}  // namespace softtimer
+
+#endif  // SOFTTIMER_SRC_CORE_DEGRADATION_POLICY_H_

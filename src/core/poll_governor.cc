@@ -23,6 +23,7 @@ void PollGovernor::ResetRate() {
   window_pos_ = 0;
   window_found_sum_ = 0;
   window_elapsed_sum_ = 0;
+  resume_pending_ = true;
 }
 
 double PollGovernor::rate_estimate() const {
@@ -35,6 +36,13 @@ double PollGovernor::rate_estimate() const {
 uint64_t PollGovernor::OnPoll(size_t packets_found, uint64_t elapsed_ticks) {
   ++polls_;
   packets_total_ += packets_found;
+  if (resume_pending_) {
+    // The gap since the previous poll covers the pause, not a real
+    // inter-poll interval; crediting it to the window would read as a near
+    // zero arrival rate and slam the interval to its maximum.
+    elapsed_ticks = std::min(elapsed_ticks, interval_);
+    resume_pending_ = false;
+  }
   if (elapsed_ticks == 0) {
     elapsed_ticks = 1;
   }

@@ -52,7 +52,10 @@ class PollGovernor {
   uint64_t OnPoll(size_t packets_found, uint64_t elapsed_ticks);
 
   // Forgets rate history (call when polling resumes after a pause, so the
-  // off-time does not read as a low arrival rate).
+  // off-time does not read as a low arrival rate). The first OnPoll after a
+  // reset clamps its elapsed time to the current interval: that elapsed span
+  // covers the pause (or a trigger drought), not a real inter-poll gap, and
+  // must not enter the rate estimate.
   void ResetRate();
 
   uint64_t current_interval_ticks() const { return interval_; }
@@ -78,6 +81,9 @@ class PollGovernor {
   uint64_t window_elapsed_sum_ = 0;
   uint64_t polls_ = 0;
   uint64_t packets_total_ = 0;
+  // Set by ResetRate; the next OnPoll's elapsed time spans the pause and is
+  // clamped so it cannot poison the post-resume rate estimate.
+  bool resume_pending_ = false;
 };
 
 }  // namespace softtimer

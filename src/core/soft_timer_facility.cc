@@ -11,34 +11,85 @@ SoftTimerFacility::SoftTimerFacility(const ClockSource* clock, Config config)
   assert(config_.interrupt_clock_hz > 0);
   assert(clock_->ResolutionHz() >= config_.interrupt_clock_hz);
   queue_ = MakeTimerQueue(config_.queue_kind);
+  if (config_.degradation.enabled) {
+    policy_ = std::make_unique<DegradationPolicy>(config_.degradation,
+                                                  ticks_per_backup_interval());
+  }
 }
 
 uint64_t SoftTimerFacility::ticks_per_backup_interval() const {
   return clock_->ResolutionHz() / config_.interrupt_clock_hz;
 }
 
-SoftEventId SoftTimerFacility::ScheduleSoftEvent(uint64_t delta_ticks, Handler handler) {
+void SoftTimerFacility::Dispatch(uint64_t scheduled_tick, uint64_t delta_ticks,
+                                 uint32_t tag, const Handler& handler) {
+  FireInfo info;
+  info.scheduled_tick = scheduled_tick;
+  info.delta_ticks = delta_ticks;
+  info.fired_tick = MeasureTime();
+  info.source = dispatch_source_;
+  info.handler_tag = tag;
+  ++stats_.dispatches;
+  ++stats_.dispatches_by_source[static_cast<size_t>(dispatch_source_)];
+  stats_.lateness_ticks.Add(static_cast<double>(info.lateness_ticks()));
+  if (dispatch_observer_) {
+    dispatch_observer_(info);
+  }
+  handler(info);
+  if (policy_) {
+    ++dispatched_this_check_;
+    uint64_t cost = dispatch_cost_probe_ ? dispatch_cost_probe_(info) : 0;
+    policy_->OnDispatchCost(tag, cost);
+  }
+}
+
+void SoftTimerFacility::RunOrDefer(const std::shared_ptr<EventState>& st) {
+  bool quarantine_block = st->tag != 0 &&
+                          dispatch_source_ != TriggerSource::kBackupIntr &&
+                          policy_->IsQuarantined(st->tag);
+  size_t cap = policy_->max_dispatches_per_check();
+  bool cap_block = !quarantine_block && cap != 0 && dispatched_this_check_ >= cap;
+  if (quarantine_block || cap_block) {
+    policy_->NoteDeferred(quarantine_block);
+    // Re-enter the queue at the original deadline; the queue clamps a past
+    // deadline to one tick beyond the current expiry, so the event is
+    // re-examined at the next check (carrying the batch remainder forward;
+    // a quarantined tag keeps deferring until a backup check reaches it).
+    TimerId tid = queue_->Schedule(st->deadline, [this, st] { RunOrDefer(st); });
+    st->deferred = true;
+    deferred_remap_[st->public_id] = tid;
+    return;
+  }
+  if (st->deferred) {
+    deferred_remap_.erase(st->public_id);
+  }
+  Dispatch(st->scheduled_tick, st->delta_ticks, st->tag, st->handler);
+}
+
+SoftEventId SoftTimerFacility::ScheduleSoftEvent(uint64_t delta_ticks, Handler handler,
+                                                 uint32_t handler_tag) {
   uint64_t scheduled_tick = MeasureTime();
   // Fire when measure_time() exceeds the scheduled value by at least T + 1;
   // the +1 covers the event not being scheduled exactly on a tick boundary.
   uint64_t deadline = scheduled_tick + delta_ticks + 1;
   ++stats_.scheduled;
-  TimerId tid = queue_->Schedule(
-      deadline,
-      [this, scheduled_tick, delta_ticks, handler = std::move(handler)]() {
-        FireInfo info;
-        info.scheduled_tick = scheduled_tick;
-        info.delta_ticks = delta_ticks;
-        info.fired_tick = MeasureTime();
-        info.source = dispatch_source_;
-        ++stats_.dispatches;
-        ++stats_.dispatches_by_source[static_cast<size_t>(dispatch_source_)];
-        stats_.lateness_ticks.Add(static_cast<double>(info.lateness_ticks()));
-        if (dispatch_observer_) {
-          dispatch_observer_(info);
-        }
-        handler(info);
-      });
+  TimerId tid;
+  if (!policy_) {
+    tid = queue_->Schedule(
+        deadline, [this, scheduled_tick, delta_ticks, handler_tag,
+                   handler = std::move(handler)]() {
+          Dispatch(scheduled_tick, delta_ticks, handler_tag, handler);
+        });
+  } else {
+    auto st = std::make_shared<EventState>();
+    st->scheduled_tick = scheduled_tick;
+    st->delta_ticks = delta_ticks;
+    st->deadline = deadline;
+    st->tag = handler_tag;
+    st->handler = std::move(handler);
+    tid = queue_->Schedule(deadline, [this, st] { RunOrDefer(st); });
+    st->public_id = tid.value;
+  }
   if (schedule_observer_) {
     schedule_observer_();
   }
@@ -47,6 +98,13 @@ SoftEventId SoftTimerFacility::ScheduleSoftEvent(uint64_t delta_ticks, Handler h
 
 bool SoftTimerFacility::CancelSoftEvent(SoftEventId id) {
   bool ok = queue_->Cancel(TimerId{id.value});
+  if (!ok && !deferred_remap_.empty()) {
+    auto it = deferred_remap_.find(id.value);
+    if (it != deferred_remap_.end()) {
+      ok = queue_->Cancel(it->second);
+      deferred_remap_.erase(it);
+    }
+  }
   if (ok) {
     ++stats_.cancelled;
   }
@@ -56,7 +114,14 @@ bool SoftTimerFacility::CancelSoftEvent(SoftEventId id) {
 size_t SoftTimerFacility::OnTriggerState(TriggerSource source) {
   ++stats_.checks;
   dispatch_source_ = source;
-  return queue_->ExpireUpTo(MeasureTime());
+  if (!policy_) {
+    return queue_->ExpireUpTo(MeasureTime());
+  }
+  uint64_t now = MeasureTime();
+  policy_->OnCheck(now, source, queue_->EarliestDeadline(), queue_->size());
+  dispatched_this_check_ = 0;
+  queue_->ExpireUpTo(now);
+  return dispatched_this_check_;
 }
 
 }  // namespace softtimer

@@ -31,8 +31,10 @@
 #include <functional>
 #include <memory>
 #include <optional>
+#include <unordered_map>
 
 #include "src/core/clock_source.h"
+#include "src/core/degradation_policy.h"
 #include "src/core/trigger.h"
 #include "src/stats/summary_stats.h"
 #include "src/timer/timer_queue.h"
@@ -55,6 +57,10 @@ class SoftTimerFacility {
     // Timer data structure holding pending events (the paper uses a modified
     // timing wheel).
     TimerQueueKind queue_kind = TimerQueueKind::kHashedWheel;
+    // Graceful-degradation policy (drought escalation, handler quarantine,
+    // batch caps). Disabled by default: the facility then runs the seed's
+    // zero-overhead dispatch path.
+    DegradationPolicy::Config degradation;
   };
 
   // Context passed to a firing handler.
@@ -63,9 +69,16 @@ class SoftTimerFacility {
     uint64_t delta_ticks;     // the T passed to ScheduleSoftEvent
     uint64_t fired_tick;      // MeasureTime() at dispatch
     TriggerSource source;     // which trigger state (or backup) fired it
+    uint32_t handler_tag = 0; // caller-chosen handler class (0 = anonymous)
     // Lateness beyond the scheduled delay: fired - scheduled - T. Always
-    // >= 1 because of the +1 rounding tick; the paper's d = lateness - 1.
-    uint64_t lateness_ticks() const { return fired_tick - scheduled_tick - delta_ticks; }
+    // >= 1 on a healthy clock because of the +1 rounding tick (the paper's
+    // d = lateness - 1); clamped to 0 when a clock anomaly (stall/backward
+    // step) makes the dispatch tick precede the nominal due time, so the
+    // anomaly cannot wrap to a huge uint64 and poison Stats::lateness_ticks.
+    uint64_t lateness_ticks() const {
+      uint64_t due = scheduled_tick + delta_ticks;
+      return fired_tick < due ? 0 : fired_tick - due;
+    }
   };
   using Handler = std::function<void(const FireInfo&)>;
 
@@ -78,7 +91,10 @@ class SoftTimerFacility {
 
   // Schedules `handler` to be called at least `delta_ticks` ticks in the
   // future (at the first trigger state or backup interrupt past the bound).
-  SoftEventId ScheduleSoftEvent(uint64_t delta_ticks, Handler handler);
+  // `handler_tag` names the handler class for budget/quarantine accounting
+  // under the degradation policy; tag 0 is anonymous and exempt.
+  SoftEventId ScheduleSoftEvent(uint64_t delta_ticks, Handler handler,
+                                uint32_t handler_tag = 0);
 
   // Cancels a pending event; false if it fired or was already cancelled.
   bool CancelSoftEvent(SoftEventId id);
@@ -106,6 +122,33 @@ class SoftTimerFacility {
     schedule_observer_ = std::move(obs);
   }
 
+  // Probe invoked after each handler returns (only when the degradation
+  // policy is enabled), returning the dispatch's cost in measurement ticks
+  // so the policy can enforce the per-dispatch handler budget. The host is
+  // the only party that knows the charged CPU cost; without a probe, costs
+  // read as 0 and no handler is ever quarantined.
+  void set_dispatch_cost_probe(std::function<uint64_t(const FireInfo&)> probe) {
+    dispatch_cost_probe_ = std::move(probe);
+  }
+
+  // --- Degradation ------------------------------------------------------
+  // Non-null when Config::degradation.enabled.
+  DegradationPolicy* degradation() { return policy_.get(); }
+  const DegradationPolicy* degradation() const { return policy_.get(); }
+
+  // Backup-rate multiplier the host should run its periodic interrupt at
+  // (1 = nominal; the policy escalates it during droughts).
+  uint32_t backup_rate_multiplier() const {
+    return policy_ ? policy_->backup_rate_multiplier() : 1;
+  }
+
+  // Registers a drought-transition listener (no-op without a policy).
+  void AddDroughtListener(std::function<void(bool entering)> fn) {
+    if (policy_) {
+      policy_->AddDroughtListener(std::move(fn));
+    }
+  }
+
   // --- Introspection ----------------------------------------------------
   // Earliest pending deadline (absolute tick), if any. The idle loop uses
   // this to decide whether to halt (Section 5.2: halt when nothing is due
@@ -131,14 +174,40 @@ class SoftTimerFacility {
   void ResetStats() { stats_ = Stats{}; }
 
  private:
+  // Per-event state shared between a policy-mode dispatch wrapper and its
+  // deferred reschedules (the wrapper re-enters the queue when quarantined
+  // or over the batch cap, keeping the original FireInfo and public id).
+  struct EventState {
+    uint64_t scheduled_tick;
+    uint64_t delta_ticks;
+    uint64_t deadline;
+    uint32_t tag;
+    uint64_t public_id;     // the SoftEventId handed to the caller
+    bool deferred = false;  // currently living under a remapped TimerId
+    Handler handler;
+  };
+
+  void Dispatch(uint64_t scheduled_tick, uint64_t delta_ticks, uint32_t tag,
+                const Handler& handler);
+  // Policy-mode dispatch: runs the handler, or defers it (quarantined tag at
+  // a non-backup check, or batch cap reached) by rescheduling into the queue.
+  void RunOrDefer(const std::shared_ptr<EventState>& st);
+
   const ClockSource* clock_;
   Config config_;
   std::unique_ptr<TimerQueue> queue_;
+  std::unique_ptr<DegradationPolicy> policy_;
   std::function<void(const FireInfo&)> dispatch_observer_;
   std::function<void()> schedule_observer_;
+  std::function<uint64_t(const FireInfo&)> dispatch_cost_probe_;
   // Trigger source of the OnTriggerState call currently dispatching, so the
   // per-event callbacks can attribute their FireInfo (single-threaded).
   TriggerSource dispatch_source_ = TriggerSource::kBackupIntr;
+  // Handlers invoked by the OnTriggerState call in progress (policy mode).
+  size_t dispatched_this_check_ = 0;
+  // SoftEventId -> current TimerId for events whose queue entry was replaced
+  // by a deferral; consulted by CancelSoftEvent. Empty on the happy path.
+  std::unordered_map<uint64_t, TimerId> deferred_remap_;
   Stats stats_;
 };
 

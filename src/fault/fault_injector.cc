@@ -1,0 +1,102 @@
+#include "src/fault/fault_injector.h"
+
+#include <utility>
+
+namespace softtimer::fault {
+
+FaultInjector::FaultInjector(const ClockSource* true_clock, FaultPlan plan,
+                             uint64_t seed)
+    : true_clock_(true_clock),
+      plan_(std::move(plan)),
+      rng_(seed),
+      faulty_clock_(true_clock, plan_.clock_stalls, plan_.clock_jumps) {}
+
+bool FaultInjector::SuppressTrigger(TriggerSource source) {
+  (void)source;
+  uint64_t now = TrueNow();
+  for (const FaultWindow& w : plan_.trigger_droughts) {
+    if (w.Contains(now)) {
+      ++stats_.triggers_suppressed;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool FaultInjector::DropBackupInterrupt() {
+  uint64_t now = TrueNow();
+  for (const FaultPlan::BackupLoss& f : plan_.backup_loss) {
+    if (f.window.Contains(now) && rng_.Bernoulli(f.drop_probability)) {
+      ++stats_.backups_dropped;
+      return true;
+    }
+  }
+  return false;
+}
+
+uint64_t FaultInjector::BackupJitterTicks() {
+  uint64_t now = TrueNow();
+  for (const FaultPlan::BackupJitter& f : plan_.backup_jitter) {
+    if (f.window.Contains(now) && f.max_jitter_ticks > 0) {
+      uint64_t j = rng_.UniformU64(f.max_jitter_ticks + 1);
+      if (j > 0) {
+        ++stats_.backups_jittered;
+      }
+      return j;
+    }
+  }
+  return 0;
+}
+
+SimDuration FaultInjector::HandlerOverrunExtra(uint32_t handler_tag) {
+  uint64_t now = TrueNow();
+  for (const FaultPlan::HandlerOverrun& f : plan_.handler_overruns) {
+    if (f.handler_tag == handler_tag && f.window.Contains(now)) {
+      ++stats_.overruns_injected;
+      return f.extra_runtime;
+    }
+  }
+  return SimDuration::Zero();
+}
+
+Link::FaultAction FaultInjector::LinkAction(const Packet& p) {
+  (void)p;
+  uint64_t now = TrueNow();
+  for (const FaultPlan::LinkFault& f : plan_.link_faults) {
+    if (!f.window.Contains(now)) {
+      continue;
+    }
+    if (f.drop_probability > 0 && rng_.Bernoulli(f.drop_probability)) {
+      ++stats_.packets_dropped;
+      return Link::FaultAction::kDrop;
+    }
+    if (f.duplicate_probability > 0 && rng_.Bernoulli(f.duplicate_probability)) {
+      ++stats_.packets_duplicated;
+      return Link::FaultAction::kDuplicate;
+    }
+  }
+  return Link::FaultAction::kNone;
+}
+
+void FaultInjector::InstallOn(Kernel* kernel) {
+  Kernel::FaultHooks hooks;
+  if (!plan_.trigger_droughts.empty()) {
+    hooks.suppress_trigger = [this](TriggerSource s) { return SuppressTrigger(s); };
+  }
+  if (!plan_.backup_loss.empty()) {
+    hooks.drop_backup = [this] { return DropBackupInterrupt(); };
+  }
+  if (!plan_.backup_jitter.empty()) {
+    hooks.backup_jitter_ticks = [this] { return BackupJitterTicks(); };
+  }
+  if (!plan_.handler_overruns.empty()) {
+    hooks.handler_overrun = [this](uint32_t tag) { return HandlerOverrunExtra(tag); };
+  }
+  kernel->set_fault_hooks(std::move(hooks));
+}
+
+void FaultInjector::InstallOn(Link* link) {
+  link->set_fault_hook([this](const Packet& p) { return LinkAction(p); });
+}
+
+}  // namespace softtimer::fault

@@ -1,0 +1,87 @@
+// Declarative fault plans for the soft-timer fault-injection harness.
+//
+// A FaultPlan is pure data: a set of windows on the measurement-clock tick
+// timeline (true time, before any injected clock anomaly) plus the fault
+// each window carries. The plan is interpreted by a FaultInjector, which
+// draws all probabilistic decisions from one seeded Rng so that a given
+// (plan, seed) pair perturbs a simulation identically on every run.
+//
+// Faults modelled, mapped to the failure modes of the paper's facility:
+//
+//   trigger_droughts  - the kernel stops passing through trigger states
+//                       (e.g. a long kernel section with no checks), the
+//                       paper's worst case for soft-timer latency.
+//   backup_loss       - the backup periodic interrupt is masked or lost, so
+//                       the T + X + 1 backstop itself degrades.
+//   backup_jitter     - the backup tick arrives late by a bounded amount.
+//   clock_stalls /    - the measurement clock (a cycle counter) freezes or
+//   clock_jumps         leaps forward; see FaultyClockSource.
+//   handler_overruns  - a handler tag runs far past its expected cost,
+//                       stalling the kernel (long non-preemptible section).
+//   link_faults       - burst loss / duplication on a network link.
+
+#ifndef SOFTTIMER_SRC_FAULT_FAULT_PLAN_H_
+#define SOFTTIMER_SRC_FAULT_FAULT_PLAN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/fault/faulty_clock_source.h"
+#include "src/sim/time.h"
+
+namespace softtimer::fault {
+
+// Half-open tick interval [start_tick, start_tick + duration_ticks).
+struct FaultWindow {
+  uint64_t start_tick = 0;
+  uint64_t duration_ticks = 0;
+
+  bool Contains(uint64_t tick) const {
+    return tick >= start_tick && tick - start_tick < duration_ticks;
+  }
+};
+
+struct FaultPlan {
+  // Non-backup trigger states inside these windows are swallowed.
+  std::vector<FaultWindow> trigger_droughts;
+
+  // Backup ticks inside the window are dropped with the given probability.
+  struct BackupLoss {
+    FaultWindow window;
+    double drop_probability = 1.0;
+  };
+  std::vector<BackupLoss> backup_loss;
+
+  // Backup ticks inside the window are delayed by U[0, max_jitter_ticks].
+  struct BackupJitter {
+    FaultWindow window;
+    uint64_t max_jitter_ticks = 0;
+  };
+  std::vector<BackupJitter> backup_jitter;
+
+  // Measurement-clock anomalies (windows in true tick time; see
+  // FaultyClockSource for the monotone transform they produce).
+  std::vector<FaultyClockSource::Stall> clock_stalls;
+  std::vector<FaultyClockSource::Jump> clock_jumps;
+
+  // Dispatches of `handler_tag` inside the window run `extra_runtime` long.
+  struct HandlerOverrun {
+    FaultWindow window;
+    uint32_t handler_tag = 0;
+    SimDuration extra_runtime;
+  };
+  std::vector<HandlerOverrun> handler_overruns;
+
+  // Packets entering an instrumented link inside the window are dropped /
+  // duplicated with the given probabilities (drop is tried first).
+  struct LinkFault {
+    FaultWindow window;
+    double drop_probability = 0.0;
+    double duplicate_probability = 0.0;
+  };
+  std::vector<LinkFault> link_faults;
+};
+
+}  // namespace softtimer::fault
+
+#endif  // SOFTTIMER_SRC_FAULT_FAULT_PLAN_H_

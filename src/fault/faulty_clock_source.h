@@ -1,0 +1,71 @@
+// A ClockSource wrapper that models cycle-counter anomalies.
+//
+// The paper's facility reads "the clock (usually a CPU register)". Real
+// cycle counters misbehave: SMM firmware can stall them, power management
+// can stop them, and resynchronization can make them leap. FaultyClockSource
+// reproduces the two recoverable shapes while preserving the ClockSource
+// monotonicity contract:
+//
+//   Stall - for `duration_ticks` of true time starting at `start_tick` the
+//           reported clock is frozen; afterwards it runs at normal rate but
+//           permanently lags by the stalled amount.
+//   Jump  - at `at_tick` the reported clock leaps forward by `jump_ticks`.
+//
+// The transform is a pure function of the base clock, so a deterministic
+// simulation stays deterministic. Stall windows must not overlap each other
+// (overlap would double-count lost ticks and could break monotonicity).
+
+#ifndef SOFTTIMER_SRC_FAULT_FAULTY_CLOCK_SOURCE_H_
+#define SOFTTIMER_SRC_FAULT_FAULTY_CLOCK_SOURCE_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "src/core/clock_source.h"
+
+namespace softtimer::fault {
+
+class FaultyClockSource : public ClockSource {
+ public:
+  struct Stall {
+    uint64_t start_tick = 0;
+    uint64_t duration_ticks = 0;
+  };
+  struct Jump {
+    uint64_t at_tick = 0;
+    uint64_t jump_ticks = 0;  // forward only: monotonicity is preserved
+  };
+
+  FaultyClockSource(const ClockSource* base, std::vector<Stall> stalls,
+                    std::vector<Jump> jumps)
+      : base_(base), stalls_(std::move(stalls)), jumps_(std::move(jumps)) {}
+
+  uint64_t NowTicks() const override {
+    uint64_t t = base_->NowTicks();
+    uint64_t lost = 0;
+    for (const Stall& s : stalls_) {
+      if (t > s.start_tick) {
+        lost += std::min(t - s.start_tick, s.duration_ticks);
+      }
+    }
+    uint64_t gained = 0;
+    for (const Jump& j : jumps_) {
+      if (t >= j.at_tick) {
+        gained += j.jump_ticks;
+      }
+    }
+    return t - lost + gained;
+  }
+
+  uint64_t ResolutionHz() const override { return base_->ResolutionHz(); }
+
+ private:
+  const ClockSource* base_;
+  std::vector<Stall> stalls_;
+  std::vector<Jump> jumps_;
+};
+
+}  // namespace softtimer::fault
+
+#endif  // SOFTTIMER_SRC_FAULT_FAULTY_CLOCK_SOURCE_H_

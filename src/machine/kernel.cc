@@ -15,13 +15,42 @@ Kernel::Kernel(Simulator* sim, Config config)
   SoftTimerFacility::Config fc;
   fc.interrupt_clock_hz = config_.interrupt_clock_hz;
   fc.queue_kind = config_.queue_kind;
-  facility_ = std::make_unique<SoftTimerFacility>(&clock_, fc);
+  fc.degradation = config_.degradation;
+  const ClockSource* measure_clock =
+      config_.measure_clock_override ? config_.measure_clock_override : &clock_;
+  facility_ = std::make_unique<SoftTimerFacility>(measure_clock, fc);
 
   // Each dispatched handler costs one procedure call on the CPU that hit the
-  // trigger state.
-  facility_->set_dispatch_observer([this](const SoftTimerFacility::FireInfo&) {
-    cpu(current_trigger_cpu_).Steal(config_.profile.soft_dispatch_cost);
+  // trigger state, plus any fault-injected overrun. An overrun also models a
+  // long non-preemptible section: trigger states and backup ticks are
+  // suppressed until it ends, which is how a runaway handler starves the
+  // facility. Once the degradation policy quarantines the tag, the host
+  // bounds the overrun at the handler budget (watchdog preemption), so a
+  // quarantined handler can no longer open long stall windows.
+  facility_->set_dispatch_observer([this](const SoftTimerFacility::FireInfo& info) {
+    SimDuration cost = config_.profile.soft_dispatch_cost;
+    if (fault_hooks_.handler_overrun) {
+      SimDuration extra = fault_hooks_.handler_overrun(info.handler_tag);
+      if (extra > SimDuration::Zero()) {
+        const DegradationPolicy* policy = facility_->degradation();
+        if (policy && policy->handler_budget_ticks() > 0 &&
+            policy->IsQuarantined(info.handler_tag)) {
+          SimDuration budget =
+              clock_.TickPeriod() * static_cast<int64_t>(policy->handler_budget_ticks());
+          extra = std::min(extra, budget);
+        }
+        cost += extra;
+        SimTime stall_end = sim_->now() + extra;
+        if (stall_end > handler_stall_until_) {
+          handler_stall_until_ = stall_end;
+        }
+      }
+    }
+    cpu(current_trigger_cpu_).Steal(cost);
+    last_dispatch_cost_ticks_ = static_cast<uint64_t>(cost / clock_.TickPeriod());
   });
+  facility_->set_dispatch_cost_probe(
+      [this](const SoftTimerFacility::FireInfo&) { return last_dispatch_cost_ticks_; });
   // A freshly scheduled event may make idle polling worthwhile again
   // (Section 5.2 halt condition (a)).
   facility_->set_schedule_observer([this] {
@@ -54,15 +83,33 @@ Kernel::Kernel(Simulator* sim, Config config)
 
 void Kernel::OnBackupTick() {
   ++stats_.backup_ticks;
-  SimDuration backup_period =
-      SimDuration::Seconds(1.0 / static_cast<double>(config_.interrupt_clock_hz));
+  // The degradation policy may have escalated the backup rate; jitter faults
+  // may delay the next tick.
+  double hz = static_cast<double>(config_.interrupt_clock_hz) *
+              static_cast<double>(backup_multiplier_);
+  SimDuration backup_period = SimDuration::Seconds(1.0 / hz);
+  if (fault_hooks_.backup_jitter_ticks) {
+    uint64_t jitter = fault_hooks_.backup_jitter_ticks();
+    if (jitter > 0) {
+      backup_period = backup_period + clock_.TickPeriod() * static_cast<int64_t>(jitter);
+    }
+  }
   next_backup_tick_ = sim_->now() + backup_period;
   sim_->ScheduleAt(next_backup_tick_, [this] { OnBackupTick(); });
 
   // The tick is a hardware interrupt: overhead + interrupts-disabled window,
   // and its handler tail is a trigger state, which is where overdue soft
-  // events get dispatched.
+  // events get dispatched. A tick is lost when a fault masks it or a stalled
+  // handler has interrupts off.
   SimTime now = sim_->now();
+  bool lost = now < handler_stall_until_;
+  if (!lost && fault_hooks_.drop_backup && fault_hooks_.drop_backup()) {
+    lost = true;
+  }
+  if (lost) {
+    ++stats_.backup_ticks_lost;
+    return;
+  }
   SimDuration total = config_.profile.hard_interrupt_overhead;
   if (intr_disabled_until_ < now + total) {
     intr_disabled_until_ = now + total;
@@ -80,6 +127,15 @@ void Kernel::OnBackupTick() {
 
 void Kernel::Trigger(TriggerSource source, int cpu_index) {
   SimTime now = sim_->now();
+  if (source != TriggerSource::kBackupIntr) {
+    // A trigger drought swallows the check; a stalled handler (injected
+    // overrun) means the kernel never reaches a trigger state either.
+    if (now < handler_stall_until_ ||
+        (fault_hooks_.suppress_trigger && fault_hooks_.suppress_trigger(source))) {
+      ++stats_.triggers_suppressed;
+      return;
+    }
+  }
   size_t c = static_cast<size_t>(cpu_index);
   ++stats_.triggers;
   ++stats_.triggers_by_source[static_cast<size_t>(source)];
@@ -92,6 +148,9 @@ void Kernel::Trigger(TriggerSource source, int cpu_index) {
   cpu(cpu_index).Steal(config_.profile.trigger_check_cost);
   current_trigger_cpu_ = cpu_index;
   facility_->OnTriggerState(source);
+  // Trigger states are where software runs, so this is where the escalated
+  // (or relaxed) backup rate gets programmed into the "hardware" timer.
+  backup_multiplier_ = facility_->backup_rate_multiplier();
 }
 
 void Kernel::KernelOp(TriggerSource source, SimDuration work,

@@ -52,10 +52,21 @@ class Kernel {
     // Backup periodic interrupt (the paper's typical value is 1 kHz).
     uint64_t interrupt_clock_hz = 1'000;
     TimerQueueKind queue_kind = TimerQueueKind::kHashedWheel;
+    // Graceful-degradation policy for the facility (disabled by default).
+    // When enabled, the kernel additionally escalates its backup-interrupt
+    // rate to the policy's multiplier and enforces the handler budget by
+    // capping a quarantined handler's injected overrun (watchdog preemption).
+    DegradationPolicy::Config degradation;
     int num_cpus = 1;
     IdleBehavior idle_behavior = IdleBehavior::kHaltPolicy;
     // Log-normal sigma applied to the idle poll interval (0 = deterministic).
     double idle_poll_jitter_sigma = 0.25;
+    // Measurement clock handed to the soft-timer facility instead of the
+    // kernel's own SimClockSource (e.g. a fault::FaultyClockSource modelling
+    // TSC stalls/jumps). The kernel itself keeps true time; only the
+    // facility's MeasureTime() view is affected, which is exactly the
+    // anomaly a bad cycle counter produces. Must outlive the kernel.
+    const ClockSource* measure_clock_override = nullptr;
     // Simulation speedup: skip the idle loop's no-op checks and jump the
     // poll straight to just past the earliest soft-timer deadline. Firing
     // times are statistically identical (deadline + U[0, poll interval]);
@@ -66,6 +77,24 @@ class Kernel {
   };
 
   Kernel(Simulator* sim, Config config);
+
+  // --- Fault injection ----------------------------------------------------
+  // Hook points a fault harness (src/fault) installs to perturb the kernel
+  // deterministically. All optional; unset hooks cost nothing.
+  struct FaultHooks {
+    // Trigger drought: true suppresses this (non-backup) trigger state, as
+    // if the kernel never passed through it.
+    std::function<bool(TriggerSource source)> suppress_trigger;
+    // Backup-interrupt loss: true drops this backup tick (masked/lost).
+    std::function<bool()> drop_backup;
+    // Extra delay, in measurement ticks, applied to the next backup tick.
+    std::function<uint64_t()> backup_jitter_ticks;
+    // Handler overrun: extra runtime charged to a dispatch of this handler
+    // tag. A non-zero overrun also models a long non-preemptible section:
+    // trigger states and backup ticks are suppressed until it ends.
+    std::function<SimDuration(uint32_t handler_tag)> handler_overrun;
+  };
+  void set_fault_hooks(FaultHooks hooks) { fault_hooks_ = std::move(hooks); }
 
   // --- Kernel entries (trigger states) ----------------------------------
   // Records a trigger state of `source` on `cpu`: charges the trigger-check
@@ -128,6 +157,10 @@ class Kernel {
     uint64_t triggers = 0;
     std::array<uint64_t, kNumTriggerSources> triggers_by_source{};
     uint64_t backup_ticks = 0;
+    // Fault-injection visibility: trigger states swallowed by a drought or a
+    // stalled handler, and backup ticks lost to injected masking.
+    uint64_t triggers_suppressed = 0;
+    uint64_t backup_ticks_lost = 0;
   };
   const Stats& stats() const { return stats_; }
   void ResetTriggerStats();
@@ -161,8 +194,18 @@ class Kernel {
   std::unique_ptr<SoftTimerFacility> facility_;
   std::vector<std::unique_ptr<Cpu>> cpus_;
   Rng rng_;
+  FaultHooks fault_hooks_;
 
   SimTime intr_disabled_until_;
+  // End of an injected handler-overrun stall (a long non-preemptible
+  // section): trigger states and backup ticks are suppressed until then.
+  SimTime handler_stall_until_;
+  // Backup-rate multiplier in effect (reprogrammed from the degradation
+  // policy's value at trigger states - i.e. when software actually runs).
+  uint32_t backup_multiplier_ = 1;
+  // Dispatch cost charged for the handler currently firing, reported back
+  // to the facility's budget probe (ticks).
+  uint64_t last_dispatch_cost_ticks_ = 0;
   // Per-CPU previous-trigger timestamps.
   std::vector<SimTime> last_trigger_;
   std::vector<bool> have_last_trigger_;

@@ -27,11 +27,22 @@ bool Link::Send(Packet p) {
   stats_.bytes_sent += p.size_bytes;
   SimTime arrival = done_serializing + config_.propagation_delay;
   sim_->ScheduleAt(done_serializing, [this] { --in_flight_tx_; });
-  sim_->ScheduleAt(arrival, [this, p] {
-    if (receiver_) {
-      receiver_(p);
-    }
-  });
+  FaultAction action = fault_hook_ ? fault_hook_(p) : FaultAction::kNone;
+  if (action == FaultAction::kDrop) {
+    ++stats_.fault_dropped;
+    return true;  // the sender saw a successful transmit; the wire ate it
+  }
+  int copies = action == FaultAction::kDuplicate ? 2 : 1;
+  if (action == FaultAction::kDuplicate) {
+    ++stats_.fault_duplicated;
+  }
+  for (int i = 0; i < copies; ++i) {
+    sim_->ScheduleAt(arrival, [this, p] {
+      if (receiver_) {
+        receiver_(p);
+      }
+    });
+  }
   return true;
 }
 

@@ -31,6 +31,14 @@ class Link {
   // Destination callback, invoked at packet arrival time.
   void set_receiver(std::function<void(const Packet&)> rx) { receiver_ = std::move(rx); }
 
+  // Fault-injection verdict for a packet entering the link. The packet still
+  // occupies the transmitter either way (loss happens on the wire, after
+  // serialization); kDuplicate delivers two copies to the receiver.
+  enum class FaultAction { kNone, kDrop, kDuplicate };
+  void set_fault_hook(std::function<FaultAction(const Packet&)> hook) {
+    fault_hook_ = std::move(hook);
+  }
+
   // Queues `p` for transmission. Returns false (and drops) when the queue is
   // full.
   bool Send(Packet p);
@@ -45,6 +53,9 @@ class Link {
     uint64_t sent = 0;
     uint64_t dropped = 0;
     uint64_t bytes_sent = 0;
+    // Packets lost / duplicated by an installed fault hook.
+    uint64_t fault_dropped = 0;
+    uint64_t fault_duplicated = 0;
   };
   const Stats& stats() const { return stats_; }
 
@@ -54,6 +65,7 @@ class Link {
   Simulator* sim_;
   Config config_;
   std::function<void(const Packet&)> receiver_;
+  std::function<FaultAction(const Packet&)> fault_hook_;
   // Time the transmitter becomes free.
   SimTime tx_free_at_;
   size_t in_flight_tx_ = 0;

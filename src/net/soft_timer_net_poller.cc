@@ -13,6 +13,17 @@ void SoftTimerNetPoller::Start() {
     return;
   }
   started_ = true;
+  // Degradation recovery: a trigger drought starves the poll stream, so the
+  // first post-drought poll would see a huge elapsed gap and read as a
+  // collapsed arrival rate. Reset the governor instead of letting the drought
+  // poison its rate estimate.
+  kernel_->soft_timers().AddDroughtListener([this](bool entering) {
+    if (!entering && active_) {
+      ++stats_.drought_resets;
+      governor_.ResetRate();
+      have_last_poll_tick_ = false;
+    }
+  });
   if (config_.interrupts_when_idle) {
     kernel_->AddCpuIdleListener([this](int cpu, bool idle) {
       (void)cpu;

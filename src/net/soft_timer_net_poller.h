@@ -44,6 +44,8 @@ class SoftTimerNetPoller {
     uint64_t packets = 0;
     uint64_t idle_switches = 0;
     uint64_t engages = 0;
+    // Governor resets taken because a trigger drought ended.
+    uint64_t drought_resets = 0;
   };
   const Stats& stats() const { return stats_; }
   const PollGovernor& governor() const { return governor_; }

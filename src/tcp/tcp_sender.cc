@@ -12,6 +12,7 @@ AdaptivePacer::Config PacerConfig(const TcpSender::Config& c) {
   AdaptivePacer::Config pc;
   pc.target_interval_ticks = c.pace_target_interval_ticks;
   pc.min_burst_interval_ticks = c.pace_min_burst_interval_ticks;
+  pc.max_coalesced_burst_packets = c.pace_max_coalesced_burst;
   return pc;
 }
 
@@ -99,6 +100,20 @@ void TcpSender::OnPaceEvent() {
   }
   if (snd_next_ >= transfer_bytes_) {
     return;  // everything sent; waiting for ACKs
+  }
+  // A stale wakeup (the soft-timer stream stalled) may carry a bounded
+  // catch-up burst; the last segment of the burst goes through the normal
+  // send-and-reschedule path.
+  uint64_t budget = pacer_.CoalescedBurstBudget(kernel_->soft_timers().MeasureTime());
+  while (budget > 1 && snd_next_ < transfer_bytes_) {
+    uint64_t extra = std::min<uint64_t>(config_.mss, transfer_bytes_ - snd_next_);
+    SendSegmentAt(snd_next_, /*retransmit=*/false);
+    snd_next_ += extra;
+    pacer_.OnPacketSent(kernel_->soft_timers().MeasureTime());
+    --budget;
+  }
+  if (snd_next_ >= transfer_bytes_) {
+    return;
   }
   uint64_t payload = std::min<uint64_t>(config_.mss, transfer_bytes_ - snd_next_);
   SendSegmentAt(snd_next_, /*retransmit=*/false);

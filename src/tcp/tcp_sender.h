@@ -59,6 +59,11 @@ class TcpSender {
     // --- rate-based parameters (measurement-clock ticks) ---
     uint64_t pace_target_interval_ticks = 120;
     uint64_t pace_min_burst_interval_ticks = 12;
+    // When a pace event arrives several target intervals late (trigger
+    // drought), send up to this many segments in one bounded catch-up burst
+    // instead of a convoy of stale events. 0 = one segment per event (seed
+    // behaviour).
+    uint32_t pace_max_coalesced_burst = 0;
   };
 
   // `kernel` hosts the sender (ip-output triggers, soft timers for pacing).

@@ -1,0 +1,260 @@
+// Unit tests for DegradationPolicy: drought detection via check density and
+// backlog age, backup-rate escalation with per-interval rate limiting and
+// hysteresis de-escalation, and the handler budget / quarantine machinery.
+
+#include "src/core/degradation_policy.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace softtimer {
+namespace {
+
+constexpr uint64_t kX = 1000;  // ticks per backup interval
+
+DegradationPolicy::Config BaseConfig() {
+  DegradationPolicy::Config c;
+  c.enabled = true;
+  c.density_floor_checks_per_interval = 4;
+  c.backlog_age_factor = 2.0;
+  c.max_backup_rate_multiplier = 8;
+  c.deescalate_after_healthy_intervals = 4;
+  return c;
+}
+
+// One sparse check per interval, with events pending.
+void SparseInterval(DegradationPolicy& p, uint64_t interval_index) {
+  p.OnCheck(interval_index * kX + 500, TriggerSource::kSyscall, std::nullopt, 1);
+}
+
+// Plenty of checks in an interval (>= floor), nothing pending.
+void HealthyInterval(DegradationPolicy& p, uint64_t interval_index) {
+  for (uint64_t i = 0; i < 8; ++i) {
+    p.OnCheck(interval_index * kX + 100 + i * 100, TriggerSource::kSyscall,
+              std::nullopt, 0);
+  }
+}
+
+TEST(DegradationPolicyTest, SparseIntervalsWithPendingWorkEscalate) {
+  DegradationPolicy p(BaseConfig(), kX);
+  EXPECT_EQ(p.backup_rate_multiplier(), 1u);
+  SparseInterval(p, 0);
+  EXPECT_EQ(p.backup_rate_multiplier(), 1u);  // density judged at transition
+  SparseInterval(p, 1);
+  EXPECT_EQ(p.backup_rate_multiplier(), 2u);
+  EXPECT_TRUE(p.in_drought());
+  EXPECT_EQ(p.stats().escalations, 1u);
+  EXPECT_EQ(p.stats().droughts_detected, 1u);
+}
+
+TEST(DegradationPolicyTest, SparseIntervalsWithoutPendingWorkDoNotEscalate) {
+  DegradationPolicy p(BaseConfig(), kX);
+  for (uint64_t i = 0; i < 10; ++i) {
+    p.OnCheck(i * kX + 500, TriggerSource::kSyscall, std::nullopt, 0);
+  }
+  EXPECT_EQ(p.backup_rate_multiplier(), 1u);
+  EXPECT_EQ(p.stats().escalations, 0u);
+}
+
+TEST(DegradationPolicyTest, DenseIntervalsStayNominal) {
+  DegradationPolicy p(BaseConfig(), kX);
+  for (uint64_t i = 0; i < 10; ++i) {
+    for (uint64_t c = 0; c < 8; ++c) {
+      p.OnCheck(i * kX + 100 + c * 100, TriggerSource::kSyscall, std::nullopt, 3);
+    }
+  }
+  EXPECT_EQ(p.backup_rate_multiplier(), 1u);
+}
+
+TEST(DegradationPolicyTest, SkippedIntervalsEscalateEvenWithOneFatBurst) {
+  // 8 checks land in interval 0, then nothing until interval 5: the skipped
+  // span means no check of any kind ran for whole backup periods.
+  DegradationPolicy p(BaseConfig(), kX);
+  HealthyInterval(p, 0);
+  p.OnCheck(5 * kX + 10, TriggerSource::kBackupIntr, std::nullopt, 2);
+  EXPECT_EQ(p.backup_rate_multiplier(), 2u);
+}
+
+TEST(DegradationPolicyTest, OverdueBacklogEscalatesRegardlessOfDensity) {
+  DegradationPolicy p(BaseConfig(), kX);
+  // Earliest deadline 2 * X + 1 ticks overdue -> escalate on the spot.
+  uint64_t now = 10'000;
+  p.OnCheck(now, TriggerSource::kSyscall, now - (2 * kX + 1), 5);
+  EXPECT_EQ(p.backup_rate_multiplier(), 2u);
+  EXPECT_EQ(p.stats().escalations, 1u);
+}
+
+TEST(DegradationPolicyTest, FreshBacklogDoesNotEscalate) {
+  DegradationPolicy p(BaseConfig(), kX);
+  uint64_t now = 10'000;
+  p.OnCheck(now, TriggerSource::kSyscall, now - kX, 5);  // only X overdue
+  EXPECT_EQ(p.backup_rate_multiplier(), 1u);
+}
+
+TEST(DegradationPolicyTest, EscalationRateLimitedToOneStepPerInterval) {
+  DegradationPolicy p(BaseConfig(), kX);
+  uint64_t now = 10'000;
+  // A burst of unhealthy checks within one backup interval: one step only.
+  for (uint64_t i = 0; i < 20; ++i) {
+    p.OnCheck(now + i, TriggerSource::kSyscall, now - 3 * kX, 5);
+  }
+  EXPECT_EQ(p.backup_rate_multiplier(), 2u);
+  EXPECT_EQ(p.stats().escalations, 1u);
+  // A full interval later the next step is allowed.
+  p.OnCheck(now + kX, TriggerSource::kSyscall, now - 3 * kX, 5);
+  EXPECT_EQ(p.backup_rate_multiplier(), 4u);
+}
+
+TEST(DegradationPolicyTest, MultiplierCapsAtConfiguredMax) {
+  DegradationPolicy p(BaseConfig(), kX);
+  for (uint64_t i = 0; i < 10; ++i) {
+    p.OnCheck(10'000 + i * kX, TriggerSource::kSyscall, 1'000, 5);
+  }
+  EXPECT_EQ(p.backup_rate_multiplier(), 8u);
+  EXPECT_EQ(p.stats().escalations, 3u);  // 2, 4, 8
+}
+
+TEST(DegradationPolicyTest, DeescalationNeedsHealthyStreak) {
+  DegradationPolicy p(BaseConfig(), kX);
+  SparseInterval(p, 0);
+  SparseInterval(p, 1);
+  ASSERT_EQ(p.backup_rate_multiplier(), 2u);
+  // Three healthy-interval transitions: not enough (hysteresis wants 4).
+  for (uint64_t i = 2; i <= 3; ++i) {
+    HealthyInterval(p, i);
+  }
+  SparseInterval(p, 4);  // closes interval 3 (healthy): streak hits 3
+  EXPECT_EQ(p.backup_rate_multiplier(), 2u);
+
+  DegradationPolicy q(BaseConfig(), kX);
+  SparseInterval(q, 0);
+  SparseInterval(q, 1);
+  ASSERT_EQ(q.backup_rate_multiplier(), 2u);
+  for (uint64_t i = 2; i <= 6; ++i) {
+    HealthyInterval(q, i);  // 5 transitions observed: streak reaches 4
+  }
+  EXPECT_EQ(q.backup_rate_multiplier(), 1u);
+  EXPECT_FALSE(q.in_drought());
+  EXPECT_EQ(q.stats().deescalations, 1u);
+  EXPECT_EQ(q.stats().droughts_ended, 1u);
+}
+
+TEST(DegradationPolicyTest, DroughtListenersFireOnTransitions) {
+  DegradationPolicy p(BaseConfig(), kX);
+  std::vector<bool> events;
+  p.AddDroughtListener([&](bool entering) { events.push_back(entering); });
+  SparseInterval(p, 0);
+  SparseInterval(p, 1);  // enter drought
+  SparseInterval(p, 3);  // further escalation: no new transition event
+  ASSERT_EQ(p.backup_rate_multiplier(), 4u);
+  for (uint64_t i = 4; i < 20; ++i) {
+    HealthyInterval(p, i);  // decay 4 -> 2 -> 1
+  }
+  ASSERT_EQ(p.backup_rate_multiplier(), 1u);
+  EXPECT_EQ(events, (std::vector<bool>{true, false}));
+}
+
+// --- Handler budget / quarantine -------------------------------------------
+
+DegradationPolicy::Config BudgetConfig() {
+  DegradationPolicy::Config c = BaseConfig();
+  c.handler_budget_ticks = 100;
+  c.quarantine_after_strikes = 3;
+  c.quarantine_release_after_clean = 4;
+  return c;
+}
+
+TEST(DegradationPolicyTest, ConsecutiveOverrunsQuarantine) {
+  DegradationPolicy p(BudgetConfig(), kX);
+  p.OnDispatchCost(7, 150);
+  p.OnDispatchCost(7, 150);
+  EXPECT_FALSE(p.IsQuarantined(7));
+  p.OnDispatchCost(7, 150);
+  EXPECT_TRUE(p.IsQuarantined(7));
+  EXPECT_EQ(p.stats().budget_overruns, 3u);
+  EXPECT_EQ(p.stats().quarantines, 1u);
+  EXPECT_EQ(p.quarantined_count(), 1u);
+}
+
+TEST(DegradationPolicyTest, CleanDispatchResetsStrikes) {
+  DegradationPolicy p(BudgetConfig(), kX);
+  p.OnDispatchCost(7, 150);
+  p.OnDispatchCost(7, 150);
+  p.OnDispatchCost(7, 10);  // in budget: strikes reset
+  p.OnDispatchCost(7, 150);
+  p.OnDispatchCost(7, 150);
+  EXPECT_FALSE(p.IsQuarantined(7));
+}
+
+TEST(DegradationPolicyTest, CostAtBudgetCountsAsOverrun) {
+  // A host watchdog caps a quarantined handler's runtime *at* the budget, so
+  // cost == budget must keep the tag quarantined rather than read as clean.
+  DegradationPolicy p(BudgetConfig(), kX);
+  for (int i = 0; i < 3; ++i) {
+    p.OnDispatchCost(7, 100);
+  }
+  EXPECT_TRUE(p.IsQuarantined(7));
+  p.OnDispatchCost(7, 100);
+  EXPECT_TRUE(p.IsQuarantined(7));
+}
+
+TEST(DegradationPolicyTest, CleanStreakReleasesQuarantine) {
+  DegradationPolicy p(BudgetConfig(), kX);
+  for (int i = 0; i < 3; ++i) {
+    p.OnDispatchCost(7, 200);
+  }
+  ASSERT_TRUE(p.IsQuarantined(7));
+  for (int i = 0; i < 3; ++i) {
+    p.OnDispatchCost(7, 10);
+  }
+  EXPECT_TRUE(p.IsQuarantined(7));  // 3 clean < release_after_clean
+  p.OnDispatchCost(7, 10);
+  EXPECT_FALSE(p.IsQuarantined(7));
+  EXPECT_EQ(p.stats().releases, 1u);
+  EXPECT_EQ(p.quarantined_count(), 0u);
+}
+
+TEST(DegradationPolicyTest, ManualReleaseClearsHistory) {
+  DegradationPolicy p(BudgetConfig(), kX);
+  for (int i = 0; i < 3; ++i) {
+    p.OnDispatchCost(7, 200);
+  }
+  ASSERT_TRUE(p.IsQuarantined(7));
+  p.Release(7);
+  EXPECT_FALSE(p.IsQuarantined(7));
+  EXPECT_EQ(p.stats().releases, 1u);
+  p.Release(7);  // idempotent
+  EXPECT_EQ(p.stats().releases, 1u);
+}
+
+TEST(DegradationPolicyTest, AnonymousTagExemptFromBudget) {
+  DegradationPolicy p(BudgetConfig(), kX);
+  for (int i = 0; i < 10; ++i) {
+    p.OnDispatchCost(0, 1'000'000);
+  }
+  EXPECT_FALSE(p.IsQuarantined(0));
+  EXPECT_EQ(p.stats().budget_overruns, 0u);
+}
+
+TEST(DegradationPolicyTest, ZeroBudgetDisablesEnforcement) {
+  DegradationPolicy::Config c = BudgetConfig();
+  c.handler_budget_ticks = 0;
+  DegradationPolicy p(c, kX);
+  for (int i = 0; i < 10; ++i) {
+    p.OnDispatchCost(7, 1'000'000);
+  }
+  EXPECT_FALSE(p.IsQuarantined(7));
+}
+
+TEST(DegradationPolicyTest, DeferralAccounting) {
+  DegradationPolicy p(BaseConfig(), kX);
+  p.NoteDeferred(true);
+  p.NoteDeferred(false);
+  p.NoteDeferred(false);
+  EXPECT_EQ(p.stats().deferred_quarantine, 1u);
+  EXPECT_EQ(p.stats().deferred_batch_cap, 2u);
+}
+
+}  // namespace
+}  // namespace softtimer

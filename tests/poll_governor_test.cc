@@ -93,6 +93,38 @@ TEST(PollGovernorTest, ResetRateForgetsHistory) {
   EXPECT_NEAR(g.rate_estimate(), 0.1, 1e-9);
 }
 
+TEST(PollGovernorTest, FirstPollAfterResetIgnoresIdleGap) {
+  // Converge to a steady interval under a healthy load, pause (drought or
+  // interrupt-mode spell), then resume: the first poll reports the whole
+  // pause as its elapsed time. After ResetRate that gap must not enter the
+  // rate estimate, so the interval stays within one step of its pre-pause
+  // value instead of being slammed toward the maximum.
+  PollGovernor::Config c = BaseConfig();
+  PollGovernor g(c);
+  uint64_t interval = c.initial_interval_ticks;
+  for (int i = 0; i < 500; ++i) {
+    interval = g.OnPoll(1, interval);  // exactly quota: steady state
+  }
+  uint64_t steady = g.current_interval_ticks();
+  g.ResetRate();
+  const uint64_t idle_gap = 500'000;  // half a second of no polling
+  uint64_t after = g.OnPoll(1, idle_gap);
+  EXPECT_LE(after, static_cast<uint64_t>(
+                       static_cast<double>(steady) * c.max_step_factor + 1));
+  // One genuine-gap datapoint must not dominate the estimate either.
+  EXPECT_GE(g.rate_estimate(), 1.0 / static_cast<double>(steady) / c.max_step_factor);
+
+  // Control: the same gap without ResetRate poisons the estimate and drives
+  // the interval up (this is the failure mode the reset exists to prevent).
+  PollGovernor bad(c);
+  uint64_t bad_interval = c.initial_interval_ticks;
+  for (int i = 0; i < 500; ++i) {
+    bad_interval = bad.OnPoll(1, bad_interval);
+  }
+  uint64_t bad_after = bad.OnPoll(1, idle_gap);
+  EXPECT_GT(bad_after, after);
+}
+
 TEST(PollGovernorTest, ZeroElapsedIsTolerated) {
   PollGovernor g(BaseConfig());
   EXPECT_GE(g.OnPoll(5, 0), BaseConfig().min_interval_ticks);

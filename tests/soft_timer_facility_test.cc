@@ -132,6 +132,50 @@ TEST_F(FacilityFixture, ZeroDeltaFiresAtNextTriggerStateOneTickLater) {
   EXPECT_EQ(fired, 1);
 }
 
+TEST_F(FacilityFixture, LatenessClampsToZeroOnClockAnomaly) {
+  // A stalled or backward-stepping measurement clock can stamp a dispatch
+  // before the nominal due time; lateness must clamp instead of wrapping.
+  SoftTimerFacility::FireInfo info{};
+  info.scheduled_tick = 1000;
+  info.delta_ticks = 50;
+  info.fired_tick = 900;  // anomaly: fired "before" scheduled + T
+  EXPECT_EQ(info.lateness_ticks(), 0u);
+  info.fired_tick = 1050;  // exactly at the nominal due time
+  EXPECT_EQ(info.lateness_ticks(), 0u);
+  info.fired_tick = 1051;
+  EXPECT_EQ(info.lateness_ticks(), 1u);
+}
+
+TEST_F(FacilityFixture, HandlerSelfCancelReturnsFalse) {
+  bool cancel_result = true;
+  SoftEventId id;
+  id = facility_->ScheduleSoftEvent(10, [&](const SoftTimerFacility::FireInfo&) {
+    // The event is already off the queue when its handler runs.
+    cancel_result = facility_->CancelSoftEvent(id);
+  });
+  AdvanceTo(SimDuration::Micros(20));
+  EXPECT_EQ(facility_->OnTriggerState(TriggerSource::kSyscall), 1u);
+  EXPECT_FALSE(cancel_result);
+  EXPECT_EQ(facility_->stats().cancelled, 0u);
+}
+
+TEST_F(FacilityFixture, HandlerCanCancelAnotherPendingEvent) {
+  int other_fired = 0;
+  bool cancel_result = false;
+  SoftEventId other = facility_->ScheduleSoftEvent(
+      50, [&](const SoftTimerFacility::FireInfo&) { ++other_fired; });
+  facility_->ScheduleSoftEvent(10, [&](const SoftTimerFacility::FireInfo&) {
+    cancel_result = facility_->CancelSoftEvent(other);
+  });
+  AdvanceTo(SimDuration::Micros(20));  // first due, `other` still pending
+  facility_->OnTriggerState(TriggerSource::kSyscall);
+  EXPECT_TRUE(cancel_result);
+  AdvanceTo(SimDuration::Millis(2));
+  facility_->OnTriggerState(TriggerSource::kSyscall);
+  EXPECT_EQ(other_fired, 0);
+  EXPECT_EQ(facility_->stats().cancelled, 1u);
+}
+
 TEST_F(FacilityFixture, StatsAccounting) {
   facility_->ScheduleSoftEvent(1, [](const SoftTimerFacility::FireInfo&) {});
   facility_->ScheduleSoftEvent(1, [](const SoftTimerFacility::FireInfo&) {});
