@@ -1,0 +1,94 @@
+#include "bench/alloc_probe.h"
+
+#include <atomic>
+#include <cstddef>
+#include <cstdlib>
+#include <new>
+
+namespace softtimer {
+namespace {
+
+// Relaxed is enough: callers only ever diff snapshots taken on the same
+// thread around a single-threaded region.
+std::atomic<uint64_t> g_allocs{0};
+std::atomic<uint64_t> g_frees{0};
+std::atomic<uint64_t> g_bytes{0};
+
+void* CountedAlloc(size_t size, size_t align) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  g_bytes.fetch_add(size, std::memory_order_relaxed);
+  if (align > alignof(std::max_align_t)) {
+    // aligned_alloc requires size to be a multiple of the alignment.
+    size_t rounded = (size + align - 1) / align * align;
+    return std::aligned_alloc(align, rounded);
+  }
+  return std::malloc(size == 0 ? 1 : size);
+}
+
+void CountedFree(void* p) {
+  if (p != nullptr) {
+    g_frees.fetch_add(1, std::memory_order_relaxed);
+    std::free(p);
+  }
+}
+
+}  // namespace
+
+uint64_t AllocProbeAllocCount() { return g_allocs.load(std::memory_order_relaxed); }
+uint64_t AllocProbeFreeCount() { return g_frees.load(std::memory_order_relaxed); }
+uint64_t AllocProbeAllocBytes() { return g_bytes.load(std::memory_order_relaxed); }
+
+}  // namespace softtimer
+
+// --- Global interposers -----------------------------------------------
+// Defining these in a linked object overrides the toolchain's weak
+// definitions for the whole binary.
+
+void* operator new(size_t size) {
+  void* p = softtimer::CountedAlloc(size, 0);
+  if (p == nullptr) {
+    throw std::bad_alloc();
+  }
+  return p;
+}
+
+void* operator new[](size_t size) { return ::operator new(size); }
+
+void* operator new(size_t size, const std::nothrow_t&) noexcept {
+  return softtimer::CountedAlloc(size, 0);
+}
+
+void* operator new[](size_t size, const std::nothrow_t&) noexcept {
+  return softtimer::CountedAlloc(size, 0);
+}
+
+void* operator new(size_t size, std::align_val_t align) {
+  void* p = softtimer::CountedAlloc(size, static_cast<size_t>(align));
+  if (p == nullptr) {
+    throw std::bad_alloc();
+  }
+  return p;
+}
+
+void* operator new[](size_t size, std::align_val_t align) {
+  return ::operator new(size, align);
+}
+
+void* operator new(size_t size, std::align_val_t align, const std::nothrow_t&) noexcept {
+  return softtimer::CountedAlloc(size, static_cast<size_t>(align));
+}
+
+void* operator new[](size_t size, std::align_val_t align, const std::nothrow_t&) noexcept {
+  return softtimer::CountedAlloc(size, static_cast<size_t>(align));
+}
+
+void operator delete(void* p) noexcept { softtimer::CountedFree(p); }
+void operator delete[](void* p) noexcept { softtimer::CountedFree(p); }
+void operator delete(void* p, size_t) noexcept { softtimer::CountedFree(p); }
+void operator delete[](void* p, size_t) noexcept { softtimer::CountedFree(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { softtimer::CountedFree(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept { softtimer::CountedFree(p); }
+void operator delete(void* p, std::align_val_t) noexcept { softtimer::CountedFree(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { softtimer::CountedFree(p); }
+void operator delete(void* p, size_t, std::align_val_t) noexcept { softtimer::CountedFree(p); }
+void operator delete[](void* p, size_t, std::align_val_t) noexcept { softtimer::CountedFree(p); }

@@ -1,0 +1,30 @@
+// Heap-allocation probe: linking the companion alloc_probe.cc into a binary
+// replaces global operator new/delete with counting wrappers over malloc and
+// free. The zero-allocation hot-path claims in DESIGN.md are enforced with
+// this probe (tests/hotpath_alloc_test.cc) and reported per benchmark op in
+// bench_micro_facility's "allocs/op" counter and BENCH_hotpath.json.
+//
+// Only binaries that link the st_alloc_probe library get the interposer;
+// everything else keeps the toolchain's operator new (and, in sanitizer
+// builds, the sanitizer's).
+
+#ifndef SOFTTIMER_BENCH_ALLOC_PROBE_H_
+#define SOFTTIMER_BENCH_ALLOC_PROBE_H_
+
+#include <cstdint>
+
+namespace softtimer {
+
+// Number of operator new / new[] calls since process start. Monotonic;
+// sample before and after a region and subtract.
+uint64_t AllocProbeAllocCount();
+
+// Number of non-null operator delete / delete[] calls since process start.
+uint64_t AllocProbeFreeCount();
+
+// Total bytes requested from operator new since process start.
+uint64_t AllocProbeAllocBytes();
+
+}  // namespace softtimer
+
+#endif  // SOFTTIMER_BENCH_ALLOC_PROBE_H_

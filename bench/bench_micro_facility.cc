@@ -1,10 +1,31 @@
 // Microbenchmarks of the SoftTimerFacility hot paths (google-benchmark):
 // the per-trigger-state check with nothing due (the cost the paper argues is
 // negligible - "reading the clock and a comparison"), dispatching due
-// events, and schedule/cancel round-trips.
+// events, and schedule/cancel round-trips. Every benchmark also reports
+// "allocs/op" from the linked alloc probe (bench/alloc_probe.h): the
+// schedule and nothing-due-check paths must stay at 0.
+//
+// Extra flags (consumed before google-benchmark sees the command line):
+//
+//   --hotpath-json=PATH   instead of running google-benchmark, measure the
+//                         four hot-path operations (schedule, cancel,
+//                         nothing-due check, dispatch cycle) across all four
+//                         TimerQueue kinds and write machine-readable JSON
+//                         (ns/op and allocs/op) to PATH, alongside the
+//                         facility-level numbers recorded from the tree
+//                         before the zero-allocation rework.
+//   --hotpath-iters=N     iterations per measured operation (default 200000).
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/alloc_probe.h"
 #include "src/core/clock_source.h"
 #include "src/core/soft_timer_facility.h"
 #include "src/sim/simulator.h"
@@ -13,14 +34,37 @@ namespace softtimer {
 namespace {
 
 struct Env {
-  Env() : clock(&sim, 1'000'000), facility(&clock, SoftTimerFacility::Config{}) {}
+  explicit Env(TimerQueueKind kind = TimerQueueKind::kHashedWheel)
+      : clock(&sim, 1'000'000), facility(&clock, MakeConfig(kind)) {}
+  static SoftTimerFacility::Config MakeConfig(TimerQueueKind kind) {
+    SoftTimerFacility::Config config;
+    config.queue_kind = kind;
+    return config;
+  }
   Simulator sim;
   SimClockSource clock;
   SoftTimerFacility facility;
 };
 
+// Attaches the alloc probe's delta as an "allocs/op" counter.
+class AllocCounter {
+ public:
+  explicit AllocCounter(benchmark::State& state)
+      : state_(state), start_(AllocProbeAllocCount()) {}
+  ~AllocCounter() {
+    state_.counters["allocs/op"] = benchmark::Counter(
+        static_cast<double>(AllocProbeAllocCount() - start_) /
+        static_cast<double>(state_.iterations()));
+  }
+
+ private:
+  benchmark::State& state_;
+  uint64_t start_;
+};
+
 void BM_TriggerCheckEmpty(benchmark::State& state) {
   Env env;
+  AllocCounter allocs(state);
   for (auto _ : state) {
     benchmark::DoNotOptimize(env.facility.OnTriggerState(TriggerSource::kSyscall));
   }
@@ -30,6 +74,7 @@ BENCHMARK(BM_TriggerCheckEmpty);
 void BM_TriggerCheckEventPendingFarOut(benchmark::State& state) {
   Env env;
   env.facility.ScheduleSoftEvent(1'000'000'000, [](const SoftTimerFacility::FireInfo&) {});
+  AllocCounter allocs(state);
   for (auto _ : state) {
     benchmark::DoNotOptimize(env.facility.OnTriggerState(TriggerSource::kSyscall));
   }
@@ -38,6 +83,7 @@ BENCHMARK(BM_TriggerCheckEventPendingFarOut);
 
 void BM_ScheduleCancelRoundTrip(benchmark::State& state) {
   Env env;
+  AllocCounter allocs(state);
   for (auto _ : state) {
     SoftEventId id =
         env.facility.ScheduleSoftEvent(1000, [](const SoftTimerFacility::FireInfo&) {});
@@ -49,6 +95,7 @@ BENCHMARK(BM_ScheduleCancelRoundTrip);
 void BM_ScheduleDispatchCycle(benchmark::State& state) {
   Env env;
   uint64_t advance_ns = 2'000;  // 2 us of simulated time per cycle
+  AllocCounter allocs(state);
   for (auto _ : state) {
     env.facility.ScheduleSoftEvent(1, [](const SoftTimerFacility::FireInfo&) {});
     env.sim.RunUntil(env.sim.now() + SimDuration::Nanos(static_cast<int64_t>(advance_ns)));
@@ -57,7 +104,187 @@ void BM_ScheduleDispatchCycle(benchmark::State& state) {
 }
 BENCHMARK(BM_ScheduleDispatchCycle);
 
+// --- --hotpath-json harness -------------------------------------------
+
+struct OpSample {
+  double ns_per_op = 0;
+  double allocs_per_op = 0;
+};
+
+struct HotpathSample {
+  OpSample schedule;
+  OpSample cancel;
+  OpSample nothing_due_check;
+  OpSample dispatch_cycle;
+};
+
+// Times `iters` runs of `body`, returning wall ns/op and probe allocs/op.
+template <typename F>
+OpSample Measure(size_t iters, F&& body) {
+  uint64_t alloc_start = AllocProbeAllocCount();
+  auto t0 = std::chrono::steady_clock::now();
+  for (size_t i = 0; i < iters; ++i) {
+    body(i);
+  }
+  auto t1 = std::chrono::steady_clock::now();
+  OpSample s;
+  double total_ns =
+      static_cast<double>(std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count());
+  s.ns_per_op = total_ns / static_cast<double>(iters);
+  s.allocs_per_op = static_cast<double>(AllocProbeAllocCount() - alloc_start) /
+                    static_cast<double>(iters);
+  return s;
+}
+
+HotpathSample MeasureHotpath(TimerQueueKind kind, size_t iters) {
+  HotpathSample out;
+
+  // Nothing-due trigger check: one far-out pending event, steady state.
+  {
+    Env env(kind);
+    env.facility.ScheduleSoftEvent(1'000'000'000,
+                                   [](const SoftTimerFacility::FireInfo&) {});
+    for (size_t i = 0; i < 1000; ++i) {
+      env.facility.OnTriggerState(TriggerSource::kSyscall);  // warmup
+    }
+    out.nothing_due_check = Measure(iters, [&](size_t) {
+      benchmark::DoNotOptimize(env.facility.OnTriggerState(TriggerSource::kSyscall));
+    });
+  }
+
+  // Schedule and cancel, measured separately over batches so each op is
+  // timed in isolation. One untimed warmup round grows the slab and the
+  // ids vector to their high-water marks first.
+  {
+    Env env(kind);
+    constexpr size_t kBatch = 512;
+    size_t rounds = iters / kBatch + 1;
+    std::vector<SoftEventId> ids(kBatch);
+    auto run_round = [&](bool timed) {
+      auto sched = Measure(kBatch, [&](size_t i) {
+        ids[i] = env.facility.ScheduleSoftEvent(
+            1000 + i, [](const SoftTimerFacility::FireInfo&) {});
+      });
+      auto canc = Measure(kBatch, [&](size_t i) {
+        benchmark::DoNotOptimize(env.facility.CancelSoftEvent(ids[i]));
+      });
+      if (timed) {
+        out.schedule.ns_per_op += sched.ns_per_op;
+        out.schedule.allocs_per_op += sched.allocs_per_op;
+        out.cancel.ns_per_op += canc.ns_per_op;
+        out.cancel.allocs_per_op += canc.allocs_per_op;
+      }
+    };
+    run_round(false);
+    for (size_t r = 0; r < rounds; ++r) {
+      run_round(true);
+    }
+    out.schedule.ns_per_op /= static_cast<double>(rounds);
+    out.schedule.allocs_per_op /= static_cast<double>(rounds);
+    out.cancel.ns_per_op /= static_cast<double>(rounds);
+    out.cancel.allocs_per_op /= static_cast<double>(rounds);
+  }
+
+  // Full schedule -> clock advance -> dispatch cycle.
+  {
+    Env env(kind);
+    auto cycle = [&](size_t) {
+      env.facility.ScheduleSoftEvent(1, [](const SoftTimerFacility::FireInfo&) {});
+      env.sim.RunUntil(env.sim.now() + SimDuration::Nanos(2'000));
+      benchmark::DoNotOptimize(env.facility.OnTriggerState(TriggerSource::kSyscall));
+    };
+    for (size_t i = 0; i < 1000; ++i) {
+      cycle(i);  // warmup
+    }
+    out.dispatch_cycle = Measure(iters, cycle);
+  }
+
+  return out;
+}
+
+void WriteOp(FILE* f, const char* name, const OpSample& s, const char* trailer) {
+  std::fprintf(f,
+               "      \"%s_ns\": %.2f,\n"
+               "      \"%s_allocs_per_op\": %.3f%s\n",
+               name, s.ns_per_op, name, s.allocs_per_op, trailer);
+}
+
+int WriteHotpathJson(const std::string& path, size_t iters) {
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"schema\": \"softtimer-hotpath-v1\",\n");
+  std::fprintf(f,
+               "  \"note\": \"facility-level hot-path costs; sim clock at 1 MHz; "
+               "ns/op is wall time on the build machine, allocs/op from the "
+               "operator-new probe\",\n");
+  // Facility-level numbers measured on this machine immediately before the
+  // typed-node / slab / fast-gate rework (default hashed-wheel queue), kept
+  // for comparison: the nothing-due check must stay >= 2x faster than this.
+  std::fprintf(f,
+               "  \"baseline_pre_pr\": {\n"
+               "    \"queue\": \"hashed-wheel\",\n"
+               "    \"trigger_check_empty_ns\": 10.5,\n"
+               "    \"trigger_check_nothing_due_ns\": 10.8,\n"
+               "    \"schedule_cancel_pair_ns\": 127.0,\n"
+               "    \"schedule_cancel_pair_allocs_per_op\": 2.000,\n"
+               "    \"schedule_dispatch_cycle_ns\": 204.0,\n"
+               "    \"schedule_dispatch_cycle_allocs_per_op\": 3.005,\n"
+               "    \"trigger_check_nothing_due_allocs_per_op\": 0.000\n"
+               "  },\n");
+  std::fprintf(f, "  \"current\": {\n");
+  const TimerQueueKind kKinds[] = {
+      TimerQueueKind::kHeap, TimerQueueKind::kHashedWheel,
+      TimerQueueKind::kHierarchicalWheel, TimerQueueKind::kCalloutList};
+  for (size_t k = 0; k < 4; ++k) {
+    HotpathSample s = MeasureHotpath(kKinds[k], iters);
+    std::fprintf(f, "    \"%s\": {\n", TimerQueueKindName(kKinds[k]));
+    WriteOp(f, "schedule", s.schedule, ",");
+    WriteOp(f, "cancel", s.cancel, ",");
+    WriteOp(f, "nothing_due_check", s.nothing_due_check, ",");
+    WriteOp(f, "dispatch_cycle", s.dispatch_cycle, "");
+    std::fprintf(f, "    }%s\n", k + 1 < 4 ? "," : "");
+    std::printf("%-12s schedule %6.1f ns  cancel %6.1f ns  nothing-due %5.2f ns "
+                "(allocs/op %.3f)  dispatch-cycle %6.1f ns\n",
+                TimerQueueKindName(kKinds[k]), s.schedule.ns_per_op,
+                s.cancel.ns_per_op, s.nothing_due_check.ns_per_op,
+                s.nothing_due_check.allocs_per_op, s.dispatch_cycle.ns_per_op);
+  }
+  std::fprintf(f, "  }\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+  return 0;
+}
+
 }  // namespace
 }  // namespace softtimer
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  std::string json_path;
+  size_t iters = 200'000;
+  // Strip our flags before google-benchmark (which rejects unknown ones).
+  std::vector<char*> passthrough;
+  passthrough.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--hotpath-json=", 15) == 0) {
+      json_path = argv[i] + 15;
+    } else if (std::strncmp(argv[i], "--hotpath-iters=", 16) == 0) {
+      iters = static_cast<size_t>(std::strtoull(argv[i] + 16, nullptr, 10));
+    } else {
+      passthrough.push_back(argv[i]);
+    }
+  }
+  if (!json_path.empty()) {
+    return softtimer::WriteHotpathJson(json_path, iters == 0 ? 1 : iters);
+  }
+  int bench_argc = static_cast<int>(passthrough.size());
+  benchmark::Initialize(&bench_argc, passthrough.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc, passthrough.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

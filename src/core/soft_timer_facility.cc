@@ -1,12 +1,23 @@
 #include "src/core/soft_timer_facility.h"
 
 #include <cassert>
+#include <type_traits>
 #include <utility>
 
 namespace softtimer {
 
 SoftTimerFacility::SoftTimerFacility(const ClockSource* clock, Config config)
     : clock_(clock), config_(config) {
+  // The whole point of the typed-node design is that these thunks stay inside
+  // the handler slot's inline buffer (and on its nothrow-move inline path);
+  // if either condition breaks, the schedule path silently regains a heap
+  // allocation per event, so fail the build instead.
+  static_assert(sizeof(DispatchThunk) <= TimerHandlerSlot::kInlineBytes &&
+                    std::is_nothrow_move_constructible_v<DispatchThunk>,
+                "DispatchThunk must fit the inline handler slot");
+  static_assert(sizeof(PolicyThunk) <= TimerHandlerSlot::kInlineBytes &&
+                    std::is_nothrow_move_constructible_v<PolicyThunk>,
+                "PolicyThunk must fit the inline handler slot");
   assert(clock_ != nullptr);
   assert(config_.interrupt_clock_hz > 0);
   assert(clock_->ResolutionHz() >= config_.interrupt_clock_hz);
@@ -21,14 +32,15 @@ uint64_t SoftTimerFacility::ticks_per_backup_interval() const {
   return clock_->ResolutionHz() / config_.interrupt_clock_hz;
 }
 
-void SoftTimerFacility::Dispatch(uint64_t scheduled_tick, uint64_t delta_ticks,
-                                 uint32_t tag, const Handler& handler) {
+void SoftTimerFacility::DispatchFired(const TimerFired& fired,
+                                      const Handler& handler) {
+  const TimerPayload& p = *fired.payload;
   FireInfo info;
-  info.scheduled_tick = scheduled_tick;
-  info.delta_ticks = delta_ticks;
+  info.scheduled_tick = p.scheduled_tick;
+  info.delta_ticks = p.delta_ticks;
   info.fired_tick = MeasureTime();
   info.source = dispatch_source_;
-  info.handler_tag = tag;
+  info.handler_tag = p.tag;
   ++stats_.dispatches;
   ++stats_.dispatches_by_source[static_cast<size_t>(dispatch_source_)];
   stats_.lateness_ticks.Add(static_cast<double>(info.lateness_ticks()));
@@ -39,31 +51,42 @@ void SoftTimerFacility::Dispatch(uint64_t scheduled_tick, uint64_t delta_ticks,
   if (policy_) {
     ++dispatched_this_check_;
     uint64_t cost = dispatch_cost_probe_ ? dispatch_cost_probe_(info) : 0;
-    policy_->OnDispatchCost(tag, cost);
+    policy_->OnDispatchCost(p.tag, cost);
   }
 }
 
-void SoftTimerFacility::RunOrDefer(const std::shared_ptr<EventState>& st) {
-  bool quarantine_block = st->tag != 0 &&
+void SoftTimerFacility::RunOrDeferFired(const TimerFired& fired,
+                                        Handler& handler) {
+  const TimerPayload& p = *fired.payload;
+  bool quarantine_block = p.tag != 0 &&
                           dispatch_source_ != TriggerSource::kBackupIntr &&
-                          policy_->IsQuarantined(st->tag);
+                          policy_->IsQuarantined(p.tag);
   size_t cap = policy_->max_dispatches_per_check();
   bool cap_block = !quarantine_block && cap != 0 && dispatched_this_check_ >= cap;
   if (quarantine_block || cap_block) {
     policy_->NoteDeferred(quarantine_block);
-    // Re-enter the queue at the original deadline; the queue clamps a past
-    // deadline to one tick beyond the current expiry, so the event is
-    // re-examined at the next check (carrying the batch remainder forward;
-    // a quarantined tag keeps deferring until a backup check reaches it).
-    TimerId tid = queue_->Schedule(st->deadline, [this, st] { RunOrDefer(st); });
-    st->deferred = true;
-    deferred_remap_[st->public_id] = tid;
+    // Defer by relinking: copy the POD payload fields into a fresh node and
+    // move the handler across - no shared state, no extra allocation. The
+    // queue clamps the (now past) deadline to one tick beyond the current
+    // expiry, so the event is re-examined at the next check (carrying the
+    // batch remainder forward; a quarantined tag keeps deferring until a
+    // backup check reaches it). user_data records the public id the caller
+    // holds, so cancels keep working through the remap table.
+    uint64_t public_id = p.user_data != 0 ? p.user_data : fired.id.value;
+    TimerPayload replacement;
+    replacement.scheduled_tick = p.scheduled_tick;
+    replacement.delta_ticks = p.delta_ticks;
+    replacement.tag = p.tag;
+    replacement.user_data = public_id;
+    replacement.handler.emplace(PolicyThunk{this, std::move(handler)});
+    TimerId tid = queue_->Schedule(fired.deadline_tick, std::move(replacement));
+    deferred_remap_[public_id] = tid;
     return;
   }
-  if (st->deferred) {
-    deferred_remap_.erase(st->public_id);
+  if (p.user_data != 0) {
+    deferred_remap_.erase(p.user_data);
   }
-  Dispatch(st->scheduled_tick, st->delta_ticks, st->tag, st->handler);
+  DispatchFired(fired, handler);
 }
 
 SoftEventId SoftTimerFacility::ScheduleSoftEvent(uint64_t delta_ticks, Handler handler,
@@ -73,23 +96,19 @@ SoftEventId SoftTimerFacility::ScheduleSoftEvent(uint64_t delta_ticks, Handler h
   // the +1 covers the event not being scheduled exactly on a tick boundary.
   uint64_t deadline = scheduled_tick + delta_ticks + 1;
   ++stats_.scheduled;
-  TimerId tid;
+  TimerPayload payload;
+  payload.scheduled_tick = scheduled_tick;
+  payload.delta_ticks = delta_ticks;
+  payload.tag = handler_tag;
   if (!policy_) {
-    tid = queue_->Schedule(
-        deadline, [this, scheduled_tick, delta_ticks, handler_tag,
-                   handler = std::move(handler)]() {
-          Dispatch(scheduled_tick, delta_ticks, handler_tag, handler);
-        });
+    payload.handler.emplace(DispatchThunk{this, std::move(handler)});
+    if (deadline < next_deadline_) {
+      next_deadline_ = deadline;
+    }
   } else {
-    auto st = std::make_shared<EventState>();
-    st->scheduled_tick = scheduled_tick;
-    st->delta_ticks = delta_ticks;
-    st->deadline = deadline;
-    st->tag = handler_tag;
-    st->handler = std::move(handler);
-    tid = queue_->Schedule(deadline, [this, st] { RunOrDefer(st); });
-    st->public_id = tid.value;
+    payload.handler.emplace(PolicyThunk{this, std::move(handler)});
   }
+  TimerId tid = queue_->Schedule(deadline, std::move(payload));
   if (schedule_observer_) {
     schedule_observer_();
   }
@@ -98,7 +117,9 @@ SoftEventId SoftTimerFacility::ScheduleSoftEvent(uint64_t delta_ticks, Handler h
 
 bool SoftTimerFacility::CancelSoftEvent(SoftEventId id) {
   bool ok = queue_->Cancel(TimerId{id.value});
-  if (!ok && !deferred_remap_.empty()) {
+  // Only a policy-mode deferral ever remaps an id, so the no-policy path
+  // never probes the map.
+  if (!ok && policy_ && !deferred_remap_.empty()) {
     auto it = deferred_remap_.find(id.value);
     if (it != deferred_remap_.end()) {
       ok = queue_->Cancel(it->second);
@@ -111,12 +132,18 @@ bool SoftTimerFacility::CancelSoftEvent(SoftEventId id) {
   return ok;
 }
 
-size_t SoftTimerFacility::OnTriggerState(TriggerSource source) {
-  ++stats_.checks;
+size_t SoftTimerFacility::ExpireDue(TriggerSource source) {
   dispatch_source_ = source;
-  if (!policy_) {
-    return queue_->ExpireUpTo(MeasureTime());
-  }
+  size_t fired = queue_->ExpireUpTo(MeasureTime());
+  // Refresh the gate from the queue (handlers may have scheduled or
+  // cancelled; the queue's cached earliest makes this cheap).
+  std::optional<uint64_t> earliest = queue_->EarliestDeadline();
+  next_deadline_ = earliest ? *earliest : UINT64_MAX;
+  return fired;
+}
+
+size_t SoftTimerFacility::PolicyCheck(TriggerSource source) {
+  dispatch_source_ = source;
   uint64_t now = MeasureTime();
   policy_->OnCheck(now, source, queue_->EarliestDeadline(), queue_->size());
   dispatched_this_check_ = 0;

@@ -22,6 +22,14 @@
 // OnTriggerState() at every trigger state, (b) calling OnBackupInterrupt()
 // from the periodic timer interrupt, and (c) charging whatever per-check and
 // per-dispatch costs apply via the observer hooks.
+//
+// Hot-path anatomy (see DESIGN.md): trigger-state checks are the operation
+// the paper requires to cost "roughly that of a function call", so the
+// facility keeps a cached next-deadline tick. A check when nothing is due is
+// one clock read plus one compare - no virtual call into the queue, no
+// allocation. Scheduling moves the handler into the timer queue's typed slab
+// node (TimerPayload, src/timer/timer_queue.h), so steady-state scheduling
+// performs zero heap allocations as well.
 
 #ifndef SOFTTIMER_SRC_CORE_SOFT_TIMER_FACILITY_H_
 #define SOFTTIMER_SRC_CORE_SOFT_TIMER_FACILITY_H_
@@ -58,8 +66,8 @@ class SoftTimerFacility {
     // timing wheel).
     TimerQueueKind queue_kind = TimerQueueKind::kHashedWheel;
     // Graceful-degradation policy (drought escalation, handler quarantine,
-    // batch caps). Disabled by default: the facility then runs the seed's
-    // zero-overhead dispatch path.
+    // batch caps). Disabled by default: the facility then runs the
+    // zero-overhead fast-gate dispatch path.
     DegradationPolicy::Config degradation;
   };
 
@@ -101,9 +109,22 @@ class SoftTimerFacility {
 
   // --- Host integration points ----------------------------------------
   // The "check for pending soft timer events" performed in a trigger state:
-  // reads the clock, compares against the earliest deadline, and dispatches
-  // anything due. Returns the number of handlers invoked.
-  size_t OnTriggerState(TriggerSource source);
+  // reads the clock, compares against the cached next deadline, and
+  // dispatches anything due. Returns the number of handlers invoked. When
+  // nothing is due (the overwhelmingly common case) this is one clock read
+  // and one compare.
+  size_t OnTriggerState(TriggerSource source) {
+    ++stats_.checks;
+    if (policy_ == nullptr) {
+      // Fast gate: next_deadline_ is a conservative lower bound on the
+      // earliest pending deadline (UINT64_MAX when the queue is empty).
+      if (MeasureTime() < next_deadline_) {
+        return 0;
+      }
+      return ExpireDue(source);
+    }
+    return PolicyCheck(source);
+  }
 
   // Called from the periodic backup timer interrupt; dispatches overdue
   // events that no trigger state picked up.
@@ -152,7 +173,8 @@ class SoftTimerFacility {
   // --- Introspection ----------------------------------------------------
   // Earliest pending deadline (absolute tick), if any. The idle loop uses
   // this to decide whether to halt (Section 5.2: halt when nothing is due
-  // before the next backup interrupt).
+  // before the next backup interrupt). Exact (reads the queue, not the
+  // fast-gate cache).
   std::optional<uint64_t> NextDeadlineTick() const { return queue_->EarliestDeadline(); }
 
   size_t pending_count() const { return queue_->size(); }
@@ -174,24 +196,44 @@ class SoftTimerFacility {
   void ResetStats() { stats_ = Stats{}; }
 
  private:
-  // Per-event state shared between a policy-mode dispatch wrapper and its
-  // deferred reschedules (the wrapper re-enters the queue when quarantined
-  // or over the batch cap, keeping the original FireInfo and public id).
-  struct EventState {
-    uint64_t scheduled_tick;
-    uint64_t delta_ticks;
-    uint64_t deadline;
-    uint32_t tag;
-    uint64_t public_id;     // the SoftEventId handed to the caller
-    bool deferred = false;  // currently living under a remapped TimerId
+  // The queue-node handler installed by ScheduleSoftEvent when no policy is
+  // configured: forwards to the facility's single dispatch entry point. The
+  // event's scheduling metadata lives in the node's TimerPayload, not in a
+  // closure capture, so the whole thunk is {facility, handler} and fits the
+  // handler slot's inline buffer.
+  struct DispatchThunk {
+    SoftTimerFacility* facility;
     Handler handler;
+    void operator()(const TimerFired& fired) {
+      facility->DispatchFired(fired, handler);
+    }
   };
 
-  void Dispatch(uint64_t scheduled_tick, uint64_t delta_ticks, uint32_t tag,
-                const Handler& handler);
+  // Policy-mode variant: consults quarantine/batch-cap state and either
+  // dispatches or defers (relinks the node's payload under a new TimerId).
+  struct PolicyThunk {
+    SoftTimerFacility* facility;
+    Handler handler;
+    void operator()(const TimerFired& fired) {
+      facility->RunOrDeferFired(fired, handler);
+    }
+  };
+
+  // Single dispatch entry point: builds FireInfo from the fired payload,
+  // updates stats, runs observers and the handler.
+  void DispatchFired(const TimerFired& fired, const Handler& handler);
+
   // Policy-mode dispatch: runs the handler, or defers it (quarantined tag at
-  // a non-backup check, or batch cap reached) by rescheduling into the queue.
-  void RunOrDefer(const std::shared_ptr<EventState>& st);
+  // a non-backup check, or batch cap reached) by rescheduling the payload.
+  // May move `handler` out (into the deferred node).
+  void RunOrDeferFired(const TimerFired& fired, Handler& handler);
+
+  // Slow path of the no-policy check: expires due timers and refreshes the
+  // next-deadline gate from the queue.
+  size_t ExpireDue(TriggerSource source);
+
+  // Policy-mode check: feeds the density tracker and expires due timers.
+  size_t PolicyCheck(TriggerSource source);
 
   const ClockSource* clock_;
   Config config_;
@@ -200,13 +242,20 @@ class SoftTimerFacility {
   std::function<void(const FireInfo&)> dispatch_observer_;
   std::function<void()> schedule_observer_;
   std::function<uint64_t(const FireInfo&)> dispatch_cost_probe_;
+  // Conservative cached copy of the earliest pending deadline, maintained
+  // only when no policy is configured (the policy needs every check to reach
+  // its density tracker anyway). Invariant: next_deadline_ <= the queue's
+  // true earliest deadline; UINT64_MAX when (believed) empty. May lag low
+  // after a cancel - that costs one slow-path check, never a missed event.
+  uint64_t next_deadline_ = UINT64_MAX;
   // Trigger source of the OnTriggerState call currently dispatching, so the
   // per-event callbacks can attribute their FireInfo (single-threaded).
   TriggerSource dispatch_source_ = TriggerSource::kBackupIntr;
   // Handlers invoked by the OnTriggerState call in progress (policy mode).
   size_t dispatched_this_check_ = 0;
   // SoftEventId -> current TimerId for events whose queue entry was replaced
-  // by a deferral; consulted by CancelSoftEvent. Empty on the happy path.
+  // by a deferral; consulted by CancelSoftEvent. Policy mode only (the
+  // no-policy path never defers, so CancelSoftEvent skips the probe).
   std::unordered_map<uint64_t, TimerId> deferred_remap_;
   Stats stats_;
 };

@@ -4,44 +4,84 @@
 
 namespace softtimer {
 
-TimerId CalloutListTimerQueue::Schedule(uint64_t deadline_tick, Callback cb) {
+void CalloutListTimerQueue::Unlink(uint32_t index) {
+  Node& n = slab_.at(index);
+  if (n.prev != kNilTimerIndex) {
+    slab_.at(n.prev).next = n.next;
+  } else {
+    head_ = n.next;
+  }
+  if (n.next != kNilTimerIndex) {
+    slab_.at(n.next).prev = n.prev;
+  } else {
+    tail_ = n.prev;
+  }
+  n.prev = kNilTimerIndex;
+  n.next = kNilTimerIndex;
+}
+
+void CalloutListTimerQueue::FreeNode(uint32_t index) {
+  Node& n = slab_.at(index);
+  n.payload.handler.reset();
+  slab_.Free(index);
+}
+
+TimerId CalloutListTimerQueue::Schedule(uint64_t deadline_tick, TimerPayload payload) {
   if (deadline_tick < cursor_) {
     deadline_tick = cursor_;
   }
-  uint64_t id = next_id_++;
+  uint32_t index = slab_.Allocate();
+  Node& n = slab_.at(index);
+  n.payload = std::move(payload);
+  n.deadline = deadline_tick;
   // Walk from the back: workloads schedule mostly-ascending deadlines, so
   // the common case is O(1) (the same trick 4.3BSD relied on).
-  auto pos = list_.end();
-  while (pos != list_.begin()) {
-    auto prev = std::prev(pos);
-    if (prev->deadline <= deadline_tick) {
-      break;
-    }
-    pos = prev;
+  uint32_t after = tail_;
+  while (after != kNilTimerIndex && slab_.at(after).deadline > deadline_tick) {
+    after = slab_.at(after).prev;
   }
-  auto it = list_.insert(pos, Entry{deadline_tick, id, std::move(cb)});
-  index_.emplace(id, it);
-  return TimerId{id};
+  if (after == kNilTimerIndex) {
+    // New head.
+    n.prev = kNilTimerIndex;
+    n.next = head_;
+    if (head_ != kNilTimerIndex) {
+      slab_.at(head_).prev = index;
+    }
+    head_ = index;
+    if (tail_ == kNilTimerIndex) {
+      tail_ = index;
+    }
+  } else {
+    Node& a = slab_.at(after);
+    n.prev = after;
+    n.next = a.next;
+    if (a.next != kNilTimerIndex) {
+      slab_.at(a.next).prev = index;
+    } else {
+      tail_ = index;
+    }
+    a.next = index;
+  }
+  ++live_count_;
+  return TimerId{PackTimerIdValue(index, n.generation)};
 }
 
 bool CalloutListTimerQueue::Cancel(TimerId id) {
-  if (!id.valid()) {
+  if (!slab_.IsCurrent(id.value)) {
     return false;
   }
-  auto it = index_.find(id.value);
-  if (it == index_.end()) {
-    return false;
-  }
-  list_.erase(it->second);
-  index_.erase(it);
+  uint32_t index = TimerIdIndex(id.value);
+  Unlink(index);
+  FreeNode(index);
+  --live_count_;
   return true;
 }
 
 std::optional<uint64_t> CalloutListTimerQueue::EarliestDeadline() const {
-  if (list_.empty()) {
+  if (head_ == kNilTimerIndex) {
     return std::nullopt;
   }
-  return list_.front().deadline;
+  return slab_.at(head_).deadline;
 }
 
 size_t CalloutListTimerQueue::ExpireUpTo(uint64_t now_tick) {
@@ -49,12 +89,19 @@ size_t CalloutListTimerQueue::ExpireUpTo(uint64_t now_tick) {
     cursor_ = now_tick + 1;
   }
   size_t fired = 0;
-  while (!list_.empty() && list_.front().deadline <= now_tick) {
-    Entry e = std::move(list_.front());
-    list_.pop_front();
-    index_.erase(e.id);
+  while (head_ != kNilTimerIndex && slab_.at(head_).deadline <= now_tick) {
+    uint32_t index = head_;
+    Node& n = slab_.at(index);
+    Unlink(index);
+    // Move the payload out and recycle the node before invoking, so the
+    // handler can schedule (reusing this slot) or cancel stale ids.
+    TimerPayload payload = std::move(n.payload);
+    TimerFired fired_info{&payload, n.deadline,
+                          TimerId{PackTimerIdValue(index, n.generation)}};
+    FreeNode(index);
+    --live_count_;
     ++fired;
-    e.cb();
+    payload.handler.Invoke(fired_info);
   }
   return fired;
 }

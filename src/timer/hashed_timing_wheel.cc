@@ -7,39 +7,83 @@
 namespace softtimer {
 
 HashedTimingWheel::HashedTimingWheel(uint64_t granularity, size_t slot_count)
-    : granularity_(granularity), slot_count_(slot_count), slots_(slot_count) {
+    : granularity_(granularity),
+      slot_count_(slot_count),
+      buckets_(slot_count, kNilTimerIndex) {
   assert(granularity_ >= 1);
   assert(slot_count_ >= 2);
 }
 
-TimerId HashedTimingWheel::Schedule(uint64_t deadline_tick, Callback cb) {
+void HashedTimingWheel::LinkIntoBucket(uint32_t index, size_t slot) {
+  Node& n = slab_.at(index);
+  n.prev = kNilTimerIndex;
+  n.next = buckets_[slot];
+  if (n.next != kNilTimerIndex) {
+    slab_.at(n.next).prev = index;
+  }
+  buckets_[slot] = index;
+}
+
+void HashedTimingWheel::UnlinkFromBucket(uint32_t index, size_t slot) {
+  Node& n = slab_.at(index);
+  if (n.prev != kNilTimerIndex) {
+    slab_.at(n.prev).next = n.next;
+  } else {
+    buckets_[slot] = n.next;
+  }
+  if (n.next != kNilTimerIndex) {
+    slab_.at(n.next).prev = n.prev;
+  }
+  n.prev = kNilTimerIndex;
+  n.next = kNilTimerIndex;
+}
+
+void HashedTimingWheel::FreeNode(uint32_t index) {
+  Node& n = slab_.at(index);
+  n.payload.handler.reset();
+  slab_.Free(index);
+}
+
+TimerId HashedTimingWheel::Schedule(uint64_t deadline_tick, TimerPayload payload) {
   if (deadline_tick < cursor_) {
     deadline_tick = cursor_;
   }
-  uint64_t id = next_id_++;
-  live_.emplace(id, Entry{deadline_tick, next_seq_++, std::move(cb)});
-  slots_[SlotFor(deadline_tick)].push_back(id);
+  uint32_t index = slab_.Allocate();
+  Node& n = slab_.at(index);
+  n.payload = std::move(payload);
+  n.deadline = deadline_tick;
+  n.seq = next_seq_++;
+  LinkIntoBucket(index, SlotFor(deadline_tick));
+  ++live_count_;
   if (earliest_known_) {
     if (!earliest_cache_ || deadline_tick < *earliest_cache_) {
       earliest_cache_ = deadline_tick;
     }
   }
-  return TimerId{id};
+  return TimerId{PackTimerIdValue(index, n.generation)};
 }
 
 bool HashedTimingWheel::Cancel(TimerId id) {
-  if (!id.valid()) {
+  if (!slab_.IsCurrent(id.value)) {
     return false;
   }
-  auto it = live_.find(id.value);
-  if (it == live_.end()) {
-    return false;
+  uint32_t index = TimerIdIndex(id.value);
+  Node& n = slab_.at(index);
+  if (n.state == TimerNodeState::kCancelledDue) {
+    return false;  // already cancelled (while sitting in an expiry batch)
   }
-  // The slot entry is pruned lazily during the next walk of that bucket.
+  if (n.state == TimerNodeState::kDue) {
+    // In an in-progress expiry batch: mark it; the fire loop frees it.
+    n.state = TimerNodeState::kCancelledDue;
+    --live_count_;
+    return true;
+  }
   bool was_earliest = earliest_known_ && earliest_cache_ &&
-                      it->second.deadline == *earliest_cache_;
-  live_.erase(it);
-  if (live_.empty()) {
+                      n.deadline == *earliest_cache_;
+  UnlinkFromBucket(index, SlotFor(n.deadline));
+  FreeNode(index);
+  --live_count_;
+  if (live_count_ == 0) {
     earliest_cache_.reset();
     earliest_known_ = true;
   } else if (was_earliest) {
@@ -50,16 +94,36 @@ bool HashedTimingWheel::Cancel(TimerId id) {
 
 std::optional<uint64_t> HashedTimingWheel::EarliestDeadline() const {
   if (!earliest_known_) {
-    if (live_.empty()) {
+    if (live_count_ == 0) {
       earliest_cache_.reset();
     } else {
+      // Walk bucket heads outward from the cursor. Every pending deadline is
+      // >= cursor_, and a node in the bucket k slots past the cursor's has
+      // deadline >= (cursor_bucket + k) * granularity, so once the best seen
+      // undercuts the next bucket's floor no later bucket can beat it.
       uint64_t best = UINT64_MAX;
-      for (const auto& [id, e] : live_) {
-        if (e.deadline < best) {
-          best = e.deadline;
+      uint64_t base_bucket = cursor_ / granularity_;
+      for (size_t k = 0; k < slot_count_; ++k) {
+        uint64_t bucket_floor = (base_bucket + k) * granularity_;
+        if (best <= bucket_floor) {
+          break;
+        }
+        uint32_t it = buckets_[(base_bucket + k) % slot_count_];
+        while (it != kNilTimerIndex) {
+          const Node& n = slab_.at(it);
+          if (n.deadline < best) {
+            best = n.deadline;
+          }
+          it = n.next;
         }
       }
-      earliest_cache_ = best;
+      // best can remain UINT64_MAX mid-batch when every live node is an
+      // unfired due entry; the batch re-invalidates the cache on completion.
+      if (best != UINT64_MAX) {
+        earliest_cache_ = best;
+      } else {
+        earliest_cache_.reset();
+      }
     }
     earliest_known_ = true;
   }
@@ -70,7 +134,7 @@ size_t HashedTimingWheel::ExpireUpTo(uint64_t now_tick) {
   if (now_tick < cursor_) {
     return 0;
   }
-  if (live_.empty()) {
+  if (live_count_ == 0) {
     cursor_ = now_tick + 1;
     earliest_cache_.reset();
     earliest_known_ = true;
@@ -84,40 +148,36 @@ size_t HashedTimingWheel::ExpireUpTo(uint64_t now_tick) {
     return 0;
   }
 
-  // Collect every due entry from the buckets covering [cursor_, now_tick].
-  struct Due {
-    uint64_t deadline;
-    uint64_t seq;
-    uint64_t id;
-  };
-  std::vector<Due> due;
-  // Buckets to visit: every slot period from cursor_'s to now_tick's,
-  // inclusive (computed on bucket indices, not raw tick deltas, so a cursor
-  // sitting mid-bucket still reaches now's bucket).
+  // Unlink every due node from the buckets covering [cursor_, now_tick] into
+  // the batch. Buckets to visit: every slot period from cursor_'s to
+  // now_tick's, inclusive (computed on bucket indices, not raw tick deltas,
+  // so a cursor sitting mid-bucket still reaches now's bucket).
+  std::vector<uint32_t> batch;
+  batch.swap(due_scratch_);
   uint64_t span_slots = now_tick / granularity_ - cursor_ / granularity_ + 1;
   size_t visit = std::min<uint64_t>(span_slots, slot_count_);
   size_t first_slot = SlotFor(cursor_);
   for (size_t k = 0; k < visit; ++k) {
-    std::vector<uint64_t>& bucket = slots_[(first_slot + k) % slot_count_];
-    size_t w = 0;
-    for (size_t r = 0; r < bucket.size(); ++r) {
-      auto it = live_.find(bucket[r]);
-      if (it == live_.end()) {
-        continue;  // cancelled or already fired; prune
+    size_t slot = (first_slot + k) % slot_count_;
+    uint32_t it = buckets_[slot];
+    while (it != kNilTimerIndex) {
+      Node& n = slab_.at(it);
+      uint32_t next = n.next;
+      if (n.deadline <= now_tick) {
+        UnlinkFromBucket(it, slot);
+        n.state = TimerNodeState::kDue;
+        batch.push_back(it);
       }
-      if (it->second.deadline <= now_tick) {
-        due.push_back(Due{it->second.deadline, it->second.seq, bucket[r]});
-        continue;  // removed from the bucket; lives on in `due`
-      }
-      bucket[w++] = bucket[r];
+      it = next;
     }
-    bucket.resize(w);
   }
-  std::sort(due.begin(), due.end(), [](const Due& a, const Due& b) {
-    if (a.deadline != b.deadline) {
-      return a.deadline < b.deadline;
+  std::sort(batch.begin(), batch.end(), [this](uint32_t a, uint32_t b) {
+    const Node& na = slab_.at(a);
+    const Node& nb = slab_.at(b);
+    if (na.deadline != nb.deadline) {
+      return na.deadline < nb.deadline;
     }
-    return a.seq < b.seq;
+    return na.seq < nb.seq;
   });
 
   // Advance the cursor before firing so callbacks that re-schedule get
@@ -126,19 +186,35 @@ size_t HashedTimingWheel::ExpireUpTo(uint64_t now_tick) {
   earliest_known_ = false;
 
   size_t fired = 0;
-  for (const Due& d : due) {
-    auto it = live_.find(d.id);
-    if (it == live_.end()) {
-      continue;  // cancelled by an earlier callback in this batch
+  for (uint32_t index : batch) {
+    Node& n = slab_.at(index);
+    if (n.state == TimerNodeState::kCancelledDue) {
+      FreeNode(index);  // cancelled by an earlier callback in this batch
+      continue;
     }
-    Callback cb = std::move(it->second.cb);
-    live_.erase(it);
+    // Move the payload out and recycle the node before invoking, so the
+    // handler can schedule (reusing this slot), cancel stale ids, and defer
+    // itself by moving its own state into a fresh node.
+    TimerPayload payload = std::move(n.payload);
+    TimerFired fired_info{&payload, n.deadline,
+                          TimerId{PackTimerIdValue(index, n.generation)}};
+    FreeNode(index);
+    --live_count_;
     ++fired;
-    cb();
+    payload.handler.Invoke(fired_info);
   }
-  if (live_.empty()) {
+  batch.clear();
+  if (due_scratch_.capacity() < batch.capacity()) {
+    due_scratch_.swap(batch);  // keep the larger buffer for next time
+  }
+
+  if (live_count_ == 0) {
     earliest_cache_.reset();
     earliest_known_ = true;
+  } else {
+    // A callback may have recomputed the cache mid-batch without seeing
+    // then-unfired due nodes; recompute lazily now that the batch is done.
+    earliest_known_ = false;
   }
   return fired;
 }

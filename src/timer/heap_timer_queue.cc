@@ -1,29 +1,59 @@
 #include "src/timer/heap_timer_queue.h"
 
+#include <algorithm>
 #include <utility>
 
 namespace softtimer {
 
-TimerId HeapTimerQueue::Schedule(uint64_t deadline_tick, Callback cb) {
+TimerId HeapTimerQueue::Schedule(uint64_t deadline_tick, TimerPayload payload) {
   if (deadline_tick < cursor_) {
     deadline_tick = cursor_;
   }
-  uint64_t id = next_id_++;
-  heap_.push(HeapEntry{deadline_tick, next_seq_++, id});
-  live_.emplace(id, std::move(cb));
-  return TimerId{id};
+  uint32_t index = slab_.Allocate();
+  Node& n = slab_.at(index);
+  n.payload = std::move(payload);
+  n.deadline = deadline_tick;
+  heap_.push_back(HeapEntry{deadline_tick, next_seq_++, index, n.generation});
+  std::push_heap(heap_.begin(), heap_.end(), EntryAfter{});
+  ++live_count_;
+  return TimerId{PackTimerIdValue(index, n.generation)};
 }
 
 bool HeapTimerQueue::Cancel(TimerId id) {
-  if (!id.valid()) {
+  if (!slab_.IsCurrent(id.value)) {
     return false;
   }
-  return live_.erase(id.value) > 0;
+  // Free the slot now (bumping its generation); the heap entry goes stale
+  // and is skimmed when it reaches the top, or swept out by Compact below.
+  uint32_t index = TimerIdIndex(id.value);
+  Node& n = slab_.at(index);
+  n.payload.handler.reset();
+  slab_.Free(index);
+  --live_count_;
+  ++stale_count_;
+  // Without compaction, a schedule/cancel-only workload (no expiry in
+  // between) would grow the heap without bound. Sweeping once stale entries
+  // outnumber live ones keeps the vector at <= 2x the live high-water mark
+  // and costs amortized O(1) per cancel.
+  if (stale_count_ > live_count_ && heap_.size() > 64) {
+    Compact();
+  }
+  return true;
+}
+
+void HeapTimerQueue::Compact() const {
+  heap_.erase(std::remove_if(heap_.begin(), heap_.end(),
+                             [this](const HeapEntry& e) { return !EntryCurrent(e); }),
+              heap_.end());
+  std::make_heap(heap_.begin(), heap_.end(), EntryAfter{});
+  stale_count_ = 0;
 }
 
 void HeapTimerQueue::SkimCancelled() const {
-  while (!heap_.empty() && live_.find(heap_.top().id) == live_.end()) {
-    heap_.pop();
+  while (!heap_.empty() && !EntryCurrent(heap_.front())) {
+    std::pop_heap(heap_.begin(), heap_.end(), EntryAfter{});
+    heap_.pop_back();
+    --stale_count_;
   }
 }
 
@@ -34,16 +64,22 @@ size_t HeapTimerQueue::ExpireUpTo(uint64_t now_tick) {
   size_t fired = 0;
   for (;;) {
     SkimCancelled();
-    if (heap_.empty() || heap_.top().deadline > now_tick) {
+    if (heap_.empty() || heap_.front().deadline > now_tick) {
       break;
     }
-    HeapEntry top = heap_.top();
-    heap_.pop();
-    auto it = live_.find(top.id);
-    Callback cb = std::move(it->second);
-    live_.erase(it);
+    HeapEntry top = heap_.front();
+    std::pop_heap(heap_.begin(), heap_.end(), EntryAfter{});
+    heap_.pop_back();
+    Node& n = slab_.at(top.slot);
+    // Move the payload out and recycle the node before invoking, so the
+    // handler can schedule (reusing this slot) or cancel stale ids.
+    TimerPayload payload = std::move(n.payload);
+    TimerFired fired_info{&payload, n.deadline,
+                          TimerId{PackTimerIdValue(top.slot, n.generation)}};
+    slab_.Free(top.slot);
+    --live_count_;
     ++fired;
-    cb();
+    payload.handler.Invoke(fired_info);
   }
   return fired;
 }
@@ -53,7 +89,7 @@ std::optional<uint64_t> HeapTimerQueue::EarliestDeadline() const {
   if (heap_.empty()) {
     return std::nullopt;
   }
-  return heap_.top().deadline;
+  return heap_.front().deadline;
 }
 
 }  // namespace softtimer

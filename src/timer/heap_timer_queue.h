@@ -1,15 +1,23 @@
 // Binary-heap TimerQueue. O(log n) schedule, O(1) earliest-deadline,
 // lazy-deletion cancel. The baseline the timing wheels are compared against
 // in bench/bench_micro_timer_wheel.cc.
+//
+// Payloads live in slab-recycled nodes (timer_slab.h); the heap itself holds
+// only {deadline, seq, slot, generation} entries, so a cancelled timer's
+// entry goes stale (its generation no longer matches the slot) and is
+// skimmed lazily at the top. When stale entries outnumber live ones the heap
+// compacts in place (remove_if + make_heap, no allocation), so a
+// schedule/cancel-only workload cannot grow the vector unboundedly.
+// Steady-state schedule/cancel/fire performs zero heap allocations once the
+// slab and the heap vector reach the workload's high-water mark.
 
 #ifndef SOFTTIMER_SRC_TIMER_HEAP_TIMER_QUEUE_H_
 #define SOFTTIMER_SRC_TIMER_HEAP_TIMER_QUEUE_H_
 
-#include <queue>
-#include <unordered_map>
 #include <vector>
 
 #include "src/timer/timer_queue.h"
+#include "src/timer/timer_slab.h"
 
 namespace softtimer {
 
@@ -17,35 +25,55 @@ class HeapTimerQueue : public TimerQueue {
  public:
   HeapTimerQueue() = default;
 
-  TimerId Schedule(uint64_t deadline_tick, Callback cb) override;
+  using TimerQueue::Schedule;
+  TimerId Schedule(uint64_t deadline_tick, TimerPayload payload) override;
   bool Cancel(TimerId id) override;
   size_t ExpireUpTo(uint64_t now_tick) override;
   std::optional<uint64_t> EarliestDeadline() const override;
-  size_t size() const override { return live_.size(); }
+  size_t size() const override { return live_count_; }
   std::string name() const override { return "heap"; }
 
  private:
+  struct Node {
+    TimerPayload payload;
+    uint64_t deadline = 0;
+    uint32_t generation = 1;         // slab convention (see timer_slab.h)
+    uint32_t next = kNilTimerIndex;  // free-list link
+    TimerNodeState state = TimerNodeState::kFree;
+  };
+
   struct HeapEntry {
     uint64_t deadline;
     uint64_t seq;
-    uint64_t id;
-    bool operator>(const HeapEntry& o) const {
-      if (deadline != o.deadline) {
-        return deadline > o.deadline;
+    uint32_t slot;
+    uint32_t generation;
+  };
+  // Min-heap order on (deadline, seq).
+  struct EntryAfter {
+    bool operator()(const HeapEntry& a, const HeapEntry& b) const {
+      if (a.deadline != b.deadline) {
+        return a.deadline > b.deadline;
       }
-      return seq > o.seq;
+      return a.seq > b.seq;
     }
   };
 
+  // True when the entry still refers to the live timer it was pushed for.
+  bool EntryCurrent(const HeapEntry& e) const {
+    return slab_.at(e.slot).generation == e.generation;
+  }
   void SkimCancelled() const;
+  // Drops every stale entry and re-heapifies, in place.
+  void Compact() const;
 
   // Deadlines below this are clamped up to it (same semantics as the
   // wheels): a past deadline fires on the next ExpireUpTo.
   uint64_t cursor_ = 0;
-  mutable std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>> heap_;
-  std::unordered_map<uint64_t, Callback> live_;
-  uint64_t next_id_ = 1;
+  mutable std::vector<HeapEntry> heap_;
+  mutable size_t stale_count_ = 0;
+  TimerSlab<Node> slab_;
   uint64_t next_seq_ = 0;
+  size_t live_count_ = 0;
 };
 
 }  // namespace softtimer

@@ -18,13 +18,46 @@ HierarchicalTimingWheel::HierarchicalTimingWheel(uint64_t granularity,
     Level level;
     level.bucket_width = width;
     level.cascade_cursor = 0;
-    level.slots.resize(slots_per_level_);
+    level.heads.assign(slots_per_level_, kNilTimerIndex);
     levels_.push_back(std::move(level));
     width *= slots_per_level_;
   }
 }
 
-void HierarchicalTimingWheel::Place(uint64_t id, uint64_t deadline) {
+void HierarchicalTimingWheel::LinkIntoBucket(uint32_t index, size_t level,
+                                             size_t bucket) {
+  Node& n = slab_.at(index);
+  n.level = static_cast<uint8_t>(level);
+  n.bucket = static_cast<uint32_t>(bucket);
+  n.prev = kNilTimerIndex;
+  n.next = levels_[level].heads[bucket];
+  if (n.next != kNilTimerIndex) {
+    slab_.at(n.next).prev = index;
+  }
+  levels_[level].heads[bucket] = index;
+}
+
+void HierarchicalTimingWheel::UnlinkFromBucket(uint32_t index) {
+  Node& n = slab_.at(index);
+  if (n.prev != kNilTimerIndex) {
+    slab_.at(n.prev).next = n.next;
+  } else {
+    levels_[n.level].heads[n.bucket] = n.next;
+  }
+  if (n.next != kNilTimerIndex) {
+    slab_.at(n.next).prev = n.prev;
+  }
+  n.prev = kNilTimerIndex;
+  n.next = kNilTimerIndex;
+}
+
+void HierarchicalTimingWheel::FreeNode(uint32_t index) {
+  Node& n = slab_.at(index);
+  n.payload.handler.reset();
+  slab_.Free(index);
+}
+
+void HierarchicalTimingWheel::Place(uint32_t index, uint64_t deadline) {
   uint64_t delta = deadline - std::min(deadline, cursor_);
   // Finest level whose horizon (slots * width) covers the delay; deadlines
   // beyond the top horizon sit in the top level and wrap (absolute-deadline
@@ -46,12 +79,13 @@ void HierarchicalTimingWheel::Place(uint64_t id, uint64_t deadline) {
     }
     --level;
   }
-  Level& lv = levels_[level];
-  lv.slots[(deadline / lv.bucket_width) % slots_per_level_].push_back(id);
+  const Level& lv = levels_[level];
+  LinkIntoBucket(index, level,
+                 static_cast<size_t>((deadline / lv.bucket_width) % slots_per_level_));
 }
 
 void HierarchicalTimingWheel::CascadeUpTo(uint64_t now_tick,
-                                          std::vector<uint64_t>* maybe_due) {
+                                          std::vector<uint32_t>* batch) {
   // Coarse to fine, so entries demoted from level l are re-examined by the
   // finer cascades below it within the same call.
   for (size_t l = levels_.size() - 1; l >= 1; --l) {
@@ -59,60 +93,75 @@ void HierarchicalTimingWheel::CascadeUpTo(uint64_t now_tick,
     while (lv.cascade_cursor <= now_tick) {
       uint64_t bucket_start = (lv.cascade_cursor / lv.bucket_width) * lv.bucket_width;
       uint64_t round_end = bucket_start + lv.bucket_width;  // exclusive
-      std::vector<uint64_t>& bucket = lv.slots[(bucket_start / lv.bucket_width) % slots_per_level_];
-      std::vector<uint64_t> taken;
-      taken.swap(bucket);
-      for (uint64_t id : taken) {
-        auto it = live_.find(id);
-        if (it == live_.end()) {
-          continue;  // cancelled; prune
-        }
-        uint64_t d = it->second.deadline;
+      size_t bucket = static_cast<size_t>((bucket_start / lv.bucket_width) % slots_per_level_);
+      // Detach the whole bucket list, then re-place each node.
+      uint32_t it = lv.heads[bucket];
+      lv.heads[bucket] = kNilTimerIndex;
+      while (it != kNilTimerIndex) {
+        Node& n = slab_.at(it);
+        uint32_t next = n.next;
+        n.prev = kNilTimerIndex;
+        n.next = kNilTimerIndex;
+        uint64_t d = n.deadline;
         if (d >= round_end) {
-          bucket.push_back(id);  // future round of this bucket; keep
+          LinkIntoBucket(it, l, bucket);  // future round of this bucket; keep
         } else if (d <= now_tick) {
-          maybe_due->push_back(id);
+          n.state = TimerNodeState::kDue;
+          batch->push_back(it);
         } else {
           // Due within this (now partially elapsed) coarse window but not
           // yet: demote toward level 0.
           uint64_t saved = lv.cascade_cursor;
           lv.cascade_cursor = round_end;  // mark this bucket as passed for Place
-          Place(id, d);
+          Place(it, d);
           lv.cascade_cursor = saved;
         }
+        it = next;
       }
       lv.cascade_cursor = round_end;
     }
   }
 }
 
-TimerId HierarchicalTimingWheel::Schedule(uint64_t deadline_tick, Callback cb) {
+TimerId HierarchicalTimingWheel::Schedule(uint64_t deadline_tick, TimerPayload payload) {
   if (deadline_tick < cursor_) {
     deadline_tick = cursor_;
   }
-  uint64_t id = next_id_++;
-  live_.emplace(id, Entry{deadline_tick, next_seq_++, std::move(cb)});
-  Place(id, deadline_tick);
+  uint32_t index = slab_.Allocate();
+  Node& n = slab_.at(index);
+  n.payload = std::move(payload);
+  n.deadline = deadline_tick;
+  n.seq = next_seq_++;
+  Place(index, deadline_tick);
+  ++live_count_;
   if (earliest_known_) {
     if (!earliest_cache_ || deadline_tick < *earliest_cache_) {
       earliest_cache_ = deadline_tick;
     }
   }
-  return TimerId{id};
+  return TimerId{PackTimerIdValue(index, n.generation)};
 }
 
 bool HierarchicalTimingWheel::Cancel(TimerId id) {
-  if (!id.valid()) {
+  if (!slab_.IsCurrent(id.value)) {
     return false;
   }
-  auto it = live_.find(id.value);
-  if (it == live_.end()) {
+  uint32_t index = TimerIdIndex(id.value);
+  Node& n = slab_.at(index);
+  if (n.state == TimerNodeState::kCancelledDue) {
     return false;
+  }
+  if (n.state == TimerNodeState::kDue) {
+    n.state = TimerNodeState::kCancelledDue;
+    --live_count_;
+    return true;
   }
   bool was_earliest = earliest_known_ && earliest_cache_ &&
-                      it->second.deadline == *earliest_cache_;
-  live_.erase(it);
-  if (live_.empty()) {
+                      n.deadline == *earliest_cache_;
+  UnlinkFromBucket(index);
+  FreeNode(index);
+  --live_count_;
+  if (live_count_ == 0) {
     earliest_cache_.reset();
     earliest_known_ = true;
   } else if (was_earliest) {
@@ -123,16 +172,38 @@ bool HierarchicalTimingWheel::Cancel(TimerId id) {
 
 std::optional<uint64_t> HierarchicalTimingWheel::EarliestDeadline() const {
   if (!earliest_known_) {
-    if (live_.empty()) {
+    if (live_count_ == 0) {
       earliest_cache_.reset();
     } else {
+      // Per level, walk bucket heads outward from the cursor's bucket with
+      // the same floor-based early exit as the hashed wheel (every pending
+      // deadline is >= cursor_, and a node k buckets past the cursor's has
+      // deadline >= (cursor_bucket + k) * width).
       uint64_t best = UINT64_MAX;
-      for (const auto& [id, e] : live_) {
-        if (e.deadline < best) {
-          best = e.deadline;
+      for (const Level& lv : levels_) {
+        uint64_t base_bucket = cursor_ / lv.bucket_width;
+        for (size_t k = 0; k < slots_per_level_; ++k) {
+          uint64_t bucket_floor = (base_bucket + k) * lv.bucket_width;
+          if (best <= bucket_floor) {
+            break;
+          }
+          uint32_t it = lv.heads[(base_bucket + k) % slots_per_level_];
+          while (it != kNilTimerIndex) {
+            const Node& n = slab_.at(it);
+            if (n.deadline < best) {
+              best = n.deadline;
+            }
+            it = n.next;
+          }
         }
       }
-      earliest_cache_ = best;
+      if (best != UINT64_MAX) {
+        earliest_cache_ = best;
+      } else {
+        // Mid-batch: every live node is an unfired due entry; the batch
+        // re-invalidates the cache on completion.
+        earliest_cache_.reset();
+      }
     }
     earliest_known_ = true;
   }
@@ -143,7 +214,7 @@ size_t HierarchicalTimingWheel::ExpireUpTo(uint64_t now_tick) {
   if (now_tick < cursor_) {
     return 0;
   }
-  if (live_.empty()) {
+  if (live_count_ == 0) {
     cursor_ = now_tick + 1;
     earliest_cache_.reset();
     earliest_known_ = true;
@@ -157,8 +228,9 @@ size_t HierarchicalTimingWheel::ExpireUpTo(uint64_t now_tick) {
     return 0;
   }
 
-  std::vector<uint64_t> due_ids;
-  CascadeUpTo(now_tick, &due_ids);
+  std::vector<uint32_t> batch;
+  batch.swap(due_scratch_);
+  CascadeUpTo(now_tick, &batch);
 
   // Level-0 walk, identical in structure to the hashed wheel (bucket-index
   // arithmetic so a mid-bucket cursor still reaches now's bucket).
@@ -167,59 +239,57 @@ size_t HierarchicalTimingWheel::ExpireUpTo(uint64_t now_tick) {
   size_t visit = std::min<uint64_t>(span_slots, slots_per_level_);
   size_t first_slot = static_cast<size_t>((cursor_ / l0.bucket_width) % slots_per_level_);
   for (size_t k = 0; k < visit; ++k) {
-    std::vector<uint64_t>& bucket = l0.slots[(first_slot + k) % slots_per_level_];
-    size_t w = 0;
-    for (size_t r = 0; r < bucket.size(); ++r) {
-      auto it = live_.find(bucket[r]);
-      if (it == live_.end()) {
-        continue;
+    size_t slot = (first_slot + k) % slots_per_level_;
+    uint32_t it = l0.heads[slot];
+    while (it != kNilTimerIndex) {
+      Node& n = slab_.at(it);
+      uint32_t next = n.next;
+      if (n.deadline <= now_tick) {
+        UnlinkFromBucket(it);
+        n.state = TimerNodeState::kDue;
+        batch.push_back(it);
       }
-      if (it->second.deadline <= now_tick) {
-        due_ids.push_back(bucket[r]);
-        continue;
-      }
-      bucket[w++] = bucket[r];
+      it = next;
     }
-    bucket.resize(w);
   }
 
-  struct Due {
-    uint64_t deadline;
-    uint64_t seq;
-    uint64_t id;
-  };
-  std::vector<Due> due;
-  due.reserve(due_ids.size());
-  for (uint64_t id : due_ids) {
-    auto it = live_.find(id);
-    if (it != live_.end()) {
-      due.push_back(Due{it->second.deadline, it->second.seq, id});
+  std::sort(batch.begin(), batch.end(), [this](uint32_t a, uint32_t b) {
+    const Node& na = slab_.at(a);
+    const Node& nb = slab_.at(b);
+    if (na.deadline != nb.deadline) {
+      return na.deadline < nb.deadline;
     }
-  }
-  std::sort(due.begin(), due.end(), [](const Due& a, const Due& b) {
-    if (a.deadline != b.deadline) {
-      return a.deadline < b.deadline;
-    }
-    return a.seq < b.seq;
+    return na.seq < nb.seq;
   });
 
   cursor_ = now_tick + 1;
   earliest_known_ = false;
 
   size_t fired = 0;
-  for (const Due& d : due) {
-    auto it = live_.find(d.id);
-    if (it == live_.end()) {
+  for (uint32_t index : batch) {
+    Node& n = slab_.at(index);
+    if (n.state == TimerNodeState::kCancelledDue) {
+      FreeNode(index);
       continue;
     }
-    Callback cb = std::move(it->second.cb);
-    live_.erase(it);
+    TimerPayload payload = std::move(n.payload);
+    TimerFired fired_info{&payload, n.deadline,
+                          TimerId{PackTimerIdValue(index, n.generation)}};
+    FreeNode(index);
+    --live_count_;
     ++fired;
-    cb();
+    payload.handler.Invoke(fired_info);
   }
-  if (live_.empty()) {
+  batch.clear();
+  if (due_scratch_.capacity() < batch.capacity()) {
+    due_scratch_.swap(batch);
+  }
+
+  if (live_count_ == 0) {
     earliest_cache_.reset();
     earliest_known_ = true;
+  } else {
+    earliest_known_ = false;
   }
   return fired;
 }

@@ -6,14 +6,25 @@
 // entries cascade down to finer levels. Compared with the hashed wheel this
 // bounds per-bucket occupancy for widely-spread deadlines at the cost of
 // re-insertion work on cascade.
+//
+// Buckets are intrusive doubly-linked lists over slab-recycled nodes
+// (timer_slab.h): schedule, cancel, and cascade relink nodes in place with
+// zero steady-state heap allocations, and TimerIds are generation-counted so
+// stale ids of recycled slots are rejected. Each node remembers its current
+// (level, bucket) so cancel can unlink in O(1) even after cascades moved it.
+//
+// The earliest-deadline cache is recomputed, when invalidated, by walking
+// each level's bucket heads outward from the cursor with a per-bucket floor
+// early-exit (O(occupied span), not O(live)). The same caveats as the hashed
+// wheel apply to EarliestDeadline queried from inside a firing handler.
 
 #ifndef SOFTTIMER_SRC_TIMER_HIERARCHICAL_TIMING_WHEEL_H_
 #define SOFTTIMER_SRC_TIMER_HIERARCHICAL_TIMING_WHEEL_H_
 
-#include <unordered_map>
 #include <vector>
 
 #include "src/timer/timer_queue.h"
+#include "src/timer/timer_slab.h"
 
 namespace softtimer {
 
@@ -23,38 +34,50 @@ class HierarchicalTimingWheel : public TimerQueue {
                                    size_t slots_per_level = 256,
                                    size_t level_count = 4);
 
-  TimerId Schedule(uint64_t deadline_tick, Callback cb) override;
+  using TimerQueue::Schedule;
+  TimerId Schedule(uint64_t deadline_tick, TimerPayload payload) override;
   bool Cancel(TimerId id) override;
   size_t ExpireUpTo(uint64_t now_tick) override;
   std::optional<uint64_t> EarliestDeadline() const override;
-  size_t size() const override { return live_.size(); }
+  size_t size() const override { return live_count_; }
   std::string name() const override { return "hier-wheel"; }
 
  private:
-  struct Entry {
-    uint64_t deadline;
-    uint64_t seq;
-    Callback cb;
+  struct Node {
+    TimerPayload payload;
+    uint64_t deadline = 0;
+    uint64_t seq = 0;
+    uint32_t generation = 1;         // slab convention (see timer_slab.h)
+    uint32_t next = kNilTimerIndex;  // bucket link / free-list link
+    uint32_t prev = kNilTimerIndex;
+    uint32_t bucket = 0;             // current slot within `level`
+    uint8_t level = 0;               // current wheel level
+    TimerNodeState state = TimerNodeState::kFree;
   };
   struct Level {
-    uint64_t bucket_width;                     // ticks per bucket
-    uint64_t cascade_cursor;                   // next tick not yet cascaded
-    std::vector<std::vector<uint64_t>> slots;  // ids, pruned lazily
+    uint64_t bucket_width;        // ticks per bucket
+    uint64_t cascade_cursor;      // next tick not yet cascaded
+    std::vector<uint32_t> heads;  // head node index per slot (kNil = empty)
   };
 
-  // Inserts into the finest level whose horizon covers (deadline - cursor_).
-  void Place(uint64_t id, uint64_t deadline);
+  // Links `index` into the finest level whose horizon covers
+  // (deadline - cursor_), recording (level, bucket) in the node.
+  void Place(uint32_t index, uint64_t deadline);
+  void LinkIntoBucket(uint32_t index, size_t level, size_t bucket);
+  void UnlinkFromBucket(uint32_t index);
+  void FreeNode(uint32_t index);
   // Moves entries out of coarse buckets whose time range has been reached,
-  // down to finer levels (or straight to `due` when already expired).
-  void CascadeUpTo(uint64_t now_tick, std::vector<uint64_t>* maybe_due);
+  // down to finer levels (or into `batch` when already expired).
+  void CascadeUpTo(uint64_t now_tick, std::vector<uint32_t>* batch);
 
   uint64_t granularity_;
   size_t slots_per_level_;
   uint64_t cursor_ = 0;  // next tick not yet covered at level 0
   std::vector<Level> levels_;
-  std::unordered_map<uint64_t, Entry> live_;
-  uint64_t next_id_ = 1;
+  TimerSlab<Node> slab_;
+  std::vector<uint32_t> due_scratch_;  // reused expiry batch
   uint64_t next_seq_ = 0;
+  size_t live_count_ = 0;
   mutable std::optional<uint64_t> earliest_cache_;
   mutable bool earliest_known_ = true;
 };

@@ -1,7 +1,7 @@
 // TimerQueue: the data-structure interface under the soft-timer facility.
 //
 // The paper maintains scheduled soft-timer events in "a modified form of
-// timing wheels [Varghese & Lauck]". This library provides three
+// timing wheels [Varghese & Lauck]". This library provides four
 // interchangeable implementations behind one interface:
 //
 //   HeapTimerQueue           - binary heap; the textbook baseline.
@@ -12,6 +12,14 @@
 //
 // All of them deal in abstract unsigned "ticks" (the facility maps its
 // measurement clock onto ticks). Deadlines are absolute tick values.
+//
+// Hot-path design: a scheduled timer is a typed node, not a heap-allocated
+// closure. The caller hands the queue a POD-ish TimerPayload whose handler
+// lives in a small-buffer TimerHandlerSlot, the queue stores it in
+// slab-recycled node storage (see timer_slab.h), and expiry fires the slot
+// in place. Steady-state schedule / cancel / fire performs zero heap
+// allocations. TimerIds are generation-counted, so a stale id whose slab
+// slot was recycled is rejected rather than cancelling a stranger.
 //
 // Semantics shared by all implementations (enforced by the conformance suite
 // in tests/timer_queue_conformance_test.cc):
@@ -25,44 +33,167 @@
 //    current ExpireUpTo time and fires on the next ExpireUpTo call that
 //    reaches it.
 //  * Cancel returns true exactly once per scheduled timer that has neither
-//    fired nor been cancelled.
+//    fired nor been cancelled; stale ids (fired, cancelled, or recycled
+//    slots) return false.
 
 #ifndef SOFTTIMER_SRC_TIMER_TIMER_QUEUE_H_
 #define SOFTTIMER_SRC_TIMER_TIMER_QUEUE_H_
 
+#include <cstddef>
 #include <cstdint>
-#include <functional>
 #include <memory>
+#include <new>
 #include <optional>
 #include <string>
+#include <type_traits>
+#include <utility>
 
 namespace softtimer {
 
 // Identifies one scheduled timer. Default-constructed ids are invalid.
+// Packs {generation, slab slot index}; see timer_slab.h.
 struct TimerId {
   uint64_t value = 0;
   bool valid() const { return value != 0; }
 };
 
+struct TimerPayload;
+
+// Passed to the fired handler: the node's payload (movable: a handler may
+// steal its own state to relink/defer itself), the deadline the node was
+// stored under, and the id it was scheduled as.
+struct TimerFired {
+  TimerPayload* payload;
+  uint64_t deadline_tick;
+  TimerId id;
+};
+
+// Small-buffer, move-only callable of signature void(const TimerFired&).
+// Callables up to kInlineBytes are stored inline (no heap allocation on the
+// schedule path); larger ones fall back to a boxed heap copy so correctness
+// never depends on capture size.
+class TimerHandlerSlot {
+ public:
+  static constexpr size_t kInlineBytes = 48;
+
+  TimerHandlerSlot() = default;
+  TimerHandlerSlot(TimerHandlerSlot&& other) noexcept { MoveFrom(other); }
+  TimerHandlerSlot& operator=(TimerHandlerSlot&& other) noexcept {
+    if (this != &other) {
+      reset();
+      MoveFrom(other);
+    }
+    return *this;
+  }
+  TimerHandlerSlot(const TimerHandlerSlot&) = delete;
+  TimerHandlerSlot& operator=(const TimerHandlerSlot&) = delete;
+  ~TimerHandlerSlot() { reset(); }
+
+  template <typename F>
+  void emplace(F fn) {
+    static_assert(std::is_invocable_v<F&, const TimerFired&>);
+    if constexpr (sizeof(F) <= kInlineBytes &&
+                  std::is_nothrow_move_constructible_v<F>) {
+      reset();
+      ::new (static_cast<void*>(storage_)) F(std::move(fn));
+      ops_ = &OpsFor<F>::kOps;
+    } else {
+      emplace(Boxed<F>{std::make_unique<F>(std::move(fn))});
+    }
+  }
+
+  void reset() {
+    if (ops_ != nullptr) {
+      ops_->destroy(storage_);
+      ops_ = nullptr;
+    }
+  }
+
+  bool empty() const { return ops_ == nullptr; }
+  explicit operator bool() const { return ops_ != nullptr; }
+
+  void Invoke(const TimerFired& fired) { ops_->invoke(storage_, fired); }
+
+ private:
+  struct Ops {
+    void (*invoke)(void* storage, const TimerFired& fired);
+    void (*move)(void* dst, void* src);  // move-construct dst, destroy src
+    void (*destroy)(void* storage);
+  };
+
+  template <typename F>
+  struct OpsFor {
+    static void Invoke(void* storage, const TimerFired& fired) {
+      (*static_cast<F*>(storage))(fired);
+    }
+    static void Move(void* dst, void* src) {
+      F* from = static_cast<F*>(src);
+      ::new (dst) F(std::move(*from));
+      from->~F();
+    }
+    static void Destroy(void* storage) { static_cast<F*>(storage)->~F(); }
+    static constexpr Ops kOps{&Invoke, &Move, &Destroy};
+  };
+
+  // Fallback for callables too large (or not nothrow-movable) for the
+  // inline buffer.
+  template <typename F>
+  struct Boxed {
+    std::unique_ptr<F> fn;
+    void operator()(const TimerFired& fired) { (*fn)(fired); }
+  };
+
+  void MoveFrom(TimerHandlerSlot& other) {
+    ops_ = other.ops_;
+    if (ops_ != nullptr) {
+      ops_->move(storage_, other.storage_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  const Ops* ops_ = nullptr;
+  alignas(std::max_align_t) unsigned char storage_[kInlineBytes];
+};
+
+// The typed timer node contents: POD bookkeeping the dispatch entry point
+// reads back at fire time, plus the handler slot. The facility stores its
+// scheduling metadata here instead of capturing it in a closure.
+struct TimerPayload {
+  uint64_t scheduled_tick = 0;  // tick the event was scheduled at
+  uint64_t delta_ticks = 0;     // the requested delay T
+  uint64_t user_data = 0;       // caller-owned (facility: original public id)
+  uint32_t tag = 0;             // caller-chosen handler class
+  TimerHandlerSlot handler;
+};
+
 class TimerQueue {
  public:
-  using Callback = std::function<void()>;
-
   virtual ~TimerQueue() = default;
 
-  // Schedules `cb` to fire once `ExpireUpTo(now)` is called with
-  // now >= deadline_tick.
-  virtual TimerId Schedule(uint64_t deadline_tick, Callback cb) = 0;
+  // Schedules `payload` to fire once `ExpireUpTo(now)` is called with
+  // now >= deadline_tick. The payload (including its handler slot) is moved
+  // into slab node storage: no heap allocation in steady state.
+  virtual TimerId Schedule(uint64_t deadline_tick, TimerPayload payload) = 0;
 
-  // Cancels a pending timer. Returns false if it already fired or was
-  // already cancelled.
+  // Convenience for plain no-argument callbacks (tests, benches, non-
+  // facility users): wraps `cb` into a payload handler slot.
+  template <typename F, typename = std::enable_if_t<std::is_invocable_v<F&>>>
+  TimerId Schedule(uint64_t deadline_tick, F cb) {
+    TimerPayload payload;
+    payload.handler.emplace(CallbackThunk<std::decay_t<F>>{std::move(cb)});
+    return Schedule(deadline_tick, std::move(payload));
+  }
+
+  // Cancels a pending timer. Returns false if it already fired, was already
+  // cancelled, or the id is stale (its slab slot was recycled).
   virtual bool Cancel(TimerId id) = 0;
 
   // Fires all timers with deadline <= now_tick; returns how many fired.
   virtual size_t ExpireUpTo(uint64_t now_tick) = 0;
 
-  // Exact earliest pending deadline, or nullopt when empty. May cost a scan
-  // of pending entries in the wheel implementations (cached between calls).
+  // Exact earliest pending deadline, or nullopt when empty. The wheel
+  // implementations cache it and recompute by walking bucket heads from the
+  // cursor (early-exiting) when invalidated.
   virtual std::optional<uint64_t> EarliestDeadline() const = 0;
 
   // Number of pending timers.
@@ -71,6 +202,13 @@ class TimerQueue {
 
   // Implementation name, for bench labels.
   virtual std::string name() const = 0;
+
+ private:
+  template <typename F>
+  struct CallbackThunk {
+    F fn;
+    void operator()(const TimerFired&) { fn(); }
+  };
 };
 
 // Factory selector used by SoftTimerFacility config.
@@ -82,7 +220,7 @@ enum class TimerQueueKind {
 };
 
 // Creates a queue of the given kind. `tick_granularity` is the wheel slot
-// width in ticks (ignored by the heap).
+// width in ticks (ignored by the heap and the callout list).
 std::unique_ptr<TimerQueue> MakeTimerQueue(TimerQueueKind kind,
                                            uint64_t tick_granularity = 1);
 

@@ -1,0 +1,129 @@
+// TimerSlab: chunked slab/free-list node storage shared by the TimerQueue
+// implementations, plus the packed generation-counted TimerId encoding.
+//
+// Why a slab: the scheduling hot path must not touch the allocator. Nodes
+// are recycled through an intrusive free list, so steady-state schedule /
+// cancel / fire cycles perform zero heap allocations once the slab has grown
+// to the workload's high-water mark. Chunks (not one big vector) keep node
+// addresses stable across growth, so callbacks that schedule new timers
+// cannot invalidate a node reference held by the expiry loop.
+//
+// Why generations: slot indices are recycled, so a bare index would let a
+// stale TimerId cancel an unrelated timer that happens to reuse the slot
+// (the classic ABA bug). Every slot carries a generation counter that is
+// bumped on free; a TimerId packs {generation, index} and is only honoured
+// while the slot's generation still matches.
+
+#ifndef SOFTTIMER_SRC_TIMER_TIMER_SLAB_H_
+#define SOFTTIMER_SRC_TIMER_TIMER_SLAB_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace softtimer {
+
+// Sentinel for "no node" in intrusive index links.
+inline constexpr uint32_t kNilTimerIndex = 0xFFFFFFFFu;
+
+// TimerId::value <-> {slot index, generation}. Generations start at 1, so a
+// packed value is never 0 (0 is the invalid/default TimerId).
+inline constexpr uint64_t PackTimerIdValue(uint32_t index, uint32_t generation) {
+  return (static_cast<uint64_t>(generation) << 32) | index;
+}
+inline constexpr uint32_t TimerIdIndex(uint64_t value) {
+  return static_cast<uint32_t>(value);
+}
+inline constexpr uint32_t TimerIdGeneration(uint64_t value) {
+  return static_cast<uint32_t>(value >> 32);
+}
+
+// Node lifecycle states shared by the queue implementations. kDue marks a
+// node pulled out of its bucket into an expiry batch but not yet fired (it
+// can still be cancelled by an earlier callback in the same batch).
+enum class TimerNodeState : uint8_t {
+  kFree = 0,
+  kPending,
+  kDue,
+  kCancelledDue,  // cancelled while sitting in an expiry batch
+};
+
+// Node must provide:
+//   uint32_t generation;        // starts at 1; bumped by Free (never 0)
+//   uint32_t next;              // reused as the free-list link while free
+//   TimerNodeState state;       // set to kFree by Free
+template <typename Node>
+class TimerSlab {
+ public:
+  static constexpr uint32_t kChunkShift = 8;
+  static constexpr uint32_t kChunkSize = 1u << kChunkShift;
+
+  Node& at(uint32_t index) {
+    return chunks_[index >> kChunkShift][index & (kChunkSize - 1)];
+  }
+  const Node& at(uint32_t index) const {
+    return chunks_[index >> kChunkShift][index & (kChunkSize - 1)];
+  }
+
+  uint32_t capacity() const {
+    return static_cast<uint32_t>(chunks_.size()) << kChunkShift;
+  }
+
+  // True when `id_value` decodes to a currently-allocated slot whose
+  // generation matches (i.e. the id is not stale/reused/invalid).
+  bool IsCurrent(uint64_t id_value) const {
+    uint32_t index = TimerIdIndex(id_value);
+    if (id_value == 0 || index >= capacity()) {
+      return false;
+    }
+    const Node& n = at(index);
+    return n.state != TimerNodeState::kFree &&
+           n.generation == TimerIdGeneration(id_value);
+  }
+
+  // Returns the index of a fresh node (state kPending, generation valid).
+  // Allocates a new chunk only when the free list is empty.
+  uint32_t Allocate() {
+    if (free_head_ == kNilTimerIndex) {
+      Grow();
+    }
+    uint32_t index = free_head_;
+    Node& n = at(index);
+    free_head_ = n.next;
+    n.next = kNilTimerIndex;
+    n.state = TimerNodeState::kPending;
+    return index;
+  }
+
+  // Recycles a node: bumps the generation (invalidating every outstanding
+  // TimerId for this slot) and pushes it on the free list.
+  void Free(uint32_t index) {
+    Node& n = at(index);
+    if (++n.generation == 0) {
+      n.generation = 1;  // skip 0 so packed ids stay non-zero
+    }
+    n.state = TimerNodeState::kFree;
+    n.next = free_head_;
+    free_head_ = index;
+  }
+
+ private:
+  void Grow() {
+    uint32_t base = capacity();
+    chunks_.push_back(std::make_unique<Node[]>(kChunkSize));
+    Node* chunk = chunks_.back().get();
+    for (uint32_t i = 0; i < kChunkSize; ++i) {
+      chunk[i].generation = 1;
+      chunk[i].state = TimerNodeState::kFree;
+      chunk[i].next = i + 1 < kChunkSize ? base + i + 1 : kNilTimerIndex;
+    }
+    free_head_ = base;
+  }
+
+  std::vector<std::unique_ptr<Node[]>> chunks_;
+  uint32_t free_head_ = kNilTimerIndex;
+};
+
+}  // namespace softtimer
+
+#endif  // SOFTTIMER_SRC_TIMER_TIMER_SLAB_H_

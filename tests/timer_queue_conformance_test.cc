@@ -77,6 +77,64 @@ TEST_P(TimerQueueConformanceTest, CancelSemantics) {
   EXPECT_FALSE(q->Cancel(b));  // already fired
 }
 
+// --- ABA / id-reuse semantics: the slab recycles node slots, so a stale
+// TimerId must never be honoured against the timer that reuses its slot.
+
+TEST_P(TimerQueueConformanceTest, CancelAfterFireCannotHitSlotReuser) {
+  auto q = Make();
+  int fired_a = 0;
+  int fired_b = 0;
+  TimerId a = q->Schedule(10, [&] { ++fired_a; });
+  EXPECT_EQ(q->ExpireUpTo(10), 1u);
+  // b very likely recycles a's slab slot; a's id must stay dead either way.
+  TimerId b = q->Schedule(20, [&] { ++fired_b; });
+  EXPECT_FALSE(q->Cancel(a));
+  EXPECT_EQ(q->size(), 1u);
+  EXPECT_EQ(q->ExpireUpTo(20), 1u);
+  EXPECT_EQ(fired_a, 1);
+  EXPECT_EQ(fired_b, 1);
+}
+
+TEST_P(TimerQueueConformanceTest, CancelAfterCancelCannotHitSlotReuser) {
+  auto q = Make();
+  int fired_b = 0;
+  TimerId a = q->Schedule(10, [] {});
+  EXPECT_TRUE(q->Cancel(a));
+  TimerId b = q->Schedule(20, [&] { ++fired_b; });
+  EXPECT_FALSE(q->Cancel(a));  // stale: the slot now belongs to b
+  EXPECT_EQ(q->size(), 1u);
+  EXPECT_EQ(q->ExpireUpTo(20), 1u);
+  EXPECT_EQ(fired_b, 1);
+}
+
+TEST_P(TimerQueueConformanceTest, StaleIdsStayDeadAcrossManySlotGenerations) {
+  auto q = Make();
+  uint64_t now = 0;
+  std::vector<TimerId> stale;
+  int fired = 0;
+  // Each round recycles the same small pool of slab slots, so the stale ids
+  // accumulate many generations of reuse over identical slot indices.
+  for (int round = 0; round < 50; ++round) {
+    TimerId cancelled = q->Schedule(now + 5, [&] { ++fired; });
+    TimerId fires = q->Schedule(now + 6, [&] { ++fired; });
+    EXPECT_TRUE(q->Cancel(cancelled));
+    now += 10;
+    EXPECT_EQ(q->ExpireUpTo(now), 1u);
+    stale.push_back(cancelled);
+    stale.push_back(fires);
+  }
+  EXPECT_EQ(fired, 50);
+  int live = 0;
+  TimerId pending = q->Schedule(now + 100, [&] { ++live; });
+  for (TimerId id : stale) {
+    EXPECT_FALSE(q->Cancel(id));
+  }
+  EXPECT_EQ(q->size(), 1u);  // the pending timer survived every stale cancel
+  EXPECT_TRUE(q->Cancel(pending));
+  EXPECT_EQ(q->ExpireUpTo(now + 200), 0u);
+  EXPECT_EQ(live, 0);
+}
+
 TEST_P(TimerQueueConformanceTest, EarliestDeadlineTracksMin) {
   auto q = Make();
   EXPECT_FALSE(q->EarliestDeadline().has_value());
