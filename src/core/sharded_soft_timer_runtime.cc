@@ -1,0 +1,301 @@
+#include "src/core/sharded_soft_timer_runtime.h"
+
+#include <cassert>
+#include <utility>
+
+#include "src/timer/timer_slab.h"
+
+namespace softtimer {
+
+namespace {
+// Remote id layout below the shard byte: bit 55 = remote, bits 54..47 =
+// producer slot, bits 46..0 = per-producer sequence.
+constexpr uint32_t kRemoteProducerShift = 47;
+constexpr uint64_t kRemoteSeqMask = (1ull << kRemoteProducerShift) - 1;
+}  // namespace
+
+// --- RemoteIdMap -------------------------------------------------------
+
+void RemoteIdMap::Insert(uint64_t key, uint64_t value) {
+  assert(key != 0);
+  if (table_.empty() || (size_ + 1) * 10 >= table_.size() * 7) {
+    Grow();
+  }
+  size_t i = SlotFor(key);
+  while (table_[i].key != 0) {
+    if (table_[i].key == key) {
+      table_[i].value = value;
+      return;
+    }
+    i = (i + 1) & (table_.size() - 1);
+  }
+  table_[i] = Entry{key, value};
+  ++size_;
+}
+
+uint64_t RemoteIdMap::Find(uint64_t key) const {
+  if (table_.empty()) {
+    return 0;
+  }
+  size_t mask = table_.size() - 1;
+  size_t i = Mix(key) & mask;
+  while (table_[i].key != 0) {
+    if (table_[i].key == key) {
+      return table_[i].value;
+    }
+    i = (i + 1) & mask;
+  }
+  return 0;
+}
+
+bool RemoteIdMap::Erase(uint64_t key) {
+  if (table_.empty()) {
+    return false;
+  }
+  size_t mask = table_.size() - 1;
+  size_t i = Mix(key) & mask;
+  while (table_[i].key != 0) {
+    if (table_[i].key == key) {
+      break;
+    }
+    i = (i + 1) & mask;
+  }
+  if (table_[i].key == 0) {
+    return false;
+  }
+  // Backward-shift deletion: pull every displaced follower one slot back so
+  // linear probing needs no tombstones.
+  size_t hole = i;
+  size_t j = i;
+  while (true) {
+    j = (j + 1) & mask;
+    if (table_[j].key == 0) {
+      break;
+    }
+    size_t home = Mix(table_[j].key) & mask;
+    // Move table_[j] into the hole unless its home slot lies strictly after
+    // the hole on the cyclic probe path (in which case shifting it back
+    // would place it before its home).
+    if (((j - home) & mask) >= ((j - hole) & mask)) {
+      table_[hole] = table_[j];
+      hole = j;
+    }
+  }
+  table_[hole] = Entry{};
+  --size_;
+  return true;
+}
+
+void RemoteIdMap::Grow() {
+  std::vector<Entry> old = std::move(table_);
+  size_t cap = old.empty() ? 64 : old.size() * 2;
+  table_.assign(cap, Entry{});
+  size_ = 0;
+  for (const Entry& e : old) {
+    if (e.key != 0) {
+      Insert(e.key, e.value);
+    }
+  }
+}
+
+// --- ShardedSoftTimerRuntime -------------------------------------------
+
+ShardedSoftTimerRuntime::ShardedSoftTimerRuntime(const ClockSource* clock,
+                                                 Config config)
+    : clock_(clock), config_(config) {
+  assert(clock_ != nullptr);
+  assert(config_.num_shards >= 1 && config_.num_shards <= kTimerIdMaxShards);
+  assert(config_.max_producers >= 1 && config_.max_producers <= 256);
+  // The runtime depends on the no-policy fast gate and on the payload
+  // cookie field, which policy mode repurposes for deferral remaps.
+  assert(!config_.facility.degradation.enabled &&
+         "sharded runtime requires policy-free shards");
+  config_.facility.degradation.enabled = false;
+  shards_.reserve(config_.num_shards);
+  for (size_t i = 0; i < config_.num_shards; ++i) {
+    auto shard = std::make_unique<Shard>();
+    shard->facility =
+        std::make_unique<SoftTimerFacility>(clock_, config_.facility);
+    shard->facility->set_event_retired_hook(&OnEventRetired, shard.get());
+    shard->rings.reserve(config_.max_producers);
+    for (size_t p = 0; p < config_.max_producers; ++p) {
+      shard->rings.push_back(
+          std::make_unique<SpscRing<Command>>(config_.ring_capacity));
+    }
+    shards_.push_back(std::move(shard));
+  }
+}
+
+// Undrained commands die with their rings: handlers are destroyed, never
+// fired. Producer and owner threads must be quiescent by now (the host
+// joins its shard threads before destroying the runtime).
+ShardedSoftTimerRuntime::~ShardedSoftTimerRuntime() = default;
+
+ShardedSoftTimerRuntime::ProducerToken ShardedSoftTimerRuntime::RegisterProducer() {
+  std::lock_guard<std::mutex> lock(producer_mutex_);
+  ProducerToken token;
+  if (producers_registered_ < config_.max_producers) {
+    token.index_ = producers_registered_++;
+  }
+  return token;
+}
+
+SoftEventId ShardedSoftTimerRuntime::ScheduleOnShard(
+    size_t shard, uint64_t delta_ticks, SoftTimerFacility::Handler handler,
+    uint32_t handler_tag) {
+  SoftEventId id = shards_[shard]->facility->ScheduleSoftEvent(
+      delta_ticks, std::move(handler), handler_tag);
+  return SoftEventId{WithTimerIdShard(id.value, static_cast<uint32_t>(shard))};
+}
+
+bool ShardedSoftTimerRuntime::CancelOnShard(size_t shard, SoftEventId id) {
+  if (!id.valid() || TimerIdShard(id.value) != shard) {
+    return false;
+  }
+  return ApplyCancel(*shards_[shard], id.value);
+}
+
+size_t ShardedSoftTimerRuntime::DrainRemote(size_t shard) {
+  Shard& s = *shards_[shard];
+  // Clear the flag before sweeping: a command published mid-sweep either
+  // gets popped below or re-raises the flag for the next check.
+  s.remote_pending.store(0, std::memory_order_relaxed);
+  size_t applied = 0;
+  bool leftover = false;
+  Command cmd;
+  for (auto& ring : s.rings) {
+    // Bounded sweep: at most one ring-full of commands per ring, so a
+    // producer pushing at full tilt cannot pin the owner in this loop and
+    // starve the shard's own dispatches. Anything beyond the budget re-raises
+    // the flag and drains at the next trigger state.
+    size_t budget = ring->capacity();
+    while (budget-- > 0 && ring->TryPop(cmd)) {
+      ApplyCommand(s, std::move(cmd));
+      ++applied;
+    }
+    if (!ring->EmptyRelaxed()) {
+      leftover = true;
+    }
+  }
+  if (leftover) {
+    s.remote_pending.store(1, std::memory_order_relaxed);
+  }
+  if (applied > 0) {
+    ++s.stats.drains;
+  }
+  return applied;
+}
+
+void ShardedSoftTimerRuntime::ApplyCommand(Shard& shard, Command&& cmd) {
+  switch (cmd.op) {
+    case Command::Op::kSchedule: {
+      // Re-anchor the delay at the enqueue tick so time spent in the ring
+      // counts against T instead of stretching it.
+      uint64_t now = shard.facility->MeasureTime();
+      uint64_t due = cmd.enqueue_tick + cmd.delta_ticks;
+      uint64_t remaining = due > now ? due - now : 0;
+      SoftEventId local = shard.facility->ScheduleSoftEventWithCookie(
+          remaining, std::move(cmd.handler), cmd.tag, cmd.id);
+      shard.remote_ids.Insert(cmd.id, local.value);
+      ++shard.stats.remote_scheduled;
+      break;
+    }
+    case Command::Op::kCancel:
+      if (ApplyCancel(shard, cmd.id)) {
+        ++shard.stats.remote_cancelled;
+      } else {
+        ++shard.stats.remote_cancel_misses;
+      }
+      break;
+    case Command::Op::kNone:
+      break;
+  }
+}
+
+bool ShardedSoftTimerRuntime::ApplyCancel(Shard& shard, uint64_t id_value) {
+  if (IsRemoteTimerId(id_value)) {
+    uint64_t local = shard.remote_ids.Find(id_value);
+    if (local == 0) {
+      return false;  // fired/cancelled already, or not yet drained
+    }
+    shard.remote_ids.Erase(id_value);
+    return shard.facility->CancelSoftEvent(SoftEventId{local});
+  }
+  return shard.facility->CancelSoftEvent(
+      SoftEventId{StripTimerIdShard(id_value)});
+}
+
+SoftEventId ShardedSoftTimerRuntime::ScheduleCrossCore(
+    ProducerToken& token, size_t shard, uint64_t delta_ticks,
+    SoftTimerFacility::Handler handler, uint32_t handler_tag) {
+  if (!token.valid() || shard >= shards_.size()) {
+    return SoftEventId{};
+  }
+  uint64_t seq = token.next_seq_++ & kRemoteSeqMask;
+  uint64_t id = WithTimerIdShard(
+      kTimerIdRemoteBit |
+          (static_cast<uint64_t>(token.index_) << kRemoteProducerShift) | seq,
+      static_cast<uint32_t>(shard));
+  Command cmd;
+  cmd.op = Command::Op::kSchedule;
+  cmd.tag = handler_tag;
+  cmd.id = id;
+  cmd.delta_ticks = delta_ticks;
+  cmd.enqueue_tick = clock_->NowTicks();
+  cmd.handler = std::move(handler);
+  if (!shards_[shard]->rings[token.index_]->TryPush(std::move(cmd))) {
+    ++token.ring_full_rejects_;
+    return SoftEventId{};
+  }
+  PublishToShard(shard, token);
+  return SoftEventId{id};
+}
+
+bool ShardedSoftTimerRuntime::CancelCrossCore(ProducerToken& token,
+                                              SoftEventId id) {
+  if (!token.valid() || !id.valid()) {
+    return false;
+  }
+  size_t shard = TimerIdShard(id.value);
+  if (shard >= shards_.size()) {
+    return false;
+  }
+  Command cmd;
+  cmd.op = Command::Op::kCancel;
+  cmd.id = id.value;
+  if (!shards_[shard]->rings[token.index_]->TryPush(std::move(cmd))) {
+    ++token.ring_full_rejects_;
+    return false;
+  }
+  PublishToShard(shard, token);
+  return true;
+}
+
+void ShardedSoftTimerRuntime::PublishToShard(size_t shard, ProducerToken&) {
+  shards_[shard]->remote_pending.store(1, std::memory_order_release);
+  if (wake_fn_ != nullptr) {
+    wake_fn_(wake_ctx_, shard);
+  }
+}
+
+ShardedSoftTimerRuntime::RuntimeStats ShardedSoftTimerRuntime::AggregateStats()
+    const {
+  RuntimeStats out;
+  for (const auto& shard : shards_) {
+    const SoftTimerFacility::Stats& f = shard->facility->stats();
+    out.checks += f.checks;
+    out.dispatches += f.dispatches;
+    out.scheduled += f.scheduled;
+    out.cancelled += f.cancelled;
+    for (size_t s = 0; s < kNumTriggerSources; ++s) {
+      out.dispatches_by_source[s] += f.dispatches_by_source[s];
+    }
+    out.remote_scheduled += shard->stats.remote_scheduled;
+    out.remote_cancelled += shard->stats.remote_cancelled;
+    out.slab_capacity += f.slab_capacity;
+    out.slab_live += f.slab_live;
+  }
+  return out;
+}
+
+}  // namespace softtimer

@@ -44,6 +44,12 @@ void SoftTimerFacility::DispatchFired(const TimerFired& fired,
   ++stats_.dispatches;
   ++stats_.dispatches_by_source[static_cast<size_t>(dispatch_source_)];
   stats_.lateness_ticks.Add(static_cast<double>(info.lateness_ticks()));
+  // A non-zero cookie on the no-policy path marks a runtime-tracked event;
+  // tell the owner (before the handler, so a handler rescheduling through
+  // the runtime sees a consistent table) that this cookie is now dead.
+  if (p.user_data != 0 && event_retired_fn_ != nullptr && policy_ == nullptr) {
+    event_retired_fn_(event_retired_ctx_, p.user_data);
+  }
   if (dispatch_observer_) {
     dispatch_observer_(info);
   }
@@ -89,8 +95,13 @@ void SoftTimerFacility::RunOrDeferFired(const TimerFired& fired,
   DispatchFired(fired, handler);
 }
 
-SoftEventId SoftTimerFacility::ScheduleSoftEvent(uint64_t delta_ticks, Handler handler,
-                                                 uint32_t handler_tag) {
+SoftEventId SoftTimerFacility::ScheduleSoftEventWithCookie(uint64_t delta_ticks,
+                                                           Handler handler,
+                                                           uint32_t handler_tag,
+                                                           uint64_t cookie) {
+  // Policy mode reuses payload.user_data for deferral remaps, so cookies are
+  // a no-policy feature (the sharded runtime runs policy-free shards).
+  assert(cookie == 0 || policy_ == nullptr);
   uint64_t scheduled_tick = MeasureTime();
   // Fire when measure_time() exceeds the scheduled value by at least T + 1;
   // the +1 covers the event not being scheduled exactly on a tick boundary.
@@ -100,6 +111,7 @@ SoftEventId SoftTimerFacility::ScheduleSoftEvent(uint64_t delta_ticks, Handler h
   payload.scheduled_tick = scheduled_tick;
   payload.delta_ticks = delta_ticks;
   payload.tag = handler_tag;
+  payload.user_data = cookie;
   if (!policy_) {
     payload.handler.emplace(DispatchThunk{this, std::move(handler)});
     if (deadline < next_deadline_) {

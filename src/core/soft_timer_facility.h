@@ -102,10 +102,32 @@ class SoftTimerFacility {
   // `handler_tag` names the handler class for budget/quarantine accounting
   // under the degradation policy; tag 0 is anonymous and exempt.
   SoftEventId ScheduleSoftEvent(uint64_t delta_ticks, Handler handler,
-                                uint32_t handler_tag = 0);
+                                uint32_t handler_tag = 0) {
+    return ScheduleSoftEventWithCookie(delta_ticks, std::move(handler),
+                                       handler_tag, 0);
+  }
+
+  // ScheduleSoftEvent with an opaque non-zero cookie attached to the event.
+  // When the event is dispatched or retired, the retire hook (below) is
+  // invoked with the cookie. Used by ShardedSoftTimerRuntime to tie a
+  // cross-core event back to its remote-id table entry without wrapping the
+  // handler in an extra (allocating) closure. Only valid without a
+  // degradation policy (policy mode reuses the payload cookie field for
+  // deferral remaps).
+  SoftEventId ScheduleSoftEventWithCookie(uint64_t delta_ticks, Handler handler,
+                                          uint32_t handler_tag, uint64_t cookie);
 
   // Cancels a pending event; false if it fired or was already cancelled.
   bool CancelSoftEvent(SoftEventId id);
+
+  // Raw-function-pointer hook invoked (pre-handler) when an event carrying a
+  // non-zero cookie dispatches; no-policy mode only. Kept as a plain pointer
+  // + context so installing and firing it never allocates.
+  using EventRetiredFn = void (*)(void* ctx, uint64_t cookie);
+  void set_event_retired_hook(EventRetiredFn fn, void* ctx) {
+    event_retired_fn_ = fn;
+    event_retired_ctx_ = ctx;
+  }
 
   // --- Host integration points ----------------------------------------
   // The "check for pending soft timer events" performed in a trigger state:
@@ -179,6 +201,10 @@ class SoftTimerFacility {
 
   size_t pending_count() const { return queue_->size(); }
 
+  // Releases fully-free timer-node slab chunks (see TimerQueue::TrimSlab);
+  // returns chunks released. A maintenance call, not a hot-path one.
+  size_t TrimSlabStorage() { return queue_->TrimSlab(); }
+
   // X = measurement ticks per backup-interrupt period.
   uint64_t ticks_per_backup_interval() const;
 
@@ -191,8 +217,17 @@ class SoftTimerFacility {
     std::array<uint64_t, kNumTriggerSources> dispatches_by_source{};
     // Distribution of handler lateness (FireInfo::lateness_ticks), in ticks.
     SummaryStats lateness_ticks;
+    // Timer-node slab occupancy (refreshed from the queue on stats() reads):
+    // slots currently backed by storage, and allocated nodes among them.
+    uint32_t slab_capacity = 0;
+    uint32_t slab_live = 0;
   };
-  const Stats& stats() const { return stats_; }
+  const Stats& stats() const {
+    TimerSlabStats slab = queue_->slab_stats();
+    stats_.slab_capacity = slab.capacity;
+    stats_.slab_live = slab.live;
+    return stats_;
+  }
   void ResetStats() { stats_ = Stats{}; }
 
  private:
@@ -242,6 +277,8 @@ class SoftTimerFacility {
   std::function<void(const FireInfo&)> dispatch_observer_;
   std::function<void()> schedule_observer_;
   std::function<uint64_t(const FireInfo&)> dispatch_cost_probe_;
+  EventRetiredFn event_retired_fn_ = nullptr;
+  void* event_retired_ctx_ = nullptr;
   // Conservative cached copy of the earliest pending deadline, maintained
   // only when no policy is configured (the policy needs every check to reach
   // its density tracker anyway). Invariant: next_deadline_ <= the queue's
@@ -257,7 +294,8 @@ class SoftTimerFacility {
   // by a deferral; consulted by CancelSoftEvent. Policy mode only (the
   // no-policy path never defers, so CancelSoftEvent skips the probe).
   std::unordered_map<uint64_t, TimerId> deferred_remap_;
-  Stats stats_;
+  // Mutable so stats() can refresh the slab occupancy fields on read.
+  mutable Stats stats_;
 };
 
 }  // namespace softtimer

@@ -1,0 +1,102 @@
+// Bounded lock-free single-producer / single-consumer ring.
+//
+// The cross-core command channel of ShardedSoftTimerRuntime: each
+// (producer thread, target shard) pair owns exactly one ring, so every ring
+// has one writer and one reader and needs no CAS loops - a push is a slot
+// move plus one release store, a pop is a slot move plus one release store,
+// and the consumer's emptiness probe is a single relaxed load (the cost the
+// sharded runtime adds to a shard's nothing-due trigger check).
+//
+// Slots hold T by value and are recycled in place; pushing move-assigns into
+// the slot and popping move-assigns out, so a T whose move is allocation-free
+// (e.g. a command carrying a std::function handler) keeps the channel
+// allocation-free in steady state. Capacity is rounded up to a power of two;
+// head/tail are monotonically increasing uint64 counters (no wrap handling
+// needed within any realistic lifetime), kept on separate cache lines along
+// with each side's cached view of the other's counter.
+
+#ifndef SOFTTIMER_SRC_CORE_SPSC_RING_H_
+#define SOFTTIMER_SRC_CORE_SPSC_RING_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <utility>
+#include <vector>
+
+namespace softtimer {
+
+// Fixed rather than std::hardware_destructive_interference_size: that value
+// shifts with compiler version/-mtune (gcc warns it may break ABI), and 64
+// is right for every target this repo builds on.
+inline constexpr size_t kCacheLineBytes = 64;
+
+template <typename T>
+class SpscRing {
+ public:
+  explicit SpscRing(size_t capacity) {
+    size_t cap = 1;
+    while (cap < capacity) {
+      cap <<= 1;
+    }
+    slots_.resize(cap);
+    mask_ = cap - 1;
+  }
+
+  size_t capacity() const { return mask_ + 1; }
+
+  // Producer side. Returns false (and leaves `v` intact) when full.
+  bool TryPush(T&& v) {
+    uint64_t tail = tail_.pos.load(std::memory_order_relaxed);
+    if (tail - tail_.cached_other >= capacity()) {
+      tail_.cached_other = head_.pos.load(std::memory_order_acquire);
+      if (tail - tail_.cached_other >= capacity()) {
+        return false;
+      }
+    }
+    slots_[tail & mask_] = std::move(v);
+    tail_.pos.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  // Consumer side. Returns false when empty.
+  bool TryPop(T& out) {
+    uint64_t head = head_.pos.load(std::memory_order_relaxed);
+    if (head == head_.cached_other) {
+      head_.cached_other = tail_.pos.load(std::memory_order_acquire);
+      if (head == head_.cached_other) {
+        return false;
+      }
+    }
+    out = std::move(slots_[head & mask_]);
+    slots_[head & mask_] = T{};  // drop resources the moved-from slot retains
+    head_.pos.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  // Consumer-side cheap probe; may transiently say "empty" for an element
+  // published concurrently (the pending-flag protocol above this ring closes
+  // that window).
+  bool EmptyRelaxed() const {
+    return head_.pos.load(std::memory_order_relaxed) ==
+           tail_.pos.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct alignas(kCacheLineBytes) Side {
+    std::atomic<uint64_t> pos{0};
+    // This side's cached copy of the opposite counter (avoids an acquire
+    // load per operation in the common non-full/non-empty case).
+    uint64_t cached_other = 0;
+  };
+
+  std::vector<T> slots_;
+  size_t mask_ = 0;
+  Side head_;  // consumer cursor
+  Side tail_;  // producer cursor
+};
+
+}  // namespace softtimer
+
+#endif  // SOFTTIMER_SRC_CORE_SPSC_RING_H_

@@ -68,6 +68,7 @@ Kernel::Kernel(Simulator* sim, Config config)
     have_last_trigger_.push_back(false);
     cpus_.back()->set_state_observer([this, i](bool busy) { OnCpuStateChange(i, busy); });
   }
+  stats_.triggers_by_source_by_cpu.resize(static_cast<size_t>(config_.num_cpus));
 
   // Periodic backup interrupt. It exists in stock kernels too (time slicing),
   // so its cost is charged in every configuration.
@@ -139,6 +140,7 @@ void Kernel::Trigger(TriggerSource source, int cpu_index) {
   size_t c = static_cast<size_t>(cpu_index);
   ++stats_.triggers;
   ++stats_.triggers_by_source[static_cast<size_t>(source)];
+  ++stats_.triggers_by_source_by_cpu[c][static_cast<size_t>(source)];
   if (trigger_observer_ && have_last_trigger_[c]) {
     trigger_observer_(source, now, now - last_trigger_[c]);
   }
@@ -330,6 +332,7 @@ void Kernel::IdlePollStep(int cpu_index) {
 
 void Kernel::ResetTriggerStats() {
   stats_ = Stats{};
+  stats_.triggers_by_source_by_cpu.resize(static_cast<size_t>(config_.num_cpus));
   for (size_t c = 0; c < have_last_trigger_.size(); ++c) {
     have_last_trigger_[c] = false;
   }

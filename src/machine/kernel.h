@@ -156,6 +156,11 @@ class Kernel {
   struct Stats {
     uint64_t triggers = 0;
     std::array<uint64_t, kNumTriggerSources> triggers_by_source{};
+    // The same stream attributed per CPU (indexed [cpu][source], sized to
+    // Config::num_cpus). The paper measures trigger streams per CPU; the
+    // sharded runtime relies on this attribution to validate that each
+    // shard's dispatches come from its own core's trigger states.
+    std::vector<std::array<uint64_t, kNumTriggerSources>> triggers_by_source_by_cpu;
     uint64_t backup_ticks = 0;
     // Fault-injection visibility: trigger states swallowed by a drought or a
     // stalled handler, and backup ticks lost to injected masking.

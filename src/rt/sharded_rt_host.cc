@@ -1,0 +1,149 @@
+#include "src/rt/sharded_rt_host.h"
+
+#include <cassert>
+
+namespace softtimer {
+
+ShardedRtHost::ShardedRtHost(Config config)
+    : config_(config), clock_(config.measure_hz) {
+  assert(config_.num_shards >= 1);
+  ShardedSoftTimerRuntime::Config rc;
+  rc.num_shards = config_.num_shards;
+  rc.max_producers = config_.max_producers;
+  rc.ring_capacity = config_.ring_capacity;
+  rc.facility.interrupt_clock_hz = config_.interrupt_clock_hz;
+  rc.facility.queue_kind = config_.queue_kind;
+  runtime_ = std::make_unique<ShardedSoftTimerRuntime>(&clock_, rc);
+  runtime_->set_wake_hook(&ShardedRtHost::WakeShard, this);
+  loops_.reserve(config_.num_shards);
+  for (size_t i = 0; i < config_.num_shards; ++i) {
+    loops_.push_back(std::make_unique<ShardLoop>());
+  }
+}
+
+ShardedRtHost::~ShardedRtHost() { Stop(); }
+
+void ShardedRtHost::Start() {
+  if (running_) {
+    return;
+  }
+  stop_.store(false, std::memory_order_relaxed);
+  for (size_t i = 0; i < loops_.size(); ++i) {
+    loops_[i]->thread = std::thread([this, i] { RunShard(i); });
+  }
+  running_ = true;
+}
+
+void ShardedRtHost::Stop() {
+  if (!running_) {
+    return;
+  }
+  stop_.store(true, std::memory_order_seq_cst);
+  for (auto& loop : loops_) {
+    // Pairs with the sleeper's sleeping-store / stop-check sequence: taking
+    // the mutex serializes with the window between its recheck and its wait.
+    std::lock_guard<std::mutex> lock(loop->m);
+    loop->cv.notify_one();
+  }
+  for (auto& loop : loops_) {
+    loop->thread.join();
+  }
+  running_ = false;
+}
+
+void ShardedRtHost::WakeShard(void* ctx, size_t shard) {
+  auto* host = static_cast<ShardedRtHost*>(ctx);
+  // Pairs with the fence in SleepAndDispatch: if the sleeper's pending-flag
+  // recheck missed our publish, this fence orders our sleeping-load after
+  // its sleeping-store, so we observe 1 and deliver the notify.
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  ShardLoop& loop = *host->loops_[shard];
+  if (loop.sleeping.load(std::memory_order_relaxed) != 0) {
+    std::lock_guard<std::mutex> lock(loop.m);
+    loop.cv.notify_one();
+    loop.wakeups.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+size_t ShardedRtHost::SleepAndDispatch(size_t shard) {
+  ShardLoop& loop = *loops_[shard];
+  SoftTimerFacility& facility = runtime_->shard_facility(shard);
+  uint64_t wake_tick = clock_.NowTicks() + facility.ticks_per_backup_interval();
+  bool backup_bound = true;
+  std::optional<uint64_t> deadline = facility.NextDeadlineTick();
+  if (deadline && *deadline < wake_tick) {
+    wake_tick = *deadline;
+    backup_bound = false;
+  }
+  {
+    std::unique_lock<std::mutex> lock(loop.m);
+    loop.sleeping.store(1, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    // Recheck under the flag: a command published before the fence above is
+    // visible here; one published after it sees sleeping == 1 and notifies
+    // (blocking on the mutex until our wait releases it).
+    if (!runtime_->remote_pending(shard) &&
+        !stop_.load(std::memory_order_relaxed)) {
+      ++loop.stats.sleeps;
+      loop.cv.wait_for(lock, clock_.UntilTick(wake_tick));
+    }
+    loop.sleeping.store(0, std::memory_order_relaxed);
+  }
+  if (backup_bound && clock_.NowTicks() >= wake_tick) {
+    ++loop.stats.backup_checks;
+    return runtime_->OnBackupInterrupt(shard);
+  }
+  return runtime_->OnTriggerState(shard, TriggerSource::kIdleLoop);
+}
+
+void ShardedRtHost::RunShard(size_t shard) {
+  ShardLoop& loop = *loops_[shard];
+  while (!stop_.load(std::memory_order_relaxed)) {
+    ++loop.stats.polls;
+    runtime_->OnTriggerState(shard, TriggerSource::kIdleLoop);
+    if (stop_.load(std::memory_order_relaxed)) {
+      break;
+    }
+    if (config_.idle_strategy == IdleStrategy::kBusyPoll) {
+      continue;
+    }
+    if (config_.idle_work) {
+      // Section 5.2: an idle CPU polls instead of halting. One idle shard at
+      // a time claims the shared work; it keeps the claim while its own
+      // timers are quiet and hands it back once they need service, so the
+      // work migrates to whichever shard is idle.
+      size_t expected = kNoIdleOwner;
+      bool owner =
+          idle_owner_.load(std::memory_order_relaxed) == shard ||
+          idle_owner_.compare_exchange_strong(expected, shard,
+                                              std::memory_order_acq_rel);
+      if (owner) {
+        uint64_t horizon =
+            clock_.NowTicks() +
+            runtime_->shard_facility(shard).ticks_per_backup_interval();
+        std::optional<uint64_t> deadline =
+            runtime_->shard_facility(shard).NextDeadlineTick();
+        if (deadline && *deadline < horizon) {
+          idle_owner_.store(kNoIdleOwner, std::memory_order_release);
+        } else {
+          config_.idle_work();
+          ++loop.stats.idle_work_runs;
+          continue;  // poll again right away; no sleep while owning
+        }
+      }
+    }
+    SleepAndDispatch(shard);
+  }
+  if (idle_owner_.load(std::memory_order_relaxed) == shard) {
+    idle_owner_.store(kNoIdleOwner, std::memory_order_release);
+  }
+}
+
+ShardedRtHost::ShardLoopStats ShardedRtHost::shard_loop_stats(
+    size_t shard) const {
+  ShardLoopStats s = loops_[shard]->stats;
+  s.wakeups = loops_[shard]->wakeups.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace softtimer

@@ -1,0 +1,133 @@
+// Multi-core real-time host for ShardedSoftTimerRuntime: one trigger-loop
+// thread per shard, each playing the role the paper assigns to a CPU.
+//
+// Every shard thread alternates trigger-state checks with backup-bounded
+// sleeps, exactly like RtSoftTimerHost does for one core: a sleep never
+// extends past the earlier of the shard's next soft-event deadline and one
+// backup period, so the paper's T < actual < T + X + 1 bound holds per
+// shard. Two things are multi-core specific:
+//
+//  * Wakeups. A cross-core schedule must not wait out the target shard's
+//    sleep, so the runtime's wake hook pokes the target thread's eventcount
+//    (atomic `sleeping` flag + condvar). Producers take the shard's mutex
+//    only when the target is actually asleep; the seq_cst fences on both
+//    sides close the classic sleep/publish race, and the backup bound makes
+//    even a hypothetical missed wakeup a bounded-lateness event, never a
+//    lost one.
+//
+//  * Idle-shard work takeover. The paper has idle CPUs poll the network
+//    instead of halting (Section 5.2; mirrored by tests/smp_test.cc). When
+//    Config::idle_work is set, at most one otherwise-idle shard at a time
+//    claims it (single atomic owner slot) and busy-runs it instead of
+//    sleeping, releasing the claim as soon as its own timers need service.
+//
+// Producer threads (application threads scheduling onto shards) register
+// through RegisterProducer() and use the runtime's cross-core API directly.
+
+#ifndef SOFTTIMER_SRC_RT_SHARDED_RT_HOST_H_
+#define SOFTTIMER_SRC_RT_SHARDED_RT_HOST_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/core/sharded_soft_timer_runtime.h"
+#include "src/rt/monotonic_clock_source.h"
+
+namespace softtimer {
+
+class ShardedRtHost {
+ public:
+  enum class IdleStrategy {
+    kSleep,     // backup-bounded condvar sleep (production default)
+    kBusyPoll,  // spin on trigger-state checks (lowest latency; benches)
+  };
+
+  struct Config {
+    size_t num_shards = 2;
+    uint64_t measure_hz = 1'000'000;
+    uint64_t interrupt_clock_hz = 1'000;  // backup bound: 1 ms
+    TimerQueueKind queue_kind = TimerQueueKind::kHashedWheel;
+    IdleStrategy idle_strategy = IdleStrategy::kSleep;
+    size_t max_producers = 8;
+    size_t ring_capacity = 1024;
+    // Shared polling work (e.g. the network poll loop). When set, one
+    // otherwise-idle shard at a time runs it instead of sleeping. Must be
+    // thread-compatible: it is only ever run by one shard at a time, but
+    // that shard changes over time.
+    std::function<size_t()> idle_work;
+  };
+
+  explicit ShardedRtHost(Config config);
+  ~ShardedRtHost();
+
+  ShardedRtHost(const ShardedRtHost&) = delete;
+  ShardedRtHost& operator=(const ShardedRtHost&) = delete;
+
+  ShardedSoftTimerRuntime& runtime() { return *runtime_; }
+  const MonotonicClockSource& clock() const { return clock_; }
+  size_t num_shards() const { return config_.num_shards; }
+
+  // Spawns one trigger-loop thread per shard. After Start(), shard
+  // facilities belong to their loop threads: interact through the runtime's
+  // producer API (or stop first).
+  void Start();
+  // Stops and joins all shard threads. Idempotent.
+  void Stop();
+  bool running() const { return running_; }
+
+  // Registers the calling (producer) thread; see
+  // ShardedSoftTimerRuntime::RegisterProducer.
+  ShardedSoftTimerRuntime::ProducerToken RegisterProducer() {
+    return runtime_->RegisterProducer();
+  }
+
+  struct ShardLoopStats {
+    uint64_t polls = 0;          // trigger-state checks performed by the loop
+    uint64_t sleeps = 0;         // condvar sleeps entered
+    uint64_t backup_checks = 0;  // sleeps that ran to the backup bound
+    uint64_t wakeups = 0;        // producer pokes delivered to a sleeper
+    uint64_t idle_work_runs = 0; // idle_work invocations by this shard
+  };
+  // Safe while running for `wakeups`; read the rest after Stop() (or accept
+  // a torn-but-monotonic snapshot).
+  ShardLoopStats shard_loop_stats(size_t shard) const;
+
+ private:
+  // Everything one shard's loop thread touches, cache-line separated.
+  struct alignas(kCacheLineBytes) ShardLoop {
+    std::mutex m;
+    std::condition_variable cv;
+    // 1 while the loop thread is inside (or committed to entering) a condvar
+    // wait; producers only take the mutex when they observe 1.
+    std::atomic<uint32_t> sleeping{0};
+    std::atomic<uint64_t> wakeups{0};
+    ShardLoopStats stats;  // loop-thread writes (wakeups mirrored on read)
+    std::thread thread;
+  };
+
+  static void WakeShard(void* ctx, size_t shard);
+  void RunShard(size_t shard);
+  // Backup-bounded sleep for `shard`; returns handlers fired by the check
+  // performed on wakeup.
+  size_t SleepAndDispatch(size_t shard);
+
+  Config config_;
+  MonotonicClockSource clock_;
+  std::unique_ptr<ShardedSoftTimerRuntime> runtime_;
+  std::vector<std::unique_ptr<ShardLoop>> loops_;
+  std::atomic<bool> stop_{false};
+  bool running_ = false;
+  // Idle-work arbiter: index of the shard currently running idle_work, or
+  // kNoIdleOwner. Claimed with a single CAS by an idle shard.
+  static constexpr size_t kNoIdleOwner = static_cast<size_t>(-1);
+  std::atomic<size_t> idle_owner_{kNoIdleOwner};
+};
+
+}  // namespace softtimer
+
+#endif  // SOFTTIMER_SRC_RT_SHARDED_RT_HOST_H_

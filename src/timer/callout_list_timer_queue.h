@@ -31,6 +31,9 @@ class CalloutListTimerQueue : public TimerQueue {
   std::optional<uint64_t> EarliestDeadline() const override;
   size_t size() const override { return live_count_; }
   std::string name() const override { return "callout-list"; }
+  TimerSlabStats slab_stats() const override { return slab_.stats(); }
+  // List links only ever reach live nodes, so the slab can trim directly.
+  size_t TrimSlab() override { return slab_.Trim(); }
 
  private:
   struct Node {

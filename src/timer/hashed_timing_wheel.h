@@ -44,6 +44,9 @@ class HashedTimingWheel : public TimerQueue {
   std::optional<uint64_t> EarliestDeadline() const override;
   size_t size() const override { return live_count_; }
   std::string name() const override { return "hashed-wheel"; }
+  TimerSlabStats slab_stats() const override { return slab_.stats(); }
+  // Bucket links only ever reach live nodes, so the slab can trim directly.
+  size_t TrimSlab() override { return slab_.Trim(); }
 
  private:
   struct Node {

@@ -32,6 +32,13 @@ class HeapTimerQueue : public TimerQueue {
   std::optional<uint64_t> EarliestDeadline() const override;
   size_t size() const override { return live_count_; }
   std::string name() const override { return "heap"; }
+  TimerSlabStats slab_stats() const override { return slab_.stats(); }
+  // Lazily-deleted heap entries may reference freed slots, so compact (drop
+  // every stale entry) before releasing chunks out from under them.
+  size_t TrimSlab() override {
+    Compact();
+    return slab_.Trim();
+  }
 
  private:
   struct Node {

@@ -48,10 +48,12 @@
 #include <type_traits>
 #include <utility>
 
+#include "src/timer/timer_slab.h"
+
 namespace softtimer {
 
 // Identifies one scheduled timer. Default-constructed ids are invalid.
-// Packs {generation, slab slot index}; see timer_slab.h.
+// Packs {shard, generation, slab slot index}; see timer_slab.h.
 struct TimerId {
   uint64_t value = 0;
   bool valid() const { return value != 0; }
@@ -199,6 +201,15 @@ class TimerQueue {
   // Number of pending timers.
   virtual size_t size() const = 0;
   bool empty() const { return size() == 0; }
+
+  // Capacity/occupancy of the backing node slab (timer_slab.h).
+  virtual TimerSlabStats slab_stats() const = 0;
+
+  // Releases fully-free slab chunks back to the allocator (the slab
+  // otherwise grows to the high-water mark and stays there). Returns the
+  // number of chunks released. Outstanding stale TimerIds stay safely
+  // rejectable afterwards.
+  virtual size_t TrimSlab() = 0;
 
   // Implementation name, for bench labels.
   virtual std::string name() const = 0;

@@ -91,6 +91,32 @@ TEST(SmpTest, SecondIdleCpuTakesOverPollingWhenFirstGoesBusy) {
   EXPECT_GT(fired_during, 60u);  // ~100 expected over 4 ms at 40 us cadence
 }
 
+TEST(SmpTest, TriggerStatsAttributePerCpu) {
+  Simulator sim;
+  Kernel k(&sim, TwoCpuCfg());
+  k.Trigger(TriggerSource::kSyscall, 0);
+  k.Trigger(TriggerSource::kSyscall, 1);
+  k.Trigger(TriggerSource::kTrap, 1);
+  const Kernel::Stats& s = k.stats();
+  ASSERT_EQ(s.triggers_by_source_by_cpu.size(), 2u);
+  auto src = [](TriggerSource t) { return static_cast<size_t>(t); };
+  EXPECT_EQ(s.triggers_by_source_by_cpu[0][src(TriggerSource::kSyscall)], 1u);
+  EXPECT_EQ(s.triggers_by_source_by_cpu[1][src(TriggerSource::kSyscall)], 1u);
+  EXPECT_EQ(s.triggers_by_source_by_cpu[1][src(TriggerSource::kTrap)], 1u);
+  // The per-CPU attribution partitions the global per-source counts.
+  for (size_t i = 0; i < kNumTriggerSources; ++i) {
+    uint64_t sum = 0;
+    for (const auto& per_cpu : s.triggers_by_source_by_cpu) {
+      sum += per_cpu[i];
+    }
+    EXPECT_EQ(sum, s.triggers_by_source[i]);
+  }
+  // Reset restores an empty (but correctly sized) attribution table.
+  k.ResetTriggerStats();
+  ASSERT_EQ(k.stats().triggers_by_source_by_cpu.size(), 2u);
+  EXPECT_EQ(k.stats().triggers_by_source_by_cpu[1][src(TriggerSource::kTrap)], 0u);
+}
+
 TEST(SmpTest, ResetTriggerStatsClearsEveryCpu) {
   Simulator sim;
   Kernel k(&sim, TwoCpuCfg());
