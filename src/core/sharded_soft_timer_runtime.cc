@@ -1,5 +1,6 @@
 #include "src/core/sharded_soft_timer_runtime.h"
 
+#include <atomic>
 #include <cassert>
 #include <utility>
 
@@ -160,6 +161,16 @@ size_t ShardedSoftTimerRuntime::DrainRemote(size_t shard) {
   // Clear the flag before sweeping: a command published mid-sweep either
   // gets popped below or re-raises the flag for the next check.
   s.remote_pending.store(0, std::memory_order_relaxed);
+  // Store-load fence, paired with the producer's seq_cst flag store in
+  // PublishToShard (the same discipline as the eventcount in
+  // ShardedRtHost::SleepAndDispatch / WakeShard). Without it the clear
+  // above and the ring reads below can reorder (store buffering), letting a
+  // concurrent push+flag=1 land between them: the sweep misses the command
+  // AND our 0 overwrites the producer's 1, stranding the command until an
+  // unrelated later publish. With the fence, either the ring reads observe
+  // the push (it drains now) or the producer's flag store is ordered after
+  // our clear (the flag stays 1 and the next check drains it).
+  std::atomic_thread_fence(std::memory_order_seq_cst);
   size_t applied = 0;
   bool leftover = false;
   Command cmd;
@@ -218,7 +229,9 @@ bool ShardedSoftTimerRuntime::ApplyCancel(Shard& shard, uint64_t id_value) {
     if (local == 0) {
       return false;  // fired/cancelled already, or not yet drained
     }
-    shard.remote_ids.Erase(id_value);
+    // The facility's retire hook erases the table entry when the cancel
+    // lands, the same way a dispatch does - a live entry always maps to a
+    // live event, so no explicit Erase here.
     return shard.facility->CancelSoftEvent(SoftEventId{local});
   }
   return shard.facility->CancelSoftEvent(
@@ -272,7 +285,10 @@ bool ShardedSoftTimerRuntime::CancelCrossCore(ProducerToken& token,
 }
 
 void ShardedSoftTimerRuntime::PublishToShard(size_t shard, ProducerToken&) {
-  shards_[shard]->remote_pending.store(1, std::memory_order_release);
+  // seq_cst, not release: pairs with the seq_cst fence in DrainRemote so a
+  // publish racing a drain sweep either has its command popped or leaves the
+  // flag raised (see the fence comment there).
+  shards_[shard]->remote_pending.store(1, std::memory_order_seq_cst);
   if (wake_fn_ != nullptr) {
     wake_fn_(wake_ctx_, shard);
   }

@@ -24,8 +24,10 @@
 //    remote-pending flag + the facility fast gate (clock read + compare).
 //    No mutex, no CAS, no fence on this path.
 //  * Cross-core schedule: one SPSC push (slot move + release store) plus a
-//    release store of the pending flag. Zero heap allocations when the
-//    handler fits std::function's inline buffer, like the local path.
+//    seq_cst store of the pending flag (paired with a fence in the drain
+//    sweep so a publish racing a drain is never stranded). Zero heap
+//    allocations when the handler fits std::function's inline buffer, like
+//    the local path.
 //
 // Ids: every id this runtime returns carries its shard in the top byte (see
 // timer_slab.h). Locally-scheduled events return the facility's slab id with
@@ -33,8 +35,9 @@
 // {producer, sequence} in the low bits) that the target shard maps to the
 // eventual slab id in a per-shard open-addressing table (RemoteIdMap,
 // allocation-free in steady state). The facility's cookie/retire hook erases
-// the table entry when the event fires, so the table tracks exactly the live
-// remote events.
+// the table entry when the event fires or is cancelled (through any cancel
+// path, including a direct facility CancelSoftEvent), so the table tracks
+// exactly the live remote events.
 //
 // Cross-core cancel semantics: a cancel command is applied when it drains.
 // Commands from one producer drain in FIFO order, so a producer can always
@@ -184,7 +187,8 @@ class ShardedSoftTimerRuntime {
   // --- Producer API (any registered thread) -----------------------------
   // Schedules `handler` on `shard` through the command ring. Returns the
   // remote id, or an invalid id when the (producer, shard) ring is full
-  // (bounded backpressure; the caller may retry after the shard drains).
+  // (bounded backpressure). `handler` is consumed even on a full-ring
+  // rejection, so retrying after the shard drains requires a fresh handler.
   // The delay counts from now (enqueue time): the drain re-anchors the
   // deadline at enqueue_tick + delta, so ring residency does not stretch T.
   SoftEventId ScheduleCrossCore(ProducerToken& token, size_t shard,
@@ -219,7 +223,7 @@ class ShardedSoftTimerRuntime {
   }
 
   struct ShardStats {
-    uint64_t drains = 0;             // drain sweeps that applied >= 0 commands
+    uint64_t drains = 0;             // drain sweeps that applied >= 1 command
     uint64_t remote_scheduled = 0;   // schedule commands applied
     uint64_t remote_cancelled = 0;   // cancel commands that hit a live event
     uint64_t remote_cancel_misses = 0;
@@ -264,8 +268,10 @@ class ShardedSoftTimerRuntime {
     std::unique_ptr<SoftTimerFacility> facility;
     RemoteIdMap remote_ids;
     ShardStats stats;
-    // Set (release) by producers after publishing a command; cleared by the
-    // owner before a drain sweep.
+    // Set (seq_cst) by producers after publishing a command; cleared by the
+    // owner before a drain sweep, followed by a seq_cst fence (see
+    // DrainRemote) so the clear cannot overwrite a racing publish whose
+    // command the sweep missed.
     std::atomic<uint32_t> remote_pending{0};
     // One SPSC ring per producer slot.
     std::vector<std::unique_ptr<SpscRing<Command>>> rings;

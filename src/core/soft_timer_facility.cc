@@ -128,6 +128,12 @@ SoftEventId SoftTimerFacility::ScheduleSoftEventWithCookie(uint64_t delta_ticks,
 }
 
 bool SoftTimerFacility::CancelSoftEvent(SoftEventId id) {
+  // Cancelling destroys the payload, so read the cookie first; it is only
+  // acted on when the cancel lands. No-policy mode only: policy mode reuses
+  // user_data for deferral remaps, and cookies require no policy anyway.
+  uint64_t cookie = policy_ == nullptr && event_retired_fn_ != nullptr
+                        ? queue_->PeekUserData(TimerId{id.value})
+                        : 0;
   bool ok = queue_->Cancel(TimerId{id.value});
   // Only a policy-mode deferral ever remaps an id, so the no-policy path
   // never probes the map.
@@ -140,6 +146,11 @@ bool SoftTimerFacility::CancelSoftEvent(SoftEventId id) {
   }
   if (ok) {
     ++stats_.cancelled;
+    // A cancelled cookie-carrying event is as dead as a dispatched one:
+    // retire it so the owner's tracking state cannot leak.
+    if (cookie != 0) {
+      event_retired_fn_(event_retired_ctx_, cookie);
+    }
   }
   return ok;
 }

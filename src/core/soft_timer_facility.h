@@ -108,7 +108,7 @@ class SoftTimerFacility {
   }
 
   // ScheduleSoftEvent with an opaque non-zero cookie attached to the event.
-  // When the event is dispatched or retired, the retire hook (below) is
+  // When the event is dispatched or cancelled, the retire hook (below) is
   // invoked with the cookie. Used by ShardedSoftTimerRuntime to tie a
   // cross-core event back to its remote-id table entry without wrapping the
   // handler in an extra (allocating) closure. Only valid without a
@@ -120,9 +120,10 @@ class SoftTimerFacility {
   // Cancels a pending event; false if it fired or was already cancelled.
   bool CancelSoftEvent(SoftEventId id);
 
-  // Raw-function-pointer hook invoked (pre-handler) when an event carrying a
-  // non-zero cookie dispatches; no-policy mode only. Kept as a plain pointer
-  // + context so installing and firing it never allocates.
+  // Raw-function-pointer hook invoked when an event carrying a non-zero
+  // cookie is retired: pre-handler at dispatch, or on a successful
+  // CancelSoftEvent; no-policy mode only. Kept as a plain pointer + context
+  // so installing and firing it never allocates.
   using EventRetiredFn = void (*)(void* ctx, uint64_t cookie);
   void set_event_retired_hook(EventRetiredFn fn, void* ctx) {
     event_retired_fn_ = fn;

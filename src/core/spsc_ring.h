@@ -76,8 +76,9 @@ class SpscRing {
   }
 
   // Consumer-side cheap probe; may transiently say "empty" for an element
-  // published concurrently (the pending-flag protocol above this ring closes
-  // that window).
+  // published concurrently (the pending-flag protocol above this ring - a
+  // seq_cst flag store on the producer side paired with a seq_cst fence
+  // after the consumer's flag clear - closes that window).
   bool EmptyRelaxed() const {
     return head_.pos.load(std::memory_order_relaxed) ==
            tail_.pos.load(std::memory_order_relaxed);

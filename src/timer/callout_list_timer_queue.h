@@ -34,6 +34,11 @@ class CalloutListTimerQueue : public TimerQueue {
   TimerSlabStats slab_stats() const override { return slab_.stats(); }
   // List links only ever reach live nodes, so the slab can trim directly.
   size_t TrimSlab() override { return slab_.Trim(); }
+  uint64_t PeekUserData(TimerId id) const override {
+    return slab_.IsCurrent(id.value)
+               ? slab_.at(TimerIdIndex(id.value)).payload.user_data
+               : 0;
+  }
 
  private:
   struct Node {

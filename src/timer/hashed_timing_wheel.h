@@ -47,6 +47,11 @@ class HashedTimingWheel : public TimerQueue {
   TimerSlabStats slab_stats() const override { return slab_.stats(); }
   // Bucket links only ever reach live nodes, so the slab can trim directly.
   size_t TrimSlab() override { return slab_.Trim(); }
+  uint64_t PeekUserData(TimerId id) const override {
+    return slab_.IsCurrent(id.value)
+               ? slab_.at(TimerIdIndex(id.value)).payload.user_data
+               : 0;
+  }
 
  private:
   struct Node {

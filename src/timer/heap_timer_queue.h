@@ -39,6 +39,11 @@ class HeapTimerQueue : public TimerQueue {
     Compact();
     return slab_.Trim();
   }
+  uint64_t PeekUserData(TimerId id) const override {
+    return slab_.IsCurrent(id.value)
+               ? slab_.at(TimerIdIndex(id.value)).payload.user_data
+               : 0;
+  }
 
  private:
   struct Node {

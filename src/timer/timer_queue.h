@@ -190,6 +190,11 @@ class TimerQueue {
   // cancelled, or the id is stale (its slab slot was recycled).
   virtual bool Cancel(TimerId id) = 0;
 
+  // The pending timer's payload user_data, or 0 for stale/fired/cancelled
+  // ids. The facility's cancel path reads this before Cancel destroys the
+  // payload, so a cancelled event's cookie can still be retired.
+  virtual uint64_t PeekUserData(TimerId id) const = 0;
+
   // Fires all timers with deadline <= now_tick; returns how many fired.
   virtual size_t ExpireUpTo(uint64_t now_tick) = 0;
 

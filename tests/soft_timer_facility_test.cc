@@ -72,6 +72,42 @@ TEST_F(FacilityFixture, FireInfoFields) {
   EXPECT_EQ(got.lateness_ticks(), 23u);
 }
 
+TEST_F(FacilityFixture, CookieRetireHookFiresOnDispatchAndCancel) {
+  std::vector<uint64_t> retired;
+  facility_->set_event_retired_hook(
+      [](void* ctx, uint64_t cookie) {
+        static_cast<std::vector<uint64_t>*>(ctx)->push_back(cookie);
+      },
+      &retired);
+  int fired = 0;
+  SoftEventId dispatched = facility_->ScheduleSoftEventWithCookie(
+      10, [&](const SoftTimerFacility::FireInfo&) { ++fired; }, 0, 0xA1);
+  SoftEventId cancelled = facility_->ScheduleSoftEventWithCookie(
+      500, [&](const SoftTimerFacility::FireInfo&) { ++fired; }, 0, 0xB2);
+  SoftEventId plain = facility_->ScheduleSoftEvent(
+      500, [&](const SoftTimerFacility::FireInfo&) { ++fired; });
+  ASSERT_TRUE(dispatched.valid());
+
+  // Cancelling a cookie-carrying event retires its cookie (the leak the
+  // sharded runtime's remote-id table depends on not having)...
+  EXPECT_TRUE(facility_->CancelSoftEvent(cancelled));
+  ASSERT_EQ(retired.size(), 1u);
+  EXPECT_EQ(retired[0], 0xB2u);
+  // ...but only once: a stale cancel must not re-retire it.
+  EXPECT_FALSE(facility_->CancelSoftEvent(cancelled));
+  EXPECT_EQ(retired.size(), 1u);
+  // Cookie-less events never reach the hook.
+  EXPECT_TRUE(facility_->CancelSoftEvent(plain));
+  EXPECT_EQ(retired.size(), 1u);
+
+  // Dispatch retires too (pre-handler).
+  AdvanceTo(SimDuration::Micros(20));
+  facility_->OnTriggerState(TriggerSource::kSyscall);
+  EXPECT_EQ(fired, 1);
+  ASSERT_EQ(retired.size(), 2u);
+  EXPECT_EQ(retired[1], 0xA1u);
+}
+
 TEST_F(FacilityFixture, BackupInterruptCatchesOverdueEvents) {
   int fired = 0;
   facility_->ScheduleSoftEvent(10, [&](const SoftTimerFacility::FireInfo& info) {
