@@ -12,42 +12,31 @@ AdaptivePacer::AdaptivePacer(Config config) : config_(config) {
 }
 
 void AdaptivePacer::StartTrain(uint64_t now_tick) {
-  train_start_tick_ = now_tick;
-  packets_sent_ = 0;
+  train_.Start(now_tick);
 }
 
 uint64_t AdaptivePacer::OnPacketSent(uint64_t now_tick) {
-  ++packets_sent_;
   // Average achieved interval since the train started. The first packet goes
   // out at the train start, so after n packets the elapsed time covers n - 1
   // ideal intervals... the paper phrases the test in terms of rates; we use
   // the equivalent "are we behind the target schedule" formulation: packet n
   // is on schedule if it left no later than train_start + (n-1) * target.
-  uint64_t on_schedule_tick =
-      train_start_tick_ + (packets_sent_ - 1) * config_.target_interval_ticks;
-  if (now_tick > on_schedule_tick) {
+  // The arithmetic lives in PacedTrain so the pacing wheel's batched drains
+  // make the identical decisions per flow.
+  PacedTrain::SendDecision d = train_.OnBurstSent(
+      now_tick, 1, config_.target_interval_ticks, config_.min_burst_interval_ticks);
+  if (d.catch_up) {
     ++catchup_decisions_;
-    return config_.min_burst_interval_ticks;
   }
-  return config_.target_interval_ticks;
+  return d.next_delay_ticks;
 }
 
 uint64_t AdaptivePacer::CoalescedBurstBudget(uint64_t now_tick) {
-  if (config_.max_coalesced_burst_packets <= 1) {
-    return 1;
-  }
-  // Next packet is on schedule at train_start + n * target (packet n+1 of
-  // the train). Whole intervals behind that is the deficit a stale wakeup
-  // may make up; the burst stays within the maximal allowable burst rate
-  // because deficit <= behind / min_burst_interval.
-  uint64_t on_schedule_tick =
-      train_start_tick_ + packets_sent_ * config_.target_interval_ticks;
-  if (now_tick <= on_schedule_tick) {
-    return 1;
-  }
-  uint64_t deficit = (now_tick - on_schedule_tick) / config_.target_interval_ticks;
-  uint64_t budget =
-      1 + std::min<uint64_t>(deficit, config_.max_coalesced_burst_packets - 1);
+  // Whole intervals behind the next packet's on-schedule time is the deficit
+  // a stale wakeup may make up; the burst stays within the maximal allowable
+  // burst rate because deficit <= behind / min_burst_interval.
+  uint64_t budget = train_.BurstBudget(now_tick, config_.target_interval_ticks,
+                                       config_.max_coalesced_burst_packets);
   if (budget > 1) {
     ++coalesced_bursts_;
   }

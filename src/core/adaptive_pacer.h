@@ -22,9 +22,78 @@
 #ifndef SOFTTIMER_SRC_CORE_ADAPTIVE_PACER_H_
 #define SOFTTIMER_SRC_CORE_ADAPTIVE_PACER_H_
 
+#include <algorithm>
 #include <cstdint>
 
 namespace softtimer {
+
+// The per-train pacing arithmetic shared by AdaptivePacer (one flow, one
+// soft event per packet) and PacingWheel (many flows, batched wheel drains;
+// src/pacing). 16 bytes of POD so a million-flow wheel can embed one per
+// flow node.
+//
+// A "train" starts at start_tick with its first packet leaving immediately;
+// packet n of the train is on schedule if it left no later than
+// start_tick + (n - 1) * target. Falling behind that line takes the paper's
+// catch-up branch: the next event is scheduled at the maximal allowable
+// burst rate, i.e. the returned delay is *clamped at* min_burst — never
+// below it.
+//
+// First-packet clamp: immediately after Start(), the achieved rate the
+// paper's algorithm tracks has no samples yet (reads as zero), and packet
+// 1's on-schedule time is the train start itself — so *any* dispatch
+// lateness at all (and soft-timer lateness is always >= 1 tick) takes the
+// catch-up branch on the very first send. The min_burst clamp is what keeps
+// that first-packet burst at the maximal allowable burst rate instead of
+// collapsing to back-to-back sends; tests/adaptive_pacer_test.cc pins this.
+struct PacedTrain {
+  uint64_t start_tick = 0;
+  uint64_t packets = 0;
+
+  void Start(uint64_t now_tick) {
+    start_tick = now_tick;
+    packets = 0;
+  }
+
+  struct SendDecision {
+    uint64_t next_delay_ticks;  // delay until the next transmission event
+    bool catch_up;              // the burst-rate branch was taken
+  };
+
+  // Accounts `count` packets transmitted back-to-back at now_tick and
+  // decides the delay to the next transmission event. With count == 1 this
+  // is exactly the paper's per-packet decision; a wheel drain emitting a
+  // coalesced burst of k packets lands in the same state as k consecutive
+  // per-packet calls at the same now (the schedule test only depends on the
+  // running packet count and the train start).
+  SendDecision OnBurstSent(uint64_t now_tick, uint64_t count,
+                           uint64_t target_interval_ticks,
+                           uint64_t min_burst_interval_ticks) {
+    packets += count;
+    uint64_t on_schedule_tick = start_tick + (packets - 1) * target_interval_ticks;
+    if (now_tick > on_schedule_tick) {
+      return {min_burst_interval_ticks, true};
+    }
+    return {target_interval_ticks, false};
+  }
+
+  // Packets a (possibly stale) wakeup may transmit back-to-back: 1 plus the
+  // whole target intervals the train is behind schedule, capped at
+  // max_coalesced. Pure; does not account the send. max_coalesced <= 1
+  // disables coalescing (always 1).
+  uint64_t BurstBudget(uint64_t now_tick, uint64_t target_interval_ticks,
+                       uint32_t max_coalesced) const {
+    if (max_coalesced <= 1) {
+      return 1;
+    }
+    uint64_t on_schedule_tick = start_tick + packets * target_interval_ticks;
+    if (now_tick <= on_schedule_tick) {
+      return 1;
+    }
+    uint64_t deficit = (now_tick - on_schedule_tick) / target_interval_ticks;
+    return 1 + std::min<uint64_t>(deficit, max_coalesced - 1);
+  }
+};
 
 class AdaptivePacer {
  public:
@@ -50,7 +119,12 @@ class AdaptivePacer {
   void StartTrain(uint64_t now_tick);
 
   // Records a packet transmission at `now_tick` and returns the delay (in
-  // ticks) at which the next transmission event should be scheduled.
+  // ticks) at which the next transmission event should be scheduled. When
+  // the train has fallen behind the target schedule the returned delay is
+  // the catch-up interval, clamped at min_burst_interval_ticks — including
+  // on the first packet of a train, where the achieved rate is still
+  // zero-sampled and any lateness at all trips the catch-up branch (see
+  // PacedTrain's first-packet clamp note above).
   uint64_t OnPacketSent(uint64_t now_tick);
 
   // Packets the caller may transmit back-to-back at a (possibly stale)
@@ -61,7 +135,7 @@ class AdaptivePacer {
   // into an unbounded convoy. Always 1 when coalescing is disabled.
   uint64_t CoalescedBurstBudget(uint64_t now_tick);
 
-  uint64_t packets_sent() const { return packets_sent_; }
+  uint64_t packets_sent() const { return train_.packets; }
   // How often the catch-up (burst) branch was taken.
   uint64_t catchup_decisions() const { return catchup_decisions_; }
   // Wakeups where CoalescedBurstBudget granted more than one packet.
@@ -69,8 +143,7 @@ class AdaptivePacer {
 
  private:
   Config config_;
-  uint64_t train_start_tick_ = 0;
-  uint64_t packets_sent_ = 0;
+  PacedTrain train_;
   uint64_t catchup_decisions_ = 0;
   uint64_t coalesced_bursts_ = 0;
 };

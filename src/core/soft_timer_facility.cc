@@ -20,6 +20,9 @@ SoftTimerFacility::SoftTimerFacility(const ClockSource* clock, Config config)
                 "PolicyThunk must fit the inline handler slot");
   assert(clock_ != nullptr);
   assert(config_.interrupt_clock_hz > 0);
+  if (config_.max_dispatches_per_clock_read == 0) {
+    config_.max_dispatches_per_clock_read = 1;  // documented minimum
+  }
   assert(clock_->ResolutionHz() >= config_.interrupt_clock_hz);
   queue_ = MakeTimerQueue(config_.queue_kind);
   if (config_.degradation.enabled) {
@@ -38,7 +41,15 @@ void SoftTimerFacility::DispatchFired(const TimerFired& fired,
   FireInfo info;
   info.scheduled_tick = p.scheduled_tick;
   info.delta_ticks = p.delta_ticks;
-  info.fired_tick = MeasureTime();
+  // One clock read serves the whole drain batch (seeded by ExpireDue /
+  // PolicyCheck); re-read every max_dispatches_per_clock_read dispatches so
+  // fired_tick staleness stays bounded under pathological batch sizes.
+  if (batch_reads_left_ == 0) {
+    batch_fired_tick_ = MeasureTime();
+    batch_reads_left_ = config_.max_dispatches_per_clock_read;
+  }
+  --batch_reads_left_;
+  info.fired_tick = batch_fired_tick_;
   info.source = dispatch_source_;
   info.handler_tag = p.tag;
   ++stats_.dispatches;
@@ -157,7 +168,12 @@ bool SoftTimerFacility::CancelSoftEvent(SoftEventId id) {
 
 size_t SoftTimerFacility::ExpireDue(TriggerSource source) {
   dispatch_source_ = source;
-  size_t fired = queue_->ExpireUpTo(MeasureTime());
+  uint64_t now = MeasureTime();
+  // The expiry read doubles as the batch's fired_tick stamp (one amortized
+  // clock read per drain; see Config::max_dispatches_per_clock_read).
+  batch_fired_tick_ = now;
+  batch_reads_left_ = config_.max_dispatches_per_clock_read;
+  size_t fired = queue_->ExpireUpTo(now);
   // Refresh the gate from the queue (handlers may have scheduled or
   // cancelled; the queue's cached earliest makes this cheap).
   std::optional<uint64_t> earliest = queue_->EarliestDeadline();
@@ -169,6 +185,8 @@ size_t SoftTimerFacility::PolicyCheck(TriggerSource source) {
   dispatch_source_ = source;
   uint64_t now = MeasureTime();
   policy_->OnCheck(now, source, queue_->EarliestDeadline(), queue_->size());
+  batch_fired_tick_ = now;
+  batch_reads_left_ = config_.max_dispatches_per_clock_read;
   dispatched_this_check_ = 0;
   queue_->ExpireUpTo(now);
   return dispatched_this_check_;

@@ -1,0 +1,110 @@
+#include "src/pacing/pacing_wheel_host.h"
+
+#include <cassert>
+
+namespace softtimer {
+
+PacingWheelHost::PacingWheelHost(SoftTimerFacility* facility, PacingWheel* wheel,
+                                 uint32_t handler_tag)
+    : facility_(facility), wheel_(wheel), handler_tag_(handler_tag) {
+  assert(facility_ != nullptr && wheel_ != nullptr);
+}
+
+PacingWheelHost::~PacingWheelHost() { Disarm(); }
+
+void PacingWheelHost::Disarm() {
+  if (armed_.valid()) {
+    facility_->CancelSoftEvent(armed_);
+    armed_ = SoftEventId{};
+    armed_for_ = UINT64_MAX;
+  }
+}
+
+void PacingWheelHost::OnWheelEvent(const SoftTimerFacility::FireInfo& info) {
+  // The dispatched event consumed itself; forget it before draining so a
+  // sink-triggered Rearm schedules fresh instead of cancelling a dead id.
+  armed_ = SoftEventId{};
+  armed_for_ = UINT64_MAX;
+  ++stats_.wheel_events;
+  // fired_tick is the facility's amortized per-drain-batch clock read: the
+  // whole wheel drain (and every other event in the same facility batch)
+  // runs off one clock access.
+  DrainNow(info.fired_tick);
+}
+
+size_t PacingWheelHost::DrainNow(uint64_t now_tick) {
+  size_t granted = wheel_->Drain(now_tick, sink_);
+  stats_.packets_granted += granted;
+  Rearm(now_tick);
+  return granted;
+}
+
+void PacingWheelHost::Rearm(uint64_t now_tick) {
+  uint64_t due = wheel_->next_due_tick();
+  if (due == UINT64_MAX) {
+    Disarm();
+    return;
+  }
+  if (armed_.valid()) {
+    if (armed_for_ <= due) {
+      return;  // already fires early enough; spurious drains are gated O(1)
+    }
+    facility_->CancelSoftEvent(armed_);
+  }
+  // The facility fires at schedule_tick + delta + 1; aim that at `due`
+  // exactly (delta = due - now - 1), so the event dispatches at the first
+  // trigger state or backup interrupt at or past the wheel's earliest
+  // deadline — never early, late by at most the paper's X + 1.
+  uint64_t delta = due > now_tick + 1 ? due - now_tick - 1 : 0;
+  armed_ = facility_->ScheduleSoftEvent(
+      delta,
+      [this](const SoftTimerFacility::FireInfo& info) { OnWheelEvent(info); },
+      handler_tag_);
+  armed_for_ = due;
+  ++stats_.rearms;
+}
+
+bool PacingWheelHost::Activate(PacedFlowId id, uint64_t initial_delay_ticks) {
+  uint64_t now = facility_->MeasureTime();
+  if (!wheel_->Activate(id, now, initial_delay_ticks)) {
+    return false;
+  }
+  Rearm(now);
+  return true;
+}
+
+bool PacingWheelHost::ReRate(PacedFlowId id, uint64_t target_interval_ticks,
+                             uint64_t min_burst_interval_ticks) {
+  uint64_t now = facility_->MeasureTime();
+  if (!wheel_->ReRate(id, now, target_interval_ticks,
+                      min_burst_interval_ticks)) {
+    return false;
+  }
+  Rearm(now);
+  return true;
+}
+
+bool PacingWheelHost::AddBudget(PacedFlowId id, uint32_t packets) {
+  uint64_t now = facility_->MeasureTime();
+  if (!wheel_->AddBudget(id, now, packets)) {
+    return false;
+  }
+  Rearm(now);
+  return true;
+}
+
+size_t PacingWheelHost::Poll() {
+  ++stats_.polls;
+  uint64_t due = wheel_->next_due_tick();
+  if (due == UINT64_MAX) {
+    return 0;
+  }
+  uint64_t now = facility_->MeasureTime();
+  if (now < due) {
+    return 0;
+  }
+  ++stats_.poll_drains;
+  return DrainNow(now);
+}
+
+}  // namespace softtimer

@@ -1,0 +1,100 @@
+// PacingWheelHost: drives one PacingWheel from one SoftTimerFacility soft
+// event.
+//
+// This is the piece that turns "a million per-flow soft events" into "one
+// soft event per shard": the host keeps a single event armed at the wheel's
+// earliest pending deadline. When any trigger state (or the backup
+// interrupt) dispatches it, the handler drains the wheel under the
+// facility's amortized batch clock read (FireInfo::fired_tick) — one clock
+// access for the whole drain — and re-arms at the new earliest deadline.
+//
+// Timing bound: the armed event inherits the facility's dispatch bound
+// T < actual < T + X + 1, with the backup interrupt enforcing the high
+// side. The wheel itself never fires early (per-node deadline checks), so
+// every flow's emission lands within (deadline, deadline + X + 1) — the
+// paper's bound, now at wheel granularity instead of per-flow-event
+// granularity.
+//
+// Poll() is the opportunistic variant for busy-poll hosts: a cheap
+// nothing-due gate (one compare against the wheel's cached earliest, then
+// one clock read) that drains ahead of the armed event when work is due.
+//
+// Single-threaded, like the facility and the wheel: one host per shard.
+
+#ifndef SOFTTIMER_SRC_PACING_PACING_WHEEL_HOST_H_
+#define SOFTTIMER_SRC_PACING_PACING_WHEEL_HOST_H_
+
+#include <cstdint>
+
+#include "src/core/soft_timer_facility.h"
+#include "src/pacing/pacing_wheel.h"
+
+namespace softtimer {
+
+class PacingWheelHost {
+ public:
+  // `handler_tag` names the wheel event's handler class to the facility
+  // (degradation budgets; 0 = anonymous). The host does not own its wheel
+  // or facility.
+  PacingWheelHost(SoftTimerFacility* facility, PacingWheel* wheel,
+                  uint32_t handler_tag = 0);
+  ~PacingWheelHost();
+
+  PacingWheelHost(const PacingWheelHost&) = delete;
+  PacingWheelHost& operator=(const PacingWheelHost&) = delete;
+
+  // The sink every drain emits to. Must outlive the host (or be reset).
+  void set_sink(PacingWheel::BatchSink* sink) { sink_ = sink; }
+
+  PacingWheel* wheel() { return wheel_; }
+  SoftTimerFacility* facility() { return facility_; }
+
+  // --- wheel passthroughs that keep the armed event tracking the wheel ---
+  PacedFlowId AddFlow(const PacedFlowConfig& config) {
+    return wheel_->AddFlow(config);
+  }
+  bool RemoveFlow(PacedFlowId id) { return wheel_->RemoveFlow(id); }
+  bool Activate(PacedFlowId id, uint64_t initial_delay_ticks = 0);
+  bool Deactivate(PacedFlowId id) { return wheel_->Deactivate(id); }
+  bool ReRate(PacedFlowId id, uint64_t target_interval_ticks,
+              uint64_t min_burst_interval_ticks);
+  bool AddBudget(PacedFlowId id, uint32_t packets);
+
+  // Opportunistic drain for busy-poll hosts: one compare when nothing is
+  // due. Returns packets granted.
+  size_t Poll();
+
+  // Cancels the armed event (e.g. before tearing down the wheel).
+  void Disarm();
+
+  struct Stats {
+    uint64_t wheel_events = 0;  // armed-event dispatches
+    uint64_t polls = 0;
+    uint64_t poll_drains = 0;   // polls that found due work
+    uint64_t packets_granted = 0;
+    uint64_t rearms = 0;        // soft events scheduled
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  void OnWheelEvent(const SoftTimerFacility::FireInfo& info);
+  // Drains at `now_tick` and re-arms; returns packets granted.
+  size_t DrainNow(uint64_t now_tick);
+  // Ensures the armed event fires no later than the wheel's earliest
+  // deadline (cancelling/rescheduling only when it would fire too late).
+  void Rearm(uint64_t now_tick);
+
+  SoftTimerFacility* facility_;
+  PacingWheel* wheel_;
+  PacingWheel::BatchSink* sink_ = nullptr;
+  uint32_t handler_tag_;
+  SoftEventId armed_;
+  // Tick the armed event is guaranteed to have fired by (its wheel target);
+  // UINT64_MAX when nothing is armed.
+  uint64_t armed_for_ = UINT64_MAX;
+  Stats stats_;
+};
+
+}  // namespace softtimer
+
+#endif  // SOFTTIMER_SRC_PACING_PACING_WHEEL_HOST_H_

@@ -1,0 +1,154 @@
+#include "src/pacing/sharded_pacing.h"
+
+#include <cassert>
+#include <utility>
+
+namespace softtimer {
+
+ShardedPacingRuntime::ShardedPacingRuntime(ShardedSoftTimerRuntime* rt,
+                                           Config config)
+    : rt_(rt), config_(config) {
+  assert(rt_ != nullptr);
+  shards_.reserve(rt_->num_shards());
+  for (size_t s = 0; s < rt_->num_shards(); ++s) {
+    auto shard = std::make_unique<Shard>();
+    shard->wheel = std::make_unique<PacingWheel>(config_.wheel);
+    shard->host = std::make_unique<PacingWheelHost>(
+        &rt_->shard_facility(s), shard->wheel.get(), config_.handler_tag);
+    shards_.push_back(std::move(shard));
+  }
+}
+
+PacedFlowId ShardedPacingRuntime::AddFlowOnShard(size_t shard,
+                                                 const PacedFlowConfig& config) {
+  assert(shard < shards_.size());
+  PacedFlowId local = shards_[shard]->host->AddFlow(config);
+  return PacedFlowId{WithTimerIdShard(local.value, static_cast<uint32_t>(shard))};
+}
+
+bool ShardedPacingRuntime::Route(PacedFlowId id, size_t* shard,
+                                 PacedFlowId* local) const {
+  size_t s = TimerIdShard(id.value);
+  if (!id.valid() || s >= shards_.size()) {
+    return false;
+  }
+  *shard = s;
+  *local = PacedFlowId{StripTimerIdShard(id.value)};
+  return true;
+}
+
+bool ShardedPacingRuntime::ActivateOnShard(PacedFlowId id,
+                                           uint64_t initial_delay_ticks) {
+  size_t shard;
+  PacedFlowId local;
+  return Route(id, &shard, &local) &&
+         shards_[shard]->host->Activate(local, initial_delay_ticks);
+}
+
+bool ShardedPacingRuntime::DeactivateOnShard(PacedFlowId id) {
+  size_t shard;
+  PacedFlowId local;
+  return Route(id, &shard, &local) && shards_[shard]->host->Deactivate(local);
+}
+
+bool ShardedPacingRuntime::ReRateOnShard(PacedFlowId id,
+                                         uint64_t target_interval_ticks,
+                                         uint64_t min_burst_interval_ticks) {
+  size_t shard;
+  PacedFlowId local;
+  return Route(id, &shard, &local) &&
+         shards_[shard]->host->ReRate(local, target_interval_ticks,
+                                      min_burst_interval_ticks);
+}
+
+bool ShardedPacingRuntime::AddBudgetOnShard(PacedFlowId id, uint32_t packets) {
+  size_t shard;
+  PacedFlowId local;
+  return Route(id, &shard, &local) &&
+         shards_[shard]->host->AddBudget(local, packets);
+}
+
+bool ShardedPacingRuntime::RemoveFlowOnShard(PacedFlowId id) {
+  size_t shard;
+  PacedFlowId local;
+  return Route(id, &shard, &local) && shards_[shard]->host->RemoveFlow(local);
+}
+
+bool ShardedPacingRuntime::ReRateCrossCore(
+    ShardedSoftTimerRuntime::ProducerToken& token, PacedFlowId id,
+    uint64_t target_interval_ticks, uint64_t min_burst_interval_ticks) {
+  size_t shard;
+  PacedFlowId local;
+  if (!Route(id, &shard, &local)) {
+    return false;
+  }
+  PacingWheelHost* host = shards_[shard]->host.get();
+  return rt_
+      ->ScheduleCrossCore(
+          token, shard, 0,
+          [host, local, target_interval_ticks, min_burst_interval_ticks](
+              const SoftTimerFacility::FireInfo&) {
+            host->ReRate(local, target_interval_ticks,
+                         min_burst_interval_ticks);
+          },
+          config_.handler_tag)
+      .valid();
+}
+
+bool ShardedPacingRuntime::ActivateCrossCore(
+    ShardedSoftTimerRuntime::ProducerToken& token, PacedFlowId id,
+    uint64_t initial_delay_ticks) {
+  size_t shard;
+  PacedFlowId local;
+  if (!Route(id, &shard, &local)) {
+    return false;
+  }
+  PacingWheelHost* host = shards_[shard]->host.get();
+  return rt_
+      ->ScheduleCrossCore(token, shard, 0,
+                          [host, local, initial_delay_ticks](
+                              const SoftTimerFacility::FireInfo&) {
+                            host->Activate(local, initial_delay_ticks);
+                          },
+                          config_.handler_tag)
+      .valid();
+}
+
+bool ShardedPacingRuntime::DeactivateCrossCore(
+    ShardedSoftTimerRuntime::ProducerToken& token, PacedFlowId id) {
+  size_t shard;
+  PacedFlowId local;
+  if (!Route(id, &shard, &local)) {
+    return false;
+  }
+  PacingWheelHost* host = shards_[shard]->host.get();
+  return rt_
+      ->ScheduleCrossCore(
+          token, shard, 0,
+          [host, local](const SoftTimerFacility::FireInfo&) {
+            host->Deactivate(local);
+          },
+          config_.handler_tag)
+      .valid();
+}
+
+bool ShardedPacingRuntime::AddBudgetCrossCore(
+    ShardedSoftTimerRuntime::ProducerToken& token, PacedFlowId id,
+    uint32_t packets) {
+  size_t shard;
+  PacedFlowId local;
+  if (!Route(id, &shard, &local)) {
+    return false;
+  }
+  PacingWheelHost* host = shards_[shard]->host.get();
+  return rt_
+      ->ScheduleCrossCore(token, shard, 0,
+                          [host, local, packets](
+                              const SoftTimerFacility::FireInfo&) {
+                            host->AddBudget(local, packets);
+                          },
+                          config_.handler_tag)
+      .valid();
+}
+
+}  // namespace softtimer

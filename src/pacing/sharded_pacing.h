@@ -1,0 +1,109 @@
+// ShardedPacingRuntime: per-shard pacing wheels over a
+// ShardedSoftTimerRuntime.
+//
+// Scale-out story (ROADMAP: "heavy traffic from millions of users"): each
+// runtime shard owns one PacingWheel + PacingWheelHost on that shard's
+// facility, so pacing costs one soft event per *shard*, flows are pinned to
+// the shard that transmits them, and every hot-path operation stays on the
+// owner thread with zero cross-core traffic.
+//
+// Flow ids carry the shard byte (WithTimerIdShard, like the runtime's
+// SoftEventIds), so any thread can route a control operation from the id
+// alone. Cross-core control (re-rate / activate / deactivate / budget) is a
+// thin layer over the runtime's existing SPSC command rings: the mutation
+// is packaged as an immediate soft event on the owner shard, which applies
+// it at the shard's next trigger state. Cross-core commands are control
+// plane: their handler capture exceeds the std::function inline buffer, so
+// each enqueue allocates once — the data plane (wheel drains, emissions,
+// re-buckets) remains allocation-free.
+//
+// Threading: AddFlowOnShard / *OnShard calls are owner-thread-only (they
+// touch the shard's wheel directly). *CrossCore calls require a registered
+// ProducerToken, same as the runtime's.
+
+#ifndef SOFTTIMER_SRC_PACING_SHARDED_PACING_H_
+#define SOFTTIMER_SRC_PACING_SHARDED_PACING_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/core/sharded_soft_timer_runtime.h"
+#include "src/pacing/pacing_wheel.h"
+#include "src/pacing/pacing_wheel_host.h"
+
+namespace softtimer {
+
+class ShardedPacingRuntime {
+ public:
+  struct Config {
+    // Per-shard wheel geometry.
+    PacingWheel::Config wheel;
+    // Facility handler tag for the per-shard wheel events.
+    uint32_t handler_tag = 0;
+  };
+
+  // `rt` must outlive this object; one wheel + host is built per runtime
+  // shard.
+  ShardedPacingRuntime(ShardedSoftTimerRuntime* rt, Config config);
+
+  size_t num_shards() const { return shards_.size(); }
+
+  // Which shard an id returned by AddFlowOnShard is pinned to.
+  static size_t ShardOf(PacedFlowId id) { return TimerIdShard(id.value); }
+
+  PacingWheel& shard_wheel(size_t shard) { return *shards_[shard]->wheel; }
+  PacingWheelHost& shard_host(size_t shard) { return *shards_[shard]->host; }
+
+  // Sets the drain sink for one shard (owner thread, before traffic).
+  void BindSink(size_t shard, PacingWheel::BatchSink* sink) {
+    shards_[shard]->host->set_sink(sink);
+  }
+
+  // --- Owner-thread API (the shard's thread only) -----------------------
+  // Registers a flow pinned to `shard`; the returned id carries the shard
+  // byte.
+  PacedFlowId AddFlowOnShard(size_t shard, const PacedFlowConfig& config);
+
+  bool ActivateOnShard(PacedFlowId id, uint64_t initial_delay_ticks = 0);
+  bool DeactivateOnShard(PacedFlowId id);
+  bool ReRateOnShard(PacedFlowId id, uint64_t target_interval_ticks,
+                     uint64_t min_burst_interval_ticks);
+  bool AddBudgetOnShard(PacedFlowId id, uint32_t packets);
+  bool RemoveFlowOnShard(PacedFlowId id);
+
+  // Busy-poll hook for the shard's loop: opportunistic wheel drain.
+  size_t PollShard(size_t shard) { return shards_[shard]->host->Poll(); }
+
+  // --- Cross-core control plane (any registered producer thread) --------
+  // Each routes by the id's shard byte and enqueues the mutation on that
+  // shard's command ring; it is applied at the shard's next trigger state.
+  // Returns false when the target ring is full (bounded backpressure —
+  // retry after the shard drains) or the id's shard is out of range.
+  bool ReRateCrossCore(ShardedSoftTimerRuntime::ProducerToken& token,
+                       PacedFlowId id, uint64_t target_interval_ticks,
+                       uint64_t min_burst_interval_ticks);
+  bool ActivateCrossCore(ShardedSoftTimerRuntime::ProducerToken& token,
+                         PacedFlowId id, uint64_t initial_delay_ticks = 0);
+  bool DeactivateCrossCore(ShardedSoftTimerRuntime::ProducerToken& token,
+                           PacedFlowId id);
+  bool AddBudgetCrossCore(ShardedSoftTimerRuntime::ProducerToken& token,
+                          PacedFlowId id, uint32_t packets);
+
+ private:
+  struct Shard {
+    std::unique_ptr<PacingWheel> wheel;
+    std::unique_ptr<PacingWheelHost> host;
+  };
+
+  // Validates the id's shard byte and returns the shard-local id.
+  bool Route(PacedFlowId id, size_t* shard, PacedFlowId* local) const;
+
+  ShardedSoftTimerRuntime* rt_;
+  Config config_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace softtimer
+
+#endif  // SOFTTIMER_SRC_PACING_SHARDED_PACING_H_

@@ -98,9 +98,15 @@ size_t ShardedRtHost::SleepAndDispatch(size_t shard) {
 
 void ShardedRtHost::RunShard(size_t shard) {
   ShardLoop& loop = *loops_[shard];
+  if (config_.shard_setup) {
+    config_.shard_setup(shard);
+  }
   while (!stop_.load(std::memory_order_relaxed)) {
     ++loop.stats.polls;
     runtime_->OnTriggerState(shard, TriggerSource::kIdleLoop);
+    if (config_.shard_tick) {
+      config_.shard_tick(shard);
+    }
     if (stop_.load(std::memory_order_relaxed)) {
       break;
     }

@@ -60,6 +60,13 @@ class ShardedRtHost {
     // thread-compatible: it is only ever run by one shard at a time, but
     // that shard changes over time.
     std::function<size_t()> idle_work;
+    // Per-shard hooks, each invoked on the shard's own loop thread (so they
+    // may freely touch that shard's facility and shard-local state such as
+    // a PacingWheelHost). `shard_setup` runs once, before the loop's first
+    // iteration; `shard_tick` runs every iteration right after the
+    // trigger-state check (e.g. an opportunistic PacingWheelHost::Poll()).
+    std::function<void(size_t shard)> shard_setup;
+    std::function<void(size_t shard)> shard_tick;
   };
 
   explicit ShardedRtHost(Config config);

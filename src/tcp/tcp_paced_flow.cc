@@ -1,0 +1,51 @@
+#include "src/tcp/tcp_paced_flow.h"
+
+#include <algorithm>
+
+namespace softtimer {
+
+TcpPacedFlowBinder::TcpPacedFlowBinder(PacingWheelHost* host) : host_(host) {
+  host_->set_sink(this);
+}
+
+PacedFlowId TcpPacedFlowBinder::Attach(TcpSender* sender) {
+  const TcpSender::Config& c = sender->config();
+  PacedFlowConfig fc;
+  fc.target_interval_ticks = c.pace_target_interval_ticks;
+  fc.min_burst_interval_ticks = c.pace_min_burst_interval_ticks;
+  fc.max_coalesced_burst_packets = std::max(c.pace_max_coalesced_burst, 1u);
+  fc.packet_budget = 0;  // the sender bounds itself by unsent data
+  fc.user_data = reinterpret_cast<uintptr_t>(sender);
+  PacedFlowId id = host_->AddFlow(fc);
+  if (!id.valid()) {
+    return id;
+  }
+  PacingWheelHost* host = host_;
+  sender->set_wheel_hooks([host, id] { host->Activate(id); },
+                          [host, id] { host->Deactivate(id); });
+  return id;
+}
+
+bool TcpPacedFlowBinder::Detach(PacedFlowId id) {
+  return host_->RemoveFlow(id);
+}
+
+void TcpPacedFlowBinder::OnPacedBatch(const PacedEmit* emits, size_t count,
+                                      uint64_t /*now_tick*/) {
+  ++stats_.batches;
+  for (size_t i = 0; i < count; ++i) {
+    const PacedEmit& e = emits[i];
+    TcpSender* sender = reinterpret_cast<TcpSender*>(
+        static_cast<uintptr_t>(e.user_data));
+    uint32_t sent = sender->EmitPaced(e.packets);
+    stats_.packets_emitted += sent;
+    if (sent < e.packets) {
+      // Out of unsent data: idle the flow; the sender's resume hook brings
+      // it back if an RTO reopens the window.
+      ++stats_.short_sends;
+      host_->Deactivate(e.flow);
+    }
+  }
+}
+
+}  // namespace softtimer

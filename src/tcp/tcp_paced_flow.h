@@ -1,0 +1,61 @@
+// Binds TcpSender (Mode::kWheelPaced) flows to a PacingWheelHost.
+//
+// The binder is the shard's BatchSink: one binder per host, any number of
+// attached senders. Attach() registers the sender as a PacedFlow (pacing
+// parameters lifted from the sender's Config pace_* fields, user_data
+// carrying the sender pointer) and installs the sender's wheel hooks so
+// transfer start / RTO go-back-N activate the flow and transfer completion
+// deactivates it. On each wheel drain the binder forwards every emission
+// grant to TcpSender::EmitPaced(); a short send (out of unsent data) idles
+// the flow until the resume hook re-activates it.
+//
+// Lives in src/tcp (st_tcp links st_pacing) so the pacing library stays
+// transport-agnostic.
+
+#ifndef SOFTTIMER_SRC_TCP_TCP_PACED_FLOW_H_
+#define SOFTTIMER_SRC_TCP_TCP_PACED_FLOW_H_
+
+#include <cstdint>
+
+#include "src/pacing/pacing_wheel.h"
+#include "src/pacing/pacing_wheel_host.h"
+#include "src/tcp/tcp_sender.h"
+
+namespace softtimer {
+
+class TcpPacedFlowBinder : public PacingWheel::BatchSink {
+ public:
+  // Installs itself as `host`'s sink. The host (and its wheel/facility)
+  // must outlive the binder; attached senders must outlive their flows.
+  explicit TcpPacedFlowBinder(PacingWheelHost* host);
+
+  TcpPacedFlowBinder(const TcpPacedFlowBinder&) = delete;
+  TcpPacedFlowBinder& operator=(const TcpPacedFlowBinder&) = delete;
+
+  // Registers `sender` on the wheel and wires its wheel hooks. The sender's
+  // Config must already be Mode::kWheelPaced. Call before StartTransfer.
+  // Returns the flow id (also usable for ReRate/AddBudget via the host).
+  PacedFlowId Attach(TcpSender* sender);
+
+  // Unregisters the flow (e.g. before destroying the sender).
+  bool Detach(PacedFlowId id);
+
+  // PacingWheel::BatchSink:
+  void OnPacedBatch(const PacedEmit* emits, size_t count,
+                    uint64_t now_tick) override;
+
+  struct Stats {
+    uint64_t batches = 0;
+    uint64_t packets_emitted = 0;
+    uint64_t short_sends = 0;  // grants cut short by lack of data -> idle
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  PacingWheelHost* host_;
+  Stats stats_;
+};
+
+}  // namespace softtimer
+
+#endif  // SOFTTIMER_SRC_TCP_TCP_PACED_FLOW_H_

@@ -77,6 +77,63 @@ TEST(AdaptivePacerTest, SaturatesWhenBurstRateInsufficient) {
   EXPECT_NEAR(intervals.mean(), 35 + 25 + 1, 3.0);
 }
 
+TEST(AdaptivePacerTest, FirstPacketCatchupClampsAtMinBurstInterval) {
+  // Regression for the first-packet burst: right after StartTrain the
+  // achieved-rate history is empty (reads as zero), and packet 1's
+  // on-schedule time is the train start itself — so a first send that is
+  // even one tick late (soft-timer lateness is always >= 1) takes the
+  // catch-up branch. The returned interval must clamp at
+  // min_burst_interval_ticks, not collapse below it into an unbounded
+  // back-to-back burst.
+  AdaptivePacer p({40, 12});
+  p.StartTrain(1000);
+  // First packet dispatched 1 tick late: catch-up, clamped at min_burst.
+  EXPECT_EQ(p.OnPacketSent(1001), 12u);
+  EXPECT_EQ(p.catchup_decisions(), 1u);
+  // Arbitrarily late first packet still clamps at exactly min_burst.
+  AdaptivePacer q({40, 12});
+  q.StartTrain(1000);
+  EXPECT_EQ(q.OnPacketSent(1000 + 100 * 40), 12u);
+  // The clamp holds whenever the train is behind (every decision returns
+  // >= min_burst, never less), and min-burst catch-up CLOSES the deficit:
+  // actual time advances min_burst+1 per packet while the schedule advances
+  // target, so the train converges back to the target cadence instead of
+  // bursting forever.
+  uint64_t now = 1001;
+  AdaptivePacer r({40, 12});
+  r.StartTrain(1000);
+  for (int i = 0; i < 64; ++i) {
+    uint64_t delta = r.OnPacketSent(now);
+    EXPECT_GE(delta, 12u);
+    now += delta + 1;  // every dispatch lands 1 tick late
+  }
+  EXPECT_GE(r.catchup_decisions(), 1u);
+  EXPECT_LT(r.catchup_decisions(), 16u);  // converged, not perpetual
+}
+
+TEST(PacedTrainTest, BurstAccountingMatchesSequentialSends) {
+  // A wheel drain that emits k packets at one wakeup must land the train in
+  // exactly the state k sequential per-packet sends at the same now would.
+  PacedTrain burst, seq;
+  burst.Start(500);
+  seq.Start(500);
+  uint64_t now = 700;
+  PacedTrain::SendDecision d_burst = burst.OnBurstSent(now, 3, 40, 12);
+  PacedTrain::SendDecision d_seq{};
+  for (int i = 0; i < 3; ++i) {
+    d_seq = seq.OnBurstSent(now, 1, 40, 12);
+  }
+  EXPECT_EQ(burst.packets, seq.packets);
+  EXPECT_EQ(d_burst.next_delay_ticks, d_seq.next_delay_ticks);
+  EXPECT_EQ(d_burst.catch_up, d_seq.catch_up);
+  // BurstBudget is pure and bounded by max_coalesced.
+  EXPECT_EQ(burst.BurstBudget(now, 40, 0), 1u);
+  EXPECT_EQ(burst.BurstBudget(now + 400, 40, 4), 4u);
+  // Next packet is on schedule at 500 + 3*40 = 620; at now = 700 the train
+  // is two whole intervals behind -> budget 3.
+  EXPECT_EQ(burst.BurstBudget(now, 40, 8), 3u);
+}
+
 TEST(AdaptivePacerTest, StartTrainResetsSchedule) {
   AdaptivePacer p({40, 12});
   p.StartTrain(0);
