@@ -156,21 +156,16 @@ bool ShardedSoftTimerRuntime::CancelOnShard(size_t shard, SoftEventId id) {
   return ApplyCancel(*shards_[shard], id.value);
 }
 
+// SOFTTIMER_HOT
 size_t ShardedSoftTimerRuntime::DrainRemote(size_t shard) {
   Shard& s = *shards_[shard];
-  // Clear the flag before sweeping: a command published mid-sweep either
-  // gets popped below or re-raises the flag for the next check.
-  s.remote_pending.store(0, std::memory_order_relaxed);
-  // Store-load fence, paired with the producer's seq_cst flag store in
-  // PublishToShard (the same discipline as the eventcount in
-  // ShardedRtHost::SleepAndDispatch / WakeShard). Without it the clear
-  // above and the ring reads below can reorder (store buffering), letting a
-  // concurrent push+flag=1 land between them: the sweep misses the command
-  // AND our 0 overwrites the producer's 1, stranding the command until an
-  // unrelated later publish. With the fence, either the ring reads observe
-  // the push (it drains now) or the producer's flag store is ordered after
-  // our clear (the flag stays 1 and the next check drains it).
-  std::atomic_thread_fence(std::memory_order_seq_cst);
+  // Clear the flag, then seq_cst-fence before sweeping (the store-buffering
+  // fix from the PR 3 review, paired with the producer's seq_cst publish):
+  // a command published mid-sweep either gets popped below or re-raises the
+  // flag for the next check, never both missed. The full scenario and the
+  // orderings live in src/core/remote_pending.h; the model checker replays
+  // it (shipped orderings pass, weakened ones strand a command).
+  s.remote_pending.BeginDrain();
   size_t applied = 0;
   bool leftover = false;
   Command cmd;
@@ -189,7 +184,7 @@ size_t ShardedSoftTimerRuntime::DrainRemote(size_t shard) {
     }
   }
   if (leftover) {
-    s.remote_pending.store(1, std::memory_order_relaxed);
+    s.remote_pending.Reraise();
   }
   if (applied > 0) {
     ++s.stats.drains;
@@ -238,6 +233,7 @@ bool ShardedSoftTimerRuntime::ApplyCancel(Shard& shard, uint64_t id_value) {
       SoftEventId{StripTimerIdShard(id_value)});
 }
 
+// SOFTTIMER_HOT
 SoftEventId ShardedSoftTimerRuntime::ScheduleCrossCore(
     ProducerToken& token, size_t shard, uint64_t delta_ticks,
     SoftTimerFacility::Handler handler, uint32_t handler_tag) {
@@ -264,6 +260,7 @@ SoftEventId ShardedSoftTimerRuntime::ScheduleCrossCore(
   return SoftEventId{id};
 }
 
+// SOFTTIMER_HOT
 bool ShardedSoftTimerRuntime::CancelCrossCore(ProducerToken& token,
                                               SoftEventId id) {
   if (!token.valid() || !id.valid()) {
@@ -284,11 +281,12 @@ bool ShardedSoftTimerRuntime::CancelCrossCore(ProducerToken& token,
   return true;
 }
 
+// SOFTTIMER_HOT
 void ShardedSoftTimerRuntime::PublishToShard(size_t shard, ProducerToken&) {
-  // seq_cst, not release: pairs with the seq_cst fence in DrainRemote so a
-  // publish racing a drain sweep either has its command popped or leaves the
-  // flag raised (see the fence comment there).
-  shards_[shard]->remote_pending.store(1, std::memory_order_seq_cst);
+  // Seq_cst publish, not release: pairs with the seq_cst fence in the drain
+  // sweep so a publish racing a drain either has its command popped or
+  // leaves the flag raised (see src/core/remote_pending.h).
+  shards_[shard]->remote_pending.Publish();
   if (wake_fn_ != nullptr) {
     wake_fn_(wake_ctx_, shard);
   }

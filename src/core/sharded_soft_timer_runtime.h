@@ -56,6 +56,7 @@
 #include <mutex>
 #include <vector>
 
+#include "src/core/remote_pending.h"
 #include "src/core/soft_timer_facility.h"
 #include "src/core/spsc_ring.h"
 #include "src/core/trigger.h"
@@ -169,9 +170,10 @@ class ShardedSoftTimerRuntime {
   // pending flag says any exist, then runs the facility check. When nothing
   // is due and no commands are pending this is one relaxed load + clock
   // read + compare.
+  // SOFTTIMER_HOT
   size_t OnTriggerState(size_t shard, TriggerSource source) {
     Shard& s = *shards_[shard];
-    if (s.remote_pending.load(std::memory_order_relaxed) != 0) {
+    if (s.remote_pending.AnyPendingRelaxed()) {
       DrainRemote(shard);
     }
     return s.facility->OnTriggerState(source);
@@ -213,7 +215,7 @@ class ShardedSoftTimerRuntime {
 
   // True when `shard` has undrained commands (relaxed; owner-thread hint).
   bool remote_pending(size_t shard) const {
-    return shards_[shard]->remote_pending.load(std::memory_order_relaxed) != 0;
+    return shards_[shard]->remote_pending.AnyPendingRelaxed();
   }
 
   // --- Maintenance / introspection --------------------------------------
@@ -268,11 +270,12 @@ class ShardedSoftTimerRuntime {
     std::unique_ptr<SoftTimerFacility> facility;
     RemoteIdMap remote_ids;
     ShardStats stats;
-    // Set (seq_cst) by producers after publishing a command; cleared by the
-    // owner before a drain sweep, followed by a seq_cst fence (see
-    // DrainRemote) so the clear cannot overwrite a racing publish whose
-    // command the sweep missed.
-    std::atomic<uint32_t> remote_pending{0};
+    // Published (seq_cst) by producers after pushing a command; cleared +
+    // fenced by the owner before a drain sweep so the clear cannot overwrite
+    // a racing publish whose command the sweep missed. The full protocol and
+    // its orderings live in src/core/remote_pending.h (model-checked by
+    // tests/model_check_test.cc).
+    RemotePendingFlag<> remote_pending;
     // One SPSC ring per producer slot.
     std::vector<std::unique_ptr<SpscRing<Command>>> rings;
   };

@@ -35,6 +35,7 @@ uint64_t SoftTimerFacility::ticks_per_backup_interval() const {
   return clock_->ResolutionHz() / config_.interrupt_clock_hz;
 }
 
+// SOFTTIMER_HOT
 void SoftTimerFacility::DispatchFired(const TimerFired& fired,
                                       const Handler& handler) {
   const TimerPayload& p = *fired.payload;
@@ -106,6 +107,7 @@ void SoftTimerFacility::RunOrDeferFired(const TimerFired& fired,
   DispatchFired(fired, handler);
 }
 
+// SOFTTIMER_HOT
 SoftEventId SoftTimerFacility::ScheduleSoftEventWithCookie(uint64_t delta_ticks,
                                                            Handler handler,
                                                            uint32_t handler_tag,
@@ -138,6 +140,7 @@ SoftEventId SoftTimerFacility::ScheduleSoftEventWithCookie(uint64_t delta_ticks,
   return SoftEventId{tid.value};
 }
 
+// SOFTTIMER_HOT
 bool SoftTimerFacility::CancelSoftEvent(SoftEventId id) {
   // Cancelling destroys the payload, so read the cookie first; it is only
   // acted on when the cancel lands. No-policy mode only: policy mode reuses
@@ -166,6 +169,7 @@ bool SoftTimerFacility::CancelSoftEvent(SoftEventId id) {
   return ok;
 }
 
+// SOFTTIMER_HOT
 size_t SoftTimerFacility::ExpireDue(TriggerSource source) {
   dispatch_source_ = source;
   uint64_t now = MeasureTime();

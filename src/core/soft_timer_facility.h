@@ -146,6 +146,7 @@ class SoftTimerFacility {
   // dispatches anything due. Returns the number of handlers invoked. When
   // nothing is due (the overwhelmingly common case) this is one clock read
   // and one compare.
+  // SOFTTIMER_HOT
   size_t OnTriggerState(TriggerSource source) {
     ++stats_.checks;
     if (policy_ == nullptr) {

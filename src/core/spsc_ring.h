@@ -14,6 +14,15 @@
 // head/tail are monotonically increasing uint64 counters (no wrap handling
 // needed within any realistic lifetime), kept on separate cache lines along
 // with each side's cached view of the other's counter.
+//
+// Concurrency-model parameters (see src/core/atomics_traits.h): the ring is
+// templated on an atomics-traits type so the identical protocol code runs
+// against std::atomic in production and against the model checker's
+// simulated memory in tests/model_check_test.cc, and on an ordering-policy
+// type whose shipped defaults (SpscRingOrdering) are what production uses.
+// The policy exists so the model-check suite can *weaken* one ordering at a
+// time and prove the checker catches the resulting race - never override it
+// in production code.
 
 #ifndef SOFTTIMER_SRC_CORE_SPSC_RING_H_
 #define SOFTTIMER_SRC_CORE_SPSC_RING_H_
@@ -25,6 +34,8 @@
 #include <utility>
 #include <vector>
 
+#include "src/core/atomics_traits.h"
+
 namespace softtimer {
 
 // Fixed rather than std::hardware_destructive_interference_size: that value
@@ -32,7 +43,29 @@ namespace softtimer {
 // is right for every target this repo builds on.
 inline constexpr size_t kCacheLineBytes = 64;
 
-template <typename T>
+// The shipped memory orderings of the ring protocol. Each publishing store
+// is release and each cross-side load is acquire: the pair makes the slot
+// bytes written before a counter bump visible to the side that observes the
+// bump. Same-side loads are relaxed (a thread always sees its own stores).
+struct SpscRingOrdering {
+  // ordering: producer reading its own tail; no synchronization needed.
+  static constexpr std::memory_order kOwnTailLoad = std::memory_order_relaxed;
+  // ordering: consumer reading its own head; no synchronization needed.
+  static constexpr std::memory_order kOwnHeadLoad = std::memory_order_relaxed;
+  // ordering: producer's view of head must also acquire the consumer's slot
+  // reads, so reusing the slot cannot race the pop that freed it.
+  static constexpr std::memory_order kHeadLoad = std::memory_order_acquire;
+  // ordering: consumer's view of tail must acquire the producer's slot
+  // write, so popping reads fully-constructed contents.
+  static constexpr std::memory_order kTailLoad = std::memory_order_acquire;
+  // ordering: publishes the slot write to the consumer (pairs w/ kTailLoad).
+  static constexpr std::memory_order kTailStore = std::memory_order_release;
+  // ordering: publishes the slot recycle to the producer (pairs w/ kHeadLoad).
+  static constexpr std::memory_order kHeadStore = std::memory_order_release;
+};
+
+template <typename T, typename Traits = StdAtomicsTraits,
+          typename Ordering = SpscRingOrdering>
 class SpscRing {
  public:
   explicit SpscRing(size_t capacity) {
@@ -48,30 +81,33 @@ class SpscRing {
 
   // Producer side. Returns false (and leaves `v` intact) when full.
   bool TryPush(T&& v) {
-    uint64_t tail = tail_.pos.load(std::memory_order_relaxed);
+    uint64_t tail = tail_.pos.load(Ordering::kOwnTailLoad);
     if (tail - tail_.cached_other >= capacity()) {
-      tail_.cached_other = head_.pos.load(std::memory_order_acquire);
+      tail_.cached_other = head_.pos.load(Ordering::kHeadLoad);
       if (tail - tail_.cached_other >= capacity()) {
         return false;
       }
     }
+    Traits::OnNonAtomicWrite(&slots_[tail & mask_]);
     slots_[tail & mask_] = std::move(v);
-    tail_.pos.store(tail + 1, std::memory_order_release);
+    tail_.pos.store(tail + 1, Ordering::kTailStore);
     return true;
   }
 
   // Consumer side. Returns false when empty.
   bool TryPop(T& out) {
-    uint64_t head = head_.pos.load(std::memory_order_relaxed);
+    uint64_t head = head_.pos.load(Ordering::kOwnHeadLoad);
     if (head == head_.cached_other) {
-      head_.cached_other = tail_.pos.load(std::memory_order_acquire);
+      head_.cached_other = tail_.pos.load(Ordering::kTailLoad);
       if (head == head_.cached_other) {
         return false;
       }
     }
+    Traits::OnNonAtomicRead(&slots_[head & mask_]);
     out = std::move(slots_[head & mask_]);
+    Traits::OnNonAtomicWrite(&slots_[head & mask_]);
     slots_[head & mask_] = T{};  // drop resources the moved-from slot retains
-    head_.pos.store(head + 1, std::memory_order_release);
+    head_.pos.store(head + 1, Ordering::kHeadStore);
     return true;
   }
 
@@ -80,13 +116,15 @@ class SpscRing {
   // seq_cst flag store on the producer side paired with a seq_cst fence
   // after the consumer's flag clear - closes that window).
   bool EmptyRelaxed() const {
+    // ordering: intentionally relaxed on both counters - staleness here only
+    // delays a drain until the pending-flag protocol re-raises it.
     return head_.pos.load(std::memory_order_relaxed) ==
            tail_.pos.load(std::memory_order_relaxed);
   }
 
  private:
   struct alignas(kCacheLineBytes) Side {
-    std::atomic<uint64_t> pos{0};
+    typename Traits::template Atomic<uint64_t> pos{0};
     // This side's cached copy of the opposite counter (avoids an acquire
     // load per operation in the common non-full/non-empty case).
     uint64_t cached_other = 0;

@@ -138,6 +138,7 @@ void PacingWheel::UnlinkNode(uint32_t index, PacedFlowNode& node) {
   }
 }
 
+// SOFTTIMER_HOT
 bool PacingWheel::Activate(PacedFlowId id, uint64_t now_tick,
                            uint64_t initial_delay_ticks) {
   if (!slab_.IsCurrent(id.value)) {
@@ -172,6 +173,7 @@ bool PacingWheel::Activate(PacedFlowId id, uint64_t now_tick,
   return true;
 }
 
+// SOFTTIMER_HOT
 bool PacingWheel::Deactivate(PacedFlowId id) {
   if (!slab_.IsCurrent(id.value)) {
     return false;
@@ -220,6 +222,7 @@ bool PacingWheel::RemoveFlow(PacedFlowId id) {
   return true;
 }
 
+// SOFTTIMER_HOT
 bool PacingWheel::ReRate(PacedFlowId id, uint64_t now_tick,
                          uint64_t target_interval_ticks,
                          uint64_t min_burst_interval_ticks) {
@@ -258,6 +261,7 @@ bool PacingWheel::ReRate(PacedFlowId id, uint64_t now_tick,
   return true;
 }
 
+// SOFTTIMER_HOT
 bool PacingWheel::AddBudget(PacedFlowId id, uint64_t now_tick,
                             uint32_t packets) {
   if (!slab_.IsCurrent(id.value)) {
@@ -307,6 +311,7 @@ void PacingWheel::FlushBatch(BatchSink* sink, uint64_t now_tick) {
   batch_.clear();
 }
 
+// SOFTTIMER_HOT
 size_t PacingWheel::Drain(uint64_t now_tick, BatchSink* sink) {
   assert(!draining_ && "PacingWheel::Drain is not reentrant");
   if (now_tick < next_due_tick_) {
@@ -395,9 +400,11 @@ size_t PacingWheel::Drain(uint64_t now_tick, BatchSink* sink) {
         // Relink-then-emit: by the time the sink sees the record the flow
         // is in a normal linked/idle state, so sink callbacks mutate it
         // through the ordinary O(1) paths.
-        batch_.push_back(PacedEmit{PacedFlowId{PackTimerIdValue(index, node.generation)},
-                                   node.user_data, static_cast<uint32_t>(grant),
-                                   exhausted});
+        // Amortized: batch_ capacity is bounded by max_batch (reserved in
+        // the constructor) and FlushBatch clears without shrinking.
+        batch_.push_back(  // lint:allow-alloc
+            PacedEmit{PacedFlowId{PackTimerIdValue(index, node.generation)},
+                      node.user_data, static_cast<uint32_t>(grant), exhausted});
         if (batch_.size() >= config_.max_batch) {
           FlushBatch(sink, now_tick);
         }

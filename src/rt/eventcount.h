@@ -1,0 +1,99 @@
+// SleeperGate: the eventcount-style sleep/wake flag protocol used by
+// ShardedRtHost to keep a cross-core publish from waiting out a sleeping
+// shard's backup-bounded condvar wait.
+//
+// The gate owns only the atomic `sleeping` flag and its fences; the mutex /
+// condition_variable half of the eventcount stays in the host (the model
+// checker verifies the flag protocol, which is where the lost-wakeup race
+// lives - the condvar part is ordinary blocking code under a lock).
+//
+// Sleeper (shard loop thread):              Waker (producer thread):
+//   lock(m)                                   publish command (ring + flag)
+//   gate.PrepareSleep()    // sleeping=1;     if (gate.SleeperVisible()) {
+//                          // fence             // fence; sleeping != 0
+//   recheck pending/stop   // under the          lock(m); cv.notify_one()
+//   cv.wait(...)           // flag            }
+//   gate.FinishSleep()     // sleeping=0
+//
+// This is the same Dekker shape as RemotePendingFlag with the roles
+// swapped: each side stores its flag, fences, then reads the other side's
+// state. If the sleeper's recheck misses the publish, the waker's fence
+// orders its sleeping-load after the sleeper's sleeping-store, so it
+// observes 1 and delivers the notify (blocking on the mutex until the wait
+// releases it). Dropping either fence re-opens the classic lost-wakeup:
+// both sides' stores sit in store buffers, the recheck reads pending==0,
+// the waker reads sleeping==0, and the shard sleeps a full backup period
+// with work queued. tests/model_check_test.cc explores both the shipped
+// orderings (no lost wakeup in any interleaving) and the weakened ones
+// (WeakWakeOrdering / WeakPrepareOrdering reproduce the miss).
+//
+// Traits/Ordering parameters: see src/core/atomics_traits.h. Production uses
+// the defaults; never override Ordering outside the model-check suite.
+
+#ifndef SOFTTIMER_SRC_RT_EVENTCOUNT_H_
+#define SOFTTIMER_SRC_RT_EVENTCOUNT_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "src/core/atomics_traits.h"
+
+namespace softtimer {
+
+// Shipped orderings for the sleep/wake gate.
+struct SleeperGateOrdering {
+  // ordering: the flag store needs no ordering of its own; the fence right
+  // after it is what orders it against the recheck's loads.
+  static constexpr std::memory_order kSleepStore = std::memory_order_relaxed;
+  // Store-load fence between announcing sleep and rechecking the wake
+  // condition; pairs with kWakeFence on the producer side.
+  static constexpr std::memory_order kSleepFence = std::memory_order_seq_cst;
+  // Store-load fence between the producer's publish and its sleeping-flag
+  // read; pairs with kSleepFence (see the lost-wakeup scenario above).
+  static constexpr std::memory_order kWakeFence = std::memory_order_seq_cst;
+  // ordering: the fence before this load does the ordering; the load itself
+  // can be relaxed.
+  static constexpr std::memory_order kWakeLoad = std::memory_order_relaxed;
+  // ordering: clearing the flag after a wait races nothing that matters - a
+  // spurious notify to an awake loop is harmless.
+  static constexpr std::memory_order kWakeClearStore =
+      std::memory_order_relaxed;
+};
+
+template <typename Traits = StdAtomicsTraits,
+          typename Ordering = SleeperGateOrdering>
+class SleeperGate {
+ public:
+  // Sleeper side: announce intent to sleep. Must be followed by a recheck
+  // of the wake condition before actually blocking (the fence makes a
+  // publish that the recheck misses observe sleeping==1 instead).
+  void PrepareSleep() {
+    sleeping_.store(1, Ordering::kSleepStore);
+    Traits::ThreadFence(Ordering::kSleepFence);
+  }
+
+  // Sleeper side: done sleeping (or decided not to block after all).
+  void FinishSleep() { sleeping_.store(0, Ordering::kWakeClearStore); }
+
+  // Waker side, after publishing work: true when the sleeper may be inside
+  // (or committed to entering) its wait, i.e. the caller must deliver a
+  // notify. False means the sleeper's recheck is guaranteed to observe the
+  // published work.
+  bool SleeperVisible() {
+    Traits::ThreadFence(Ordering::kWakeFence);
+    return sleeping_.load(Ordering::kWakeLoad) != 0;
+  }
+
+  // Introspection (tests/stats): whether the sleeper flag is currently up.
+  bool sleeping_relaxed() const {
+    // ordering: diagnostic read only; never used for synchronization.
+    return sleeping_.load(std::memory_order_relaxed) != 0;
+  }
+
+ private:
+  typename Traits::template Atomic<uint32_t> sleeping_{0};
+};
+
+}  // namespace softtimer
+
+#endif  // SOFTTIMER_SRC_RT_EVENTCOUNT_H_

@@ -27,6 +27,8 @@ void ShardedRtHost::Start() {
   if (running_) {
     return;
   }
+  // ordering: loop threads are created after this store; the thread launch
+  // itself synchronizes.
   stop_.store(false, std::memory_order_relaxed);
   for (size_t i = 0; i < loops_.size(); ++i) {
     loops_[i]->thread = std::thread([this, i] { RunShard(i); });
@@ -53,14 +55,15 @@ void ShardedRtHost::Stop() {
 
 void ShardedRtHost::WakeShard(void* ctx, size_t shard) {
   auto* host = static_cast<ShardedRtHost*>(ctx);
-  // Pairs with the fence in SleepAndDispatch: if the sleeper's pending-flag
-  // recheck missed our publish, this fence orders our sleeping-load after
-  // its sleeping-store, so we observe 1 and deliver the notify.
-  std::atomic_thread_fence(std::memory_order_seq_cst);
   ShardLoop& loop = *host->loops_[shard];
-  if (loop.sleeping.load(std::memory_order_relaxed) != 0) {
+  // Fence + sleeping-flag read (src/rt/eventcount.h): if the sleeper's
+  // pending-flag recheck missed our publish, the gate's fence orders our
+  // sleeping-load after its sleeping-store, so we observe it awake-or-
+  // committed and deliver the notify.
+  if (loop.gate.SleeperVisible()) {
     std::lock_guard<std::mutex> lock(loop.m);
     loop.cv.notify_one();
+    // ordering: stats counter; read quiesced or tolerating staleness.
     loop.wakeups.fetch_add(1, std::memory_order_relaxed);
   }
 }
@@ -77,17 +80,19 @@ size_t ShardedRtHost::SleepAndDispatch(size_t shard) {
   }
   {
     std::unique_lock<std::mutex> lock(loop.m);
-    loop.sleeping.store(1, std::memory_order_relaxed);
-    std::atomic_thread_fence(std::memory_order_seq_cst);
-    // Recheck under the flag: a command published before the fence above is
-    // visible here; one published after it sees sleeping == 1 and notifies
-    // (blocking on the mutex until our wait releases it).
+    loop.gate.PrepareSleep();
+    // Recheck under the flag: a command published before the gate's fence is
+    // visible here; one published after it sees the sleeper flag and
+    // notifies (blocking on the mutex until our wait releases it).
     if (!runtime_->remote_pending(shard) &&
+        // ordering: stop is rechecked every loop iteration and Stop() takes
+        // the mutex before notifying, so a relaxed read here only risks one
+        // bounded sleep, never a missed shutdown.
         !stop_.load(std::memory_order_relaxed)) {
       ++loop.stats.sleeps;
       loop.cv.wait_for(lock, clock_.UntilTick(wake_tick));
     }
-    loop.sleeping.store(0, std::memory_order_relaxed);
+    loop.gate.FinishSleep();
   }
   if (backup_bound && clock_.NowTicks() >= wake_tick) {
     ++loop.stats.backup_checks;
@@ -101,12 +106,16 @@ void ShardedRtHost::RunShard(size_t shard) {
   if (config_.shard_setup) {
     config_.shard_setup(shard);
   }
+  // ordering: both stop checks are relaxed - the loop re-polls continuously
+  // and the sleep path rechecks under the eventcount, so staleness costs at
+  // most one extra iteration.
   while (!stop_.load(std::memory_order_relaxed)) {
     ++loop.stats.polls;
     runtime_->OnTriggerState(shard, TriggerSource::kIdleLoop);
     if (config_.shard_tick) {
       config_.shard_tick(shard);
     }
+    // ordering: same relaxed-stop contract as the loop condition above.
     if (stop_.load(std::memory_order_relaxed)) {
       break;
     }
@@ -120,7 +129,12 @@ void ShardedRtHost::RunShard(size_t shard) {
       // work migrates to whichever shard is idle.
       size_t expected = kNoIdleOwner;
       bool owner =
+          // ordering: relaxed self-check - only this shard ever stores its
+          // own index, so reading it back needs no synchronization.
           idle_owner_.load(std::memory_order_relaxed) == shard ||
+          // ordering: acq_rel claim - acquire pairs with the release
+          // handback below so the new owner sees the previous owner's
+          // idle_work effects; release publishes ours when we hand back.
           idle_owner_.compare_exchange_strong(expected, shard,
                                               std::memory_order_acq_rel);
       if (owner) {
@@ -130,6 +144,8 @@ void ShardedRtHost::RunShard(size_t shard) {
         std::optional<uint64_t> deadline =
             runtime_->shard_facility(shard).NextDeadlineTick();
         if (deadline && *deadline < horizon) {
+          // ordering: release handback - publishes this owner's idle_work
+          // effects to whichever shard claims the slot next (acquire CAS).
           idle_owner_.store(kNoIdleOwner, std::memory_order_release);
         } else {
           config_.idle_work();
@@ -140,6 +156,8 @@ void ShardedRtHost::RunShard(size_t shard) {
     }
     SleepAndDispatch(shard);
   }
+  // ordering: relaxed self-check + release handback, same pairing as the
+  // idle-work claim above (only this shard ever stores its own index).
   if (idle_owner_.load(std::memory_order_relaxed) == shard) {
     idle_owner_.store(kNoIdleOwner, std::memory_order_release);
   }
@@ -148,6 +166,7 @@ void ShardedRtHost::RunShard(size_t shard) {
 ShardedRtHost::ShardLoopStats ShardedRtHost::shard_loop_stats(
     size_t shard) const {
   ShardLoopStats s = loops_[shard]->stats;
+  // ordering: stats counter; monotonic, staleness acceptable by contract.
   s.wakeups = loops_[shard]->wakeups.load(std::memory_order_relaxed);
   return s;
 }

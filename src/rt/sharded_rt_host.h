@@ -36,6 +36,7 @@
 #include <vector>
 
 #include "src/core/sharded_soft_timer_runtime.h"
+#include "src/rt/eventcount.h"
 #include "src/rt/monotonic_clock_source.h"
 
 namespace softtimer {
@@ -109,9 +110,11 @@ class ShardedRtHost {
   struct alignas(kCacheLineBytes) ShardLoop {
     std::mutex m;
     std::condition_variable cv;
-    // 1 while the loop thread is inside (or committed to entering) a condvar
-    // wait; producers only take the mutex when they observe 1.
-    std::atomic<uint32_t> sleeping{0};
+    // Raised while the loop thread is inside (or committed to entering) a
+    // condvar wait; producers only take the mutex when they observe it. The
+    // flag+fence protocol lives in src/rt/eventcount.h (model-checked by
+    // tests/model_check_test.cc).
+    SleeperGate<> gate;
     std::atomic<uint64_t> wakeups{0};
     ShardLoopStats stats;  // loop-thread writes (wakeups mirrored on read)
     std::thread thread;

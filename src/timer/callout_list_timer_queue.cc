@@ -26,6 +26,7 @@ void CalloutListTimerQueue::FreeNode(uint32_t index) {
   slab_.Free(index);
 }
 
+// SOFTTIMER_HOT
 TimerId CalloutListTimerQueue::Schedule(uint64_t deadline_tick, TimerPayload payload) {
   if (deadline_tick < cursor_) {
     deadline_tick = cursor_;
@@ -66,6 +67,7 @@ TimerId CalloutListTimerQueue::Schedule(uint64_t deadline_tick, TimerPayload pay
   return TimerId{PackTimerIdValue(index, n.generation)};
 }
 
+// SOFTTIMER_HOT
 bool CalloutListTimerQueue::Cancel(TimerId id) {
   if (!slab_.IsCurrent(id.value)) {
     return false;

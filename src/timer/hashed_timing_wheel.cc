@@ -44,6 +44,7 @@ void HashedTimingWheel::FreeNode(uint32_t index) {
   slab_.Free(index);
 }
 
+// SOFTTIMER_HOT
 TimerId HashedTimingWheel::Schedule(uint64_t deadline_tick, TimerPayload payload) {
   if (deadline_tick < cursor_) {
     deadline_tick = cursor_;
@@ -63,6 +64,7 @@ TimerId HashedTimingWheel::Schedule(uint64_t deadline_tick, TimerPayload payload
   return TimerId{PackTimerIdValue(index, n.generation)};
 }
 
+// SOFTTIMER_HOT
 bool HashedTimingWheel::Cancel(TimerId id) {
   if (!slab_.IsCurrent(id.value)) {
     return false;

@@ -5,6 +5,7 @@
 
 namespace softtimer {
 
+// SOFTTIMER_HOT
 TimerId HeapTimerQueue::Schedule(uint64_t deadline_tick, TimerPayload payload) {
   if (deadline_tick < cursor_) {
     deadline_tick = cursor_;
@@ -13,12 +14,14 @@ TimerId HeapTimerQueue::Schedule(uint64_t deadline_tick, TimerPayload payload) {
   Node& n = slab_.at(index);
   n.payload = std::move(payload);
   n.deadline = deadline_tick;
-  heap_.push_back(HeapEntry{deadline_tick, next_seq_++, index, n.generation});
+  // Amortized: capacity sits at the live high-water mark after warmup.
+  heap_.push_back(HeapEntry{deadline_tick, next_seq_++, index, n.generation});  // lint:allow-alloc
   std::push_heap(heap_.begin(), heap_.end(), EntryAfter{});
   ++live_count_;
   return TimerId{PackTimerIdValue(index, n.generation)};
 }
 
+// SOFTTIMER_HOT
 bool HeapTimerQueue::Cancel(TimerId id) {
   if (!slab_.IsCurrent(id.value)) {
     return false;

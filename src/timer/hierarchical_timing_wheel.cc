@@ -123,6 +123,7 @@ void HierarchicalTimingWheel::CascadeUpTo(uint64_t now_tick,
   }
 }
 
+// SOFTTIMER_HOT
 TimerId HierarchicalTimingWheel::Schedule(uint64_t deadline_tick, TimerPayload payload) {
   if (deadline_tick < cursor_) {
     deadline_tick = cursor_;
@@ -142,6 +143,7 @@ TimerId HierarchicalTimingWheel::Schedule(uint64_t deadline_tick, TimerPayload p
   return TimerId{PackTimerIdValue(index, n.generation)};
 }
 
+// SOFTTIMER_HOT
 bool HierarchicalTimingWheel::Cancel(TimerId id) {
   if (!slab_.IsCurrent(id.value)) {
     return false;

@@ -144,6 +144,7 @@ class TimerSlab {
   // Returns the index of a fresh node (state kPending, generation valid).
   // Allocates a new chunk only when the free list is empty and no released
   // chunk can be re-materialized.
+  // SOFTTIMER_HOT
   uint32_t Allocate() {
     if (free_head_ == kNilTimerIndex) {
       Grow();
@@ -159,6 +160,7 @@ class TimerSlab {
 
   // Recycles a node: bumps the generation (invalidating every outstanding
   // TimerId for this slot) and pushes it on the free list.
+  // SOFTTIMER_HOT
   void Free(uint32_t index) {
     Node& n = at(index);
     n.generation = NextTimerGeneration(n.generation);

@@ -108,6 +108,66 @@ TEST_F(FacilityFixture, CookieRetireHookFiresOnDispatchAndCancel) {
   EXPECT_EQ(retired[1], 0xA1u);
 }
 
+TEST_F(FacilityFixture, StaleCancelAfterSlotReuseDoesNotRetireReusersCookie) {
+  // The cancel-after-fire race window: the first event fired (its cookie was
+  // retired) and an unrelated cookie-carrying event recycled its slab slot.
+  // A stale cancel through the old id must retire nothing - CancelSoftEvent
+  // reads the cookie via PeekUserData, which rejects stale ids, so the
+  // reuser's cookie cannot be retired against a dead handle.
+  std::vector<uint64_t> retired;
+  facility_->set_event_retired_hook(
+      [](void* ctx, uint64_t cookie) {
+        static_cast<std::vector<uint64_t>*>(ctx)->push_back(cookie);
+      },
+      &retired);
+  int fired = 0;
+  SoftEventId a = facility_->ScheduleSoftEventWithCookie(
+      10, [&](const SoftTimerFacility::FireInfo&) { ++fired; }, 0, 0xA1);
+  AdvanceTo(SimDuration::Micros(20));
+  facility_->OnTriggerState(TriggerSource::kSyscall);
+  ASSERT_EQ(fired, 1);
+  ASSERT_EQ(retired, (std::vector<uint64_t>{0xA1}));
+  // b very likely recycles a's slab slot.
+  SoftEventId b = facility_->ScheduleSoftEventWithCookie(
+      500, [&](const SoftTimerFacility::FireInfo&) { ++fired; }, 0, 0xB2);
+  EXPECT_FALSE(facility_->CancelSoftEvent(a));
+  EXPECT_EQ(retired, (std::vector<uint64_t>{0xA1}));  // b's cookie untouched
+  EXPECT_TRUE(facility_->CancelSoftEvent(b));
+  EXPECT_EQ(retired, (std::vector<uint64_t>{0xA1, 0xB2}));
+}
+
+TEST_F(FacilityFixture, HandlerCancellingDueBatchPeerRetiresCookieOnce) {
+  // Two cookie events due in the same drain batch; the first one's handler
+  // cancels the second before it fires. The peer's cookie must be retired
+  // exactly once (by the cancel) and its handler must never run - the
+  // retire-on-dispatch path in DispatchFired must not see it again.
+  std::vector<uint64_t> retired;
+  facility_->set_event_retired_hook(
+      [](void* ctx, uint64_t cookie) {
+        static_cast<std::vector<uint64_t>*>(ctx)->push_back(cookie);
+      },
+      &retired);
+  int peer_fired = 0;
+  SoftEventId peer{};
+  bool cancel_ok = false;
+  facility_->ScheduleSoftEventWithCookie(
+      10,
+      [&](const SoftTimerFacility::FireInfo&) {
+        cancel_ok = facility_->CancelSoftEvent(peer);
+      },
+      0, 0xA1);
+  peer = facility_->ScheduleSoftEventWithCookie(
+      10, [&](const SoftTimerFacility::FireInfo&) { ++peer_fired; }, 0, 0xB2);
+  AdvanceTo(SimDuration::Micros(20));
+  facility_->OnTriggerState(TriggerSource::kSyscall);
+  EXPECT_TRUE(cancel_ok);
+  EXPECT_EQ(peer_fired, 0);
+  EXPECT_EQ(retired, (std::vector<uint64_t>{0xA1, 0xB2}));
+  // And the peer's id stays dead: no double retire on a later stale cancel.
+  EXPECT_FALSE(facility_->CancelSoftEvent(peer));
+  EXPECT_EQ(retired.size(), 2u);
+}
+
 TEST_F(FacilityFixture, BackupInterruptCatchesOverdueEvents) {
   int fired = 0;
   facility_->ScheduleSoftEvent(10, [&](const SoftTimerFacility::FireInfo& info) {

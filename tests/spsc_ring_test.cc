@@ -1,0 +1,124 @@
+// Edge-case coverage for SpscRing (src/core/spsc_ring.h): capacity
+// rounding, index wraparound across the counter/mask boundary, the
+// full-ring rejection contract (the value must be left intact for the
+// caller to retry or destroy), slot-recycling resource drops, and
+// destruction with undrained elements. The cross-thread protocol itself is
+// verified exhaustively by tests/model_check_test.cc; this file pins the
+// single-threaded semantics those model tests assume.
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/core/spsc_ring.h"
+
+namespace softtimer {
+namespace {
+
+TEST(SpscRingTest, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(SpscRing<int>(1).capacity(), 1u);
+  EXPECT_EQ(SpscRing<int>(2).capacity(), 2u);
+  EXPECT_EQ(SpscRing<int>(3).capacity(), 4u);
+  EXPECT_EQ(SpscRing<int>(5).capacity(), 8u);
+  EXPECT_EQ(SpscRing<int>(1000).capacity(), 1024u);
+}
+
+TEST(SpscRingTest, FifoAcrossManyWraparounds) {
+  SpscRing<int> ring(4);
+  int out = 0;
+  int next_push = 0;
+  int next_pop = 0;
+  // Interleave bursts so head/tail lap the 4-slot buffer many times and
+  // every slot index gets reused in both roles.
+  for (int round = 0; round < 64; ++round) {
+    int burst = (round % 4) + 1;
+    for (int i = 0; i < burst; ++i) {
+      int v = next_push;
+      ASSERT_TRUE(ring.TryPush(std::move(v)));
+      ++next_push;
+    }
+    for (int i = 0; i < burst; ++i) {
+      ASSERT_TRUE(ring.TryPop(out));
+      EXPECT_EQ(out, next_pop);
+      ++next_pop;
+    }
+  }
+  EXPECT_TRUE(ring.EmptyRelaxed());
+  EXPECT_FALSE(ring.TryPop(out));
+}
+
+TEST(SpscRingTest, FullRingRejectsAndLeavesValueIntact) {
+  SpscRing<std::vector<int>> ring(2);
+  ASSERT_TRUE(ring.TryPush(std::vector<int>{1}));
+  ASSERT_TRUE(ring.TryPush(std::vector<int>{2}));
+  // The rejected value must not be consumed: the caller still owns it and
+  // may retry, reroute, or destroy it (ShardedSoftTimerRuntime counts the
+  // reject and returns the handler to the producer).
+  std::vector<int> v{3, 4, 5};
+  EXPECT_FALSE(ring.TryPush(std::move(v)));
+  EXPECT_EQ(v.size(), 3u);
+
+  std::vector<int> out;
+  ASSERT_TRUE(ring.TryPop(out));
+  EXPECT_EQ(out, (std::vector<int>{1}));
+  EXPECT_TRUE(ring.TryPush(std::move(v)));
+  EXPECT_TRUE(v.empty());  // accepted push consumes the value
+}
+
+TEST(SpscRingTest, PopResetsSlotSoResourcesDropEagerly) {
+  // A popped slot must not keep the moved-from payload's resources alive
+  // until the slot is overwritten a lap later: TryPop reassigns T{}.
+  auto token = std::make_shared<int>(42);
+  std::weak_ptr<int> watch = token;
+  SpscRing<std::shared_ptr<int>> ring(4);
+  ASSERT_TRUE(ring.TryPush(std::move(token)));
+  {
+    std::shared_ptr<int> out;
+    ASSERT_TRUE(ring.TryPop(out));
+    ASSERT_TRUE(out);
+    EXPECT_EQ(*out, 42);
+  }
+  // `out` died and the slot was reset: nothing references the payload.
+  EXPECT_TRUE(watch.expired());
+}
+
+TEST(SpscRingTest, DestructionDestroysUndrainedElements) {
+  // Undrained commands die with their ring (the runtime's documented
+  // shutdown contract): destruction runs, nothing leaks, nothing "fires".
+  auto token = std::make_shared<int>(7);
+  std::weak_ptr<int> watch = token;
+  {
+    SpscRing<std::shared_ptr<int>> ring(2);
+    ASSERT_TRUE(ring.TryPush(std::move(token)));
+    EXPECT_FALSE(watch.expired());
+  }
+  EXPECT_TRUE(watch.expired());
+}
+
+TEST(SpscRingTest, EmptyRelaxedTracksOccupancy) {
+  SpscRing<int> ring(2);
+  EXPECT_TRUE(ring.EmptyRelaxed());
+  ASSERT_TRUE(ring.TryPush(1));
+  EXPECT_FALSE(ring.EmptyRelaxed());
+  int out = 0;
+  ASSERT_TRUE(ring.TryPop(out));
+  EXPECT_TRUE(ring.EmptyRelaxed());
+}
+
+TEST(SpscRingTest, CapacityOneRingAlternatesPushPop) {
+  SpscRing<int> ring(1);
+  int out = 0;
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(ring.TryPush(int{i}));
+    EXPECT_FALSE(ring.TryPush(int{99}));  // full at one element
+    ASSERT_TRUE(ring.TryPop(out));
+    EXPECT_EQ(out, i);
+    EXPECT_FALSE(ring.TryPop(out));  // empty again
+  }
+}
+
+}  // namespace
+}  // namespace softtimer

@@ -135,6 +135,85 @@ TEST_P(TimerQueueConformanceTest, StaleIdsStayDeadAcrossManySlotGenerations) {
   EXPECT_EQ(live, 0);
 }
 
+// --- PeekUserData: the facility's cancel path reads the cookie *before*
+// Cancel destroys the payload, so the peek must track liveness exactly -
+// in particular across the cancel-after-fire window where the slab slot
+// has been recycled by an unrelated timer carrying its own cookie.
+
+TimerId ScheduleWithUserData(TimerQueue& q, uint64_t deadline,
+                             uint64_t user_data, int* fired = nullptr) {
+  struct CountThunk {
+    int* fired;
+    void operator()(const TimerFired&) {
+      if (fired != nullptr) {
+        ++*fired;
+      }
+    }
+  };
+  TimerPayload payload;
+  payload.user_data = user_data;
+  payload.handler.emplace(CountThunk{fired});
+  return q.Schedule(deadline, std::move(payload));
+}
+
+TEST_P(TimerQueueConformanceTest, PeekUserDataTracksLiveness) {
+  auto q = Make();
+  EXPECT_EQ(q->PeekUserData(TimerId{}), 0u);  // invalid id
+  int fired = 0;
+  TimerId a = ScheduleWithUserData(*q, 100, 0xA1, &fired);
+  TimerId b = ScheduleWithUserData(*q, 100, 0, &fired);  // cookie-less
+  EXPECT_EQ(q->PeekUserData(a), 0xA1u);
+  EXPECT_EQ(q->PeekUserData(b), 0u);
+  EXPECT_TRUE(q->Cancel(a));
+  EXPECT_EQ(q->PeekUserData(a), 0u);  // cancelled: cookie is gone
+  EXPECT_EQ(q->ExpireUpTo(100), 1u);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(q->PeekUserData(b), 0u);  // fired: cookie is gone
+}
+
+TEST_P(TimerQueueConformanceTest, PeekUserDataCannotLeakSlotReusersCookie) {
+  // The cancel-after-fire race window: a's event fired, b recycled its slab
+  // slot with a different cookie. A stale peek through a's id must read 0,
+  // not b's cookie - otherwise the facility would retire b's cookie on a's
+  // stale cancel and the owner's tracking table would drop a live event.
+  auto q = Make();
+  int fired_a = 0;
+  TimerId a = ScheduleWithUserData(*q, 10, 0xA1, &fired_a);
+  EXPECT_EQ(q->ExpireUpTo(10), 1u);
+  EXPECT_EQ(fired_a, 1);
+  TimerId b = ScheduleWithUserData(*q, 20, 0xB2);
+  EXPECT_EQ(q->PeekUserData(a), 0u);
+  EXPECT_FALSE(q->Cancel(a));
+  EXPECT_EQ(q->PeekUserData(b), 0xB2u);  // b is untouched by the stale probe
+  EXPECT_EQ(q->size(), 1u);
+}
+
+TEST_P(TimerQueueConformanceTest, PeekThenCancelWorksOnDueBatchPeer) {
+  // Mid-expiry window: a handler peeks and cancels a peer that is due in the
+  // same batch but has not fired yet (the wheels hold such peers in a
+  // detached kDue state). The peek must still see the peer's cookie and the
+  // cancel must suppress its dispatch - this is exactly the sequence
+  // SoftTimerFacility::CancelSoftEvent runs from inside a handler.
+  auto q = Make();
+  int peer_fired = 0;
+  TimerId peer{};
+  uint64_t peeked = UINT64_MAX;
+  bool cancel_ok = false;
+  q->Schedule(10, [&] {
+    peeked = q->PeekUserData(peer);
+    cancel_ok = q->Cancel(peer);
+  });
+  peer = ScheduleWithUserData(*q, 10, 0xC3, &peer_fired);
+  q->ExpireUpTo(10);
+  EXPECT_EQ(peeked, 0xC3u);
+  EXPECT_TRUE(cancel_ok);
+  EXPECT_EQ(peer_fired, 0);
+  EXPECT_EQ(q->size(), 0u);
+  // The cancelled peer's id is fully dead afterwards.
+  EXPECT_EQ(q->PeekUserData(peer), 0u);
+  EXPECT_FALSE(q->Cancel(peer));
+}
+
 TEST_P(TimerQueueConformanceTest, EarliestDeadlineTracksMin) {
   auto q = Make();
   EXPECT_FALSE(q->EarliestDeadline().has_value());

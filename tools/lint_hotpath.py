@@ -1,0 +1,259 @@
+#!/usr/bin/env python3
+"""Hot-path and memory-ordering lint for the soft-timer tree.
+
+Three rules, all enforced as a CI gate (and locally via `ctest -L lint`):
+
+1. hot-path-alloc: a function definition preceded by a `// SOFTTIMER_HOT`
+   marker line must not allocate or type-erase. Forbidden inside the marked
+   body: operator new, make_unique/make_shared, malloc, std::function<,
+   push_back(, emplace_back(, .resize(, .reserve(. A line carrying
+   `// lint:allow-alloc` is waived - reserved for amortized growth paths
+   that sit at capacity in steady state (document why next to the waiver).
+
+2. raw-atomic-in-shim: files templated on the atomics-traits shim
+   (TRAITS_SHIM_FILES below) must not name std::atomic< or
+   std::atomic_thread_fence directly; everything routes through
+   Traits::Atomic / Traits::ThreadFence so tests/model_check_test.cc can
+   substitute the model checker's instrumented types.
+   src/core/atomics_traits.h is the single place allowed to touch both.
+
+3. unannotated-ordering: every non-seq_cst std::memory_order_* site under
+   src/ needs an `// ordering:` rationale on the same line or within the
+   ANNOTATION_LOOKBACK lines above it, so each weakened ordering carries its
+   pairing argument in-tree. src/check/ is exempt (the model checker
+   manipulates orderings as data, it does not choose them).
+
+Exit status: 0 clean, 1 findings, 2 internal/self-test failure.
+`--self-test` runs every rule against synthetic violations and verifies
+both that they fire and that the waivers/annotations silence them.
+"""
+
+import argparse
+import os
+import re
+import sys
+
+HOT_MARKER = "// SOFTTIMER_HOT"
+ALLOW_ALLOC = "lint:allow-alloc"
+ANNOTATION_LOOKBACK = 6
+
+# Files whose concurrency primitives are templated on the atomics-traits
+# shim. Keep in sync with DESIGN.md section 11.
+TRAITS_SHIM_FILES = (
+    "src/core/spsc_ring.h",
+    "src/core/remote_pending.h",
+    "src/rt/eventcount.h",
+)
+
+FORBIDDEN_IN_HOT = (
+    (re.compile(r"\bnew\b"), "operator new"),
+    (re.compile(r"\bmake_unique\b"), "make_unique"),
+    (re.compile(r"\bmake_shared\b"), "make_shared"),
+    (re.compile(r"\bmalloc\s*\("), "malloc"),
+    (re.compile(r"std::function<"), "std::function"),
+    (re.compile(r"\bpush_back\s*\("), "push_back"),
+    (re.compile(r"\bemplace_back\s*\("), "emplace_back"),
+    (re.compile(r"\.resize\s*\("), "resize"),
+    (re.compile(r"\.reserve\s*\("), "reserve"),
+)
+
+WEAK_ORDER_RE = re.compile(
+    r"memory_order_(relaxed|acquire|release|acq_rel|consume)")
+RAW_ATOMIC_RE = re.compile(r"std::atomic(<|_thread_fence)")
+
+
+def strip_comment_and_strings(line):
+    """Code-only view of a line: string literals blanked, // tail removed."""
+    line = re.sub(r'"(\\.|[^"\\])*"', '""', line)
+    cut = line.find("//")
+    return line[:cut] if cut >= 0 else line
+
+
+class Findings:
+    def __init__(self):
+        self.items = []
+
+    def add(self, rule, path, lineno, message):
+        self.items.append((rule, path, lineno, message))
+
+
+def check_hot_functions(path, lines, findings):
+    i = 0
+    n = len(lines)
+    while i < n:
+        if HOT_MARKER not in lines[i]:
+            i += 1
+            continue
+        marker_line = i + 1  # 1-indexed, for messages
+        # Find the body: first '{' at or after the line following the marker.
+        j = i + 1
+        depth = 0
+        entered = False
+        while j < n:
+            code = strip_comment_and_strings(lines[j])
+            for ch in code:
+                if ch == "{":
+                    depth += 1
+                    entered = True
+                elif ch == "}":
+                    depth -= 1
+            if entered:
+                raw = lines[j]
+                if ALLOW_ALLOC not in raw:
+                    code_only = strip_comment_and_strings(raw)
+                    for regex, label in FORBIDDEN_IN_HOT:
+                        if regex.search(code_only):
+                            findings.add(
+                                "hot-path-alloc", path, j + 1,
+                                f"{label} in SOFTTIMER_HOT function "
+                                f"(marker at line {marker_line}); move it off "
+                                f"the hot path or waive with // {ALLOW_ALLOC}")
+                if depth <= 0:
+                    break
+            j += 1
+        i = j + 1
+
+
+def check_raw_atomics(path, lines, findings):
+    for idx, line in enumerate(lines):
+        code = strip_comment_and_strings(line)
+        if RAW_ATOMIC_RE.search(code):
+            findings.add(
+                "raw-atomic-in-shim", path, idx + 1,
+                "std::atomic used directly in traits-templated code; go "
+                "through Traits::Atomic / Traits::ThreadFence "
+                "(src/core/atomics_traits.h)")
+
+
+def check_ordering_annotations(path, lines, findings):
+    for idx, line in enumerate(lines):
+        code = strip_comment_and_strings(line)
+        if not WEAK_ORDER_RE.search(code):
+            continue
+        window = lines[max(0, idx - ANNOTATION_LOOKBACK):idx + 1]
+        if any("ordering:" in w for w in window):
+            continue
+        findings.add(
+            "unannotated-ordering", path, idx + 1,
+            "non-seq_cst memory order without an `// ordering:` rationale "
+            f"on the same line or the {ANNOTATION_LOOKBACK} lines above")
+
+
+def lint_tree(root):
+    findings = Findings()
+    src = os.path.join(root, "src")
+    for dirpath, _, filenames in os.walk(src):
+        for name in sorted(filenames):
+            if not name.endswith((".h", ".cc")):
+                continue
+            path = os.path.join(dirpath, name)
+            rel = os.path.relpath(path, root).replace(os.sep, "/")
+            with open(path, encoding="utf-8") as f:
+                lines = f.read().splitlines()
+            check_hot_functions(rel, lines, findings)
+            if rel in TRAITS_SHIM_FILES:
+                check_raw_atomics(rel, lines, findings)
+            if not rel.startswith("src/check/"):
+                check_ordering_annotations(rel, lines, findings)
+    return findings
+
+
+def self_test():
+    failures = []
+
+    def run(name, lines, checker, rel, expect_rules):
+        findings = Findings()
+        checker(rel, lines, findings)
+        got = sorted({f[0] for f in findings.items})
+        if got != sorted(expect_rules):
+            failures.append(f"{name}: expected {expect_rules}, got "
+                            f"{[f'{f[0]}:{f[2]}' for f in findings.items]}")
+
+    hot_alloc = [
+        "// SOFTTIMER_HOT",
+        "void Hot() {",
+        "  v.push_back(1);",
+        "}",
+    ]
+    run("hot alloc fires", hot_alloc, check_hot_functions, "x.cc",
+        ["hot-path-alloc"])
+
+    hot_waived = [
+        "// SOFTTIMER_HOT",
+        "void Hot() {",
+        "  v.push_back(1);  // lint:allow-alloc",
+        "}",
+    ]
+    run("waiver silences", hot_waived, check_hot_functions, "x.cc", [])
+
+    hot_comment_only = [
+        "// SOFTTIMER_HOT",
+        "void Hot() {",
+        "  x = 1;  // a new chunk would reserve here, but we do not",
+        "}",
+    ]
+    run("comment tokens ignored", hot_comment_only, check_hot_functions,
+        "x.cc", [])
+
+    hot_ends = [
+        "// SOFTTIMER_HOT",
+        "void Hot() { x = 1; }",
+        "void Cold() { v.push_back(1); }",
+    ]
+    run("marker scope ends at body", hot_ends, check_hot_functions, "x.cc", [])
+
+    raw_atomic = ["std::atomic<int> x;"]
+    run("raw atomic fires", raw_atomic, check_raw_atomics,
+        "src/core/spsc_ring.h", ["raw-atomic-in-shim"])
+
+    shimmed = ["typename Traits::template Atomic<int> x;"]
+    run("shimmed atomic clean", shimmed, check_raw_atomics,
+        "src/core/spsc_ring.h", [])
+
+    unannotated = ["x.store(1, std::memory_order_release);"]
+    run("unannotated ordering fires", unannotated,
+        check_ordering_annotations, "x.cc", ["unannotated-ordering"])
+
+    annotated = [
+        "// ordering: publishes the slot write (pairs with the pop acquire).",
+        "x.store(1, std::memory_order_release);",
+    ]
+    run("annotation silences", annotated, check_ordering_annotations,
+        "x.cc", [])
+
+    seq_cst = ["x.store(1, std::memory_order_seq_cst);"]
+    run("seq_cst needs no annotation", seq_cst, check_ordering_annotations,
+        "x.cc", [])
+
+    if failures:
+        for f in failures:
+            print(f"lint self-test FAILED: {f}", file=sys.stderr)
+        return 2
+    print("lint self-test: all rules fire and all waivers silence")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", default=os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__))),
+        help="repository root (default: parent of tools/)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="verify the rules against synthetic violations")
+    args = parser.parse_args()
+
+    if args.self_test:
+        return self_test()
+
+    findings = lint_tree(args.root)
+    if findings.items:
+        for rule, path, lineno, message in findings.items:
+            print(f"{path}:{lineno}: [{rule}] {message}")
+        print(f"\n{len(findings.items)} finding(s)", file=sys.stderr)
+        return 1
+    print("lint_hotpath: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
