@@ -92,6 +92,7 @@ class DegradationPolicy {
     uint64_t releases = 0;
     uint64_t deferred_quarantine = 0; // dispatch deferrals: quarantined tag
     uint64_t deferred_batch_cap = 0;  // dispatch deferrals: batch cap hit
+    uint64_t connection_resets = 0;   // transport give-ups (see below)
   };
 
   // `ticks_per_backup_interval` is the paper's X at the *base* (unescalated)
@@ -121,6 +122,14 @@ class DegradationPolicy {
   size_t max_dispatches_per_check() const { return config_.max_dispatches_per_check; }
   uint64_t handler_budget_ticks() const { return config_.handler_budget_ticks; }
   size_t quarantined_count() const { return quarantined_count_; }
+
+  // Transport-layer give-up report: a retransmission engine exhausted its
+  // retry budget on some connection and reset it. The policy only counts
+  // these today (connection resets under injected loss are expected and
+  // must not drive backup-rate escalation - the timers themselves are
+  // firing on time), but routing the signal through here keeps every
+  // degradation decision observable at one place.
+  void NoteConnectionReset() { ++stats_.connection_resets; }
 
   // Listeners fire on drought transitions: entering=true when the
   // multiplier first leaves 1, entering=false when it returns to 1.

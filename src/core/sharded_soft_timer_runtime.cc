@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <cassert>
+#include <thread>
 #include <utility>
 
 #include "src/timer/timer_slab.h"
@@ -237,6 +238,14 @@ bool ShardedSoftTimerRuntime::ApplyCancel(Shard& shard, uint64_t id_value) {
 SoftEventId ShardedSoftTimerRuntime::ScheduleCrossCore(
     ProducerToken& token, size_t shard, uint64_t delta_ticks,
     SoftTimerFacility::Handler handler, uint32_t handler_tag) {
+  // Consuming wrapper: the rejected handler dies with `handler` here.
+  return TryScheduleCrossCore(token, shard, delta_ticks, handler, handler_tag);
+}
+
+// SOFTTIMER_HOT
+SoftEventId ShardedSoftTimerRuntime::TryScheduleCrossCore(
+    ProducerToken& token, size_t shard, uint64_t delta_ticks,
+    SoftTimerFacility::Handler& handler, uint32_t handler_tag) {
   if (!token.valid() || shard >= shards_.size()) {
     return SoftEventId{};
   }
@@ -253,11 +262,51 @@ SoftEventId ShardedSoftTimerRuntime::ScheduleCrossCore(
   cmd.enqueue_tick = clock_->NowTicks();
   cmd.handler = std::move(handler);
   if (!shards_[shard]->rings[token.index_]->TryPush(std::move(cmd))) {
+    // TryPush leaves the rejected command intact: hand the handler back so
+    // the caller can retry the same closure once the ring drains.
+    handler = std::move(cmd.handler);
     ++token.ring_full_rejects_;
     return SoftEventId{};
   }
   PublishToShard(shard, token);
   return SoftEventId{id};
+}
+
+SoftEventId ShardedSoftTimerRuntime::ScheduleCrossCoreWithRetry(
+    ProducerToken& token, size_t shard, uint64_t delta_ticks,
+    SoftTimerFacility::Handler handler, uint32_t handler_tag,
+    CrossCoreRetry retry) {
+  uint32_t attempts = retry.max_attempts > 0 ? retry.max_attempts : 1;
+  uint32_t spin = retry.spin_base;
+  for (uint32_t attempt = 0;; ++attempt) {
+    SoftEventId id =
+        TryScheduleCrossCore(token, shard, delta_ticks, handler, handler_tag);
+    if (id.valid() || !token.valid() || shard >= shards_.size()) {
+      return id;
+    }
+    if (attempt + 1 >= attempts) {
+      ++token.retry_exhausted_;
+      return SoftEventId{};
+    }
+    // Exponential spin backoff: the consumer drains whole rings at its next
+    // trigger state, so a short producer-side spin is the cheapest way to
+    // ride out a momentary burst without sleeping into added latency.
+    for (uint32_t i = 0; i < spin; ++i) {
+#if defined(__x86_64__) || defined(__i386__)
+      __builtin_ia32_pause();
+#else
+      std::atomic_signal_fence(std::memory_order_seq_cst);
+#endif
+    }
+    if (spin < retry.spin_cap) {
+      spin = spin * 2 < retry.spin_cap ? spin * 2 : retry.spin_cap;
+    } else {
+      // Spin has capped without the ring draining: the consumer is likely
+      // preempted (or sharing this core), so spinning further only steals
+      // its cycles. Hand the timeslice over instead.
+      std::this_thread::yield();
+    }
+  }
 }
 
 // SOFTTIMER_HOT

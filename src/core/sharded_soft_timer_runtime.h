@@ -97,6 +97,22 @@ class RemoteIdMap {
   size_t size_ = 0;
 };
 
+// Bounded retry-with-backoff policy for
+// ShardedSoftTimerRuntime::ScheduleCrossCoreWithRetry.
+struct CrossCoreRetry {
+  // Push attempts before giving up (>= 1).
+  uint32_t max_attempts = 8;
+  // Spin iterations after the first rejection; doubles per rejection up
+  // to spin_cap. Spinning (rather than sleeping) matches the expected
+  // stall: the consumer shard drains whole rings at its next trigger
+  // state, microseconds away. Once the spin caps the helper yields the
+  // timeslice between attempts instead - if the ring still has not drained
+  // the consumer is likely preempted (or time-sharing this core), and
+  // burning further cycles only delays it.
+  uint32_t spin_base = 64;
+  uint32_t spin_cap = 8192;
+};
+
 class ShardedSoftTimerRuntime {
  public:
   struct Config {
@@ -137,8 +153,11 @@ class ShardedSoftTimerRuntime {
     ProducerToken() = default;
     bool valid() const { return index_ != kInvalid; }
     size_t index() const { return index_; }
-    // Cross-core pushes rejected because the target ring was full.
+    // Cross-core push attempts rejected because the target ring was full
+    // (one per attempt, so a retried schedule can count several times).
     uint64_t ring_full_rejects() const { return ring_full_rejects_; }
+    // ScheduleCrossCoreWithRetry calls that exhausted every attempt.
+    uint64_t retry_exhausted() const { return retry_exhausted_; }
 
    private:
     friend class ShardedSoftTimerRuntime;
@@ -146,6 +165,7 @@ class ShardedSoftTimerRuntime {
     size_t index_ = kInvalid;
     uint64_t next_seq_ = 0;
     uint64_t ring_full_rejects_ = 0;
+    uint64_t retry_exhausted_ = 0;
   };
 
   // Registers the calling thread as a command producer. Thread-safe.
@@ -189,14 +209,38 @@ class ShardedSoftTimerRuntime {
   // --- Producer API (any registered thread) -----------------------------
   // Schedules `handler` on `shard` through the command ring. Returns the
   // remote id, or an invalid id when the (producer, shard) ring is full
-  // (bounded backpressure). `handler` is consumed even on a full-ring
-  // rejection, so retrying after the shard drains requires a fresh handler.
-  // The delay counts from now (enqueue time): the drain re-anchors the
-  // deadline at enqueue_tick + delta, so ring residency does not stretch T.
+  // (bounded backpressure; counted in the token's ring_full_rejects).
+  // `handler` is consumed even on a full-ring rejection; callers that want
+  // to retry the same handler use TryScheduleCrossCore or the retry helper
+  // below. The delay counts from now (enqueue time): the drain re-anchors
+  // the deadline at enqueue_tick + delta, so ring residency does not
+  // stretch T.
   SoftEventId ScheduleCrossCore(ProducerToken& token, size_t shard,
                                 uint64_t delta_ticks,
                                 SoftTimerFacility::Handler handler,
                                 uint32_t handler_tag = 0);
+
+  // Non-consuming variant: on a full-ring rejection the handler is moved
+  // back into `handler` (intact), the token's ring_full_rejects counter is
+  // bumped, and the invalid id tells the caller the push did not land — so
+  // an RTO burst that overruns the ring can retry the SAME handler after
+  // backing off instead of silently dropping the timer.
+  SoftEventId TryScheduleCrossCore(ProducerToken& token, size_t shard,
+                                   uint64_t delta_ticks,
+                                   SoftTimerFacility::Handler& handler,
+                                   uint32_t handler_tag = 0);
+
+  // Producer helper: TryScheduleCrossCore with bounded exponential spin
+  // backoff between attempts. Returns the remote id, or an invalid id when
+  // every attempt found the ring full (the handler is consumed only on
+  // success; on give-up it is destroyed, matching ScheduleCrossCore).
+  // Counted per push attempt in ring_full_rejects and per helper give-up
+  // in the token's retry_exhausted counter.
+  SoftEventId ScheduleCrossCoreWithRetry(ProducerToken& token, size_t shard,
+                                         uint64_t delta_ticks,
+                                         SoftTimerFacility::Handler handler,
+                                         uint32_t handler_tag = 0,
+                                         CrossCoreRetry retry = {});
 
   // Enqueues a cancel for an id returned by either schedule path. Returns
   // true when the command was enqueued (not when the cancel lands - see the

@@ -9,7 +9,12 @@ FaultInjector::FaultInjector(const ClockSource* true_clock, FaultPlan plan,
     : true_clock_(true_clock),
       plan_(std::move(plan)),
       rng_(seed),
-      faulty_clock_(true_clock, plan_.clock_stalls, plan_.clock_jumps) {}
+      faulty_clock_(true_clock, plan_.clock_stalls, plan_.clock_jumps) {
+  burst_remaining_.reserve(plan_.burst_loss.size());
+  for (const FaultPlan::BurstLoss& b : plan_.burst_loss) {
+    burst_remaining_.push_back(b.count);
+  }
+}
 
 bool FaultInjector::SuppressTrigger(TriggerSource source) {
   (void)source;
@@ -60,8 +65,34 @@ SimDuration FaultInjector::HandlerOverrunExtra(uint32_t handler_tag) {
 }
 
 Link::FaultAction FaultInjector::LinkAction(const Packet& p) {
-  (void)p;
   uint64_t now = TrueNow();
+  // Deterministic bursts first: they model a discrete outage episode and
+  // must not be diluted by a probabilistic verdict consuming the packet.
+  for (size_t i = 0; i < plan_.burst_loss.size(); ++i) {
+    const FaultPlan::BurstLoss& b = plan_.burst_loss[i];
+    bool matches = (b.match_data && p.kind == Packet::Kind::kData) ||
+                   (b.match_acks && p.kind == Packet::Kind::kAck);
+    if (matches && b.window.Contains(now) && burst_remaining_[i] > 0) {
+      --burst_remaining_[i];
+      ++stats_.burst_dropped;
+      return Link::FaultAction::kDrop;
+    }
+  }
+  for (const FaultPlan::PacketLoss& f : plan_.packet_loss) {
+    if (!f.window.Contains(now)) {
+      continue;
+    }
+    if (p.kind == Packet::Kind::kData && f.data_drop_probability > 0 &&
+        rng_.Bernoulli(f.data_drop_probability)) {
+      ++stats_.data_dropped;
+      return Link::FaultAction::kDrop;
+    }
+    if (p.kind == Packet::Kind::kAck && f.ack_drop_probability > 0 &&
+        rng_.Bernoulli(f.ack_drop_probability)) {
+      ++stats_.acks_dropped;
+      return Link::FaultAction::kDrop;
+    }
+  }
   for (const FaultPlan::LinkFault& f : plan_.link_faults) {
     if (!f.window.Contains(now)) {
       continue;
@@ -76,6 +107,20 @@ Link::FaultAction FaultInjector::LinkAction(const Packet& p) {
     }
   }
   return Link::FaultAction::kNone;
+}
+
+bool FaultInjector::DropDataSegment(uint64_t flow_id) {
+  Packet p;
+  p.kind = Packet::Kind::kData;
+  p.flow_id = flow_id;
+  return LinkAction(p) == Link::FaultAction::kDrop;
+}
+
+bool FaultInjector::DropAck(uint64_t flow_id) {
+  Packet p;
+  p.kind = Packet::Kind::kAck;
+  p.flow_id = flow_id;
+  return LinkAction(p) == Link::FaultAction::kDrop;
 }
 
 void FaultInjector::InstallOn(Kernel* kernel) {

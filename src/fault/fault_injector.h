@@ -24,6 +24,7 @@
 #define SOFTTIMER_SRC_FAULT_FAULT_INJECTOR_H_
 
 #include <cstdint>
+#include <vector>
 
 #include "src/core/clock_source.h"
 #include "src/core/trigger.h"
@@ -47,7 +48,15 @@ class FaultInjector {
   bool DropBackupInterrupt();
   uint64_t BackupJitterTicks();
   SimDuration HandlerOverrunExtra(uint32_t handler_tag);
+  // Evaluates burst_loss (deterministic), then packet_loss (kind-aware
+  // probabilistic), then the kind-blind link_faults - first verdict wins.
   Link::FaultAction LinkAction(const Packet& p);
+
+  // Convenience queries for harnesses that drive loss without a Link in the
+  // path (e.g. the RTO bench, which models the wire as pure timer traffic).
+  // Equivalent to LinkAction on a minimal packet of that kind.
+  bool DropDataSegment(uint64_t flow_id = 0);
+  bool DropAck(uint64_t flow_id = 0);
 
   // The measurement clock as perturbed by the plan's stalls/jumps. Pass as
   // Kernel::Config::measure_clock_override (valid for the injector's
@@ -66,6 +75,9 @@ class FaultInjector {
     uint64_t overruns_injected = 0;
     uint64_t packets_dropped = 0;
     uint64_t packets_duplicated = 0;
+    uint64_t data_dropped = 0;   // PacketLoss verdicts on kData
+    uint64_t acks_dropped = 0;   // PacketLoss verdicts on kAck
+    uint64_t burst_dropped = 0;  // BurstLoss verdicts (any kind)
   };
   const Stats& stats() const { return stats_; }
 
@@ -77,6 +89,8 @@ class FaultInjector {
   Rng rng_;
   FaultyClockSource faulty_clock_;
   Stats stats_;
+  // Per-BurstLoss packets still to drop (parallel to plan_.burst_loss).
+  std::vector<uint32_t> burst_remaining_;
 };
 
 }  // namespace softtimer::fault

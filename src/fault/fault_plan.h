@@ -80,6 +80,31 @@ struct FaultPlan {
     double duplicate_probability = 0.0;
   };
   std::vector<LinkFault> link_faults;
+
+  // Kind-aware probabilistic loss: data segments and cumulative ACKs are
+  // dropped with independent probabilities inside the window. This is the
+  // RTO chaos knob - data loss makes retransmission timers actually fire;
+  // ACK loss makes cancels go missing so backoff and Karn's rule engage.
+  // Packet kinds other than kData/kAck pass through untouched (they remain
+  // subject to link_faults).
+  struct PacketLoss {
+    FaultWindow window;
+    double data_drop_probability = 0.0;
+    double ack_drop_probability = 0.0;
+  };
+  std::vector<PacketLoss> packet_loss;
+
+  // Deterministic burst loss: once the window opens, the first `count`
+  // packets matching the kind filter are dropped - exactly, independent of
+  // the seed. Models a routing flap / queue tail-drop episode and gives
+  // tests a way to force a precise retransmission schedule.
+  struct BurstLoss {
+    FaultWindow window;
+    uint32_t count = 0;
+    bool match_data = true;
+    bool match_acks = false;
+  };
+  std::vector<BurstLoss> burst_loss;
 };
 
 }  // namespace softtimer::fault

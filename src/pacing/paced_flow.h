@@ -27,10 +27,12 @@ struct PacedFlowId {
 
 // Per-flow pacing parameters, in measurement-clock ticks.
 struct PacedFlowConfig {
-  // Desired average inter-packet interval. Clamped to the wheel horizon
-  // minus one quantum at enqueue time (see PacingWheel::Stats::
-  // horizon_clamps); rates slower than the horizon want the hierarchical
-  // overflow ring (ROADMAP open item).
+  // Desired average inter-packet interval. Intervals longer than the inner
+  // horizon are legal: deadlines past `quantum * num_slots` park in the
+  // wheel's hierarchical overflow ring (Stats::overflow_parks) and cascade
+  // into the inner wheel one lap ahead, so sub-horizon rates never fire
+  // early and are never clamped. Capped at 2^32 - 1 ticks (the node's
+  // 32-bit interval field).
   uint64_t target_interval_ticks = 0;
   // Smallest interval the catch-up branch may schedule (the maximal
   // allowable burst rate). Must be >= 1 and <= target.
@@ -61,6 +63,13 @@ inline constexpr uint8_t kPacedFlowFlagIdleOnDue = 1u << 0;
 // Sentinel for "not linked into any slot".
 inline constexpr uint32_t kNilPacingSlot = 0xFFFFFFFFu;
 
+// A node whose `slot` field is >= this base is parked in the wheel's
+// hierarchical overflow ring: `slot - kOuterPacingSlotBase` is the outer
+// slot index, `next` its position in that slot's entry vector (same
+// swap-remove linkage as inner slots). Inner slot indices stay below
+// 2^31, and the base plus any outer index stays below kNilPacingSlot.
+inline constexpr uint32_t kOuterPacingSlotBase = 0x80000000u;
+
 // The slab node. 64 bytes: one cache line per flow on the drain path.
 //
 // Linkage design (measured, see DESIGN.md §10): slots hold *dense vectors
@@ -82,7 +91,7 @@ struct PacedFlowNode {
   uint64_t deadline = 0;           // absolute next-due tick while queued
   // --- pacing state ---
   PacedTrain train;                   // {start_tick, packets}: 16 bytes
-  uint32_t target_interval_ticks = 0;  // horizon < 2^32, so u32 suffices
+  uint32_t target_interval_ticks = 0;  // intervals capped at 2^32 - 1
   uint32_t min_burst_interval_ticks = 0;
   uint32_t max_coalesced_burst_packets = 0;
   uint32_t packets_remaining = 0;  // 0 = unlimited (mirrors packet_budget)

@@ -33,11 +33,14 @@ PacingWheel::PacingWheel(Config config) : config_(config) {
   num_slots_ = RoundUpPow2(std::max<uint32_t>(config_.num_slots, 64));
   slot_mask_ = num_slots_ - 1;
   assert(config_.quantum_ticks * num_slots_ <= UINT32_MAX &&
-         "wheel horizon must fit the node's 32-bit interval fields");
+         "wheel horizon must stay addressable by 32-bit delays");
+  outer_slots_count_ = RoundUpPow2(std::max<uint32_t>(config_.overflow_slots, 2));
+  outer_mask_ = outer_slots_count_ - 1;
   if (config_.max_batch == 0) {
     config_.max_batch = 1;
   }
   slots_.resize(num_slots_);
+  outer_slots_.resize(outer_slots_count_);
   occupancy_.assign(num_slots_ / 64, 0);
   if (config_.reserve_slot_capacity > 0) {
     for (Slot& slot : slots_) {
@@ -49,15 +52,6 @@ PacingWheel::PacingWheel(Config config) : config_(config) {
   }
 }
 
-uint64_t PacingWheel::ClampDelay(uint64_t delay_ticks) {
-  uint64_t max_delay = horizon_ticks() - config_.quantum_ticks;
-  if (delay_ticks > max_delay) {
-    ++stats_.horizon_clamps;
-    return max_delay;
-  }
-  return delay_ticks;
-}
-
 PacedFlowId PacingWheel::AddFlow(const PacedFlowConfig& config) {
   assert(config.target_interval_ticks > 0);
   uint32_t index = slab_.Allocate();
@@ -67,7 +61,7 @@ PacedFlowId PacingWheel::AddFlow(const PacedFlowConfig& config) {
   node.next = kNilTimerIndex;
   node.deadline = 0;
   node.train = PacedTrain{};
-  uint64_t target = ClampDelay(config.target_interval_ticks);
+  uint64_t target = std::min<uint64_t>(config.target_interval_ticks, UINT32_MAX);
   node.target_interval_ticks = static_cast<uint32_t>(target);
   node.min_burst_interval_ticks = static_cast<uint32_t>(std::clamp<uint64_t>(
       config.min_burst_interval_ticks, 1, target));
@@ -78,6 +72,53 @@ PacedFlowId PacingWheel::AddFlow(const PacedFlowConfig& config) {
                                 : std::min(config.packet_budget, UINT32_MAX - 1);
   node.user_data = config.user_data;
   return PacedFlowId{PackTimerIdValue(index, node.generation)};
+}
+
+void PacingWheel::ParkNode(uint32_t index, PacedFlowNode& node) {
+  uint32_t oi = OuterSlotIndexFor(node.deadline);
+  Slot& slot = outer_slots_[oi];
+  node.slot = kOuterPacingSlotBase + oi;
+  node.next = static_cast<uint32_t>(slot.entries.size());
+  slot.entries.push_back(index);
+  if (node.deadline < slot.min_deadline) {
+    slot.min_deadline = node.deadline;
+  }
+  if (node.deadline < next_due_tick_) {
+    next_due_tick_ = node.deadline;
+  }
+  ++parked_;
+}
+
+void PacingWheel::UnlinkParked(uint32_t index, PacedFlowNode& node) {
+  Slot& slot = outer_slots_[node.slot - kOuterPacingSlotBase];
+  uint32_t pos = node.next;
+  uint32_t moved = slot.entries.back();
+  slot.entries[pos] = moved;
+  slab_.at(moved).next = pos;
+  slot.entries.pop_back();
+  if (slot.entries.empty()) {
+    slot.min_deadline = UINT64_MAX;
+  }
+  node.slot = kNilPacingSlot;
+  node.next = kNilTimerIndex;
+  (void)index;
+  --parked_;
+  if (queued_ == 0 && parked_ == 0) {
+    next_due_tick_ = UINT64_MAX;
+  }
+}
+
+void PacingWheel::AttachNode(uint32_t index, PacedFlowNode& node,
+                             uint64_t now_tick) {
+  // Mirrors the pre-overflow-ring clamp bound: a deadline the inner wheel
+  // can represent without aliasing the current quantum links directly;
+  // anything farther parks (exact, never clamped).
+  if (node.deadline - now_tick <= horizon_ticks() - config_.quantum_ticks) {
+    LinkNode(index, node);
+  } else {
+    ParkNode(index, node);
+    ++stats_.overflow_parks;
+  }
 }
 
 bool PacingWheel::IsLinked(uint32_t index, const PacedFlowNode& node) const {
@@ -133,7 +174,7 @@ void PacingWheel::UnlinkNode(uint32_t index, PacedFlowNode& node) {
   node.next = kNilTimerIndex;
   (void)index;
   --queued_;
-  if (queued_ == 0) {
+  if (queued_ == 0 && parked_ == 0) {
     next_due_tick_ = UINT64_MAX;
   }
 }
@@ -151,7 +192,9 @@ bool PacingWheel::Activate(PacedFlowId id, uint64_t now_tick,
     return false;  // RemoveFlow already claimed it mid-drain
   }
   bool detached = false;
-  if (IsLinked(index, node)) {
+  if (IsParked(node)) {
+    UnlinkParked(index, node);
+  } else if (IsLinked(index, node)) {
     UnlinkNode(index, node);
   } else if (node.slot != kNilPacingSlot) {
     // Sitting in the drain scratch of the slot being swept: update in place
@@ -161,13 +204,13 @@ bool PacingWheel::Activate(PacedFlowId id, uint64_t now_tick,
   }
   node.state = TimerNodeState::kPending;
   node.flags = 0;
-  node.deadline = now_tick + ClampDelay(1 + initial_delay_ticks);
+  node.deadline = now_tick + 1 + initial_delay_ticks;
   // Anchor the train at the scheduled first-emission tick, so only genuine
   // dispatch lateness (not the activation stagger) trips the first-packet
   // catch-up clamp.
   node.train.Start(node.deadline);
   if (!detached) {
-    LinkNode(index, node);
+    AttachNode(index, node, now_tick);
   }
   ++stats_.activations;
   return true;
@@ -182,6 +225,11 @@ bool PacingWheel::Deactivate(PacedFlowId id) {
   PacedFlowNode& node = slab_.at(index);
   if (node.state == TimerNodeState::kCancelledDue) {
     return true;  // removal or deactivation already pending
+  }
+  if (IsParked(node)) {
+    UnlinkParked(index, node);
+    ++stats_.deactivations;
+    return true;
   }
   if (IsLinked(index, node)) {
     UnlinkNode(index, node);
@@ -210,7 +258,9 @@ bool PacingWheel::RemoveFlow(PacedFlowId id) {
     node.flags &= ~kPacedFlowFlagIdleOnDue;  // upgrade deactivate to removal
     return true;
   }
-  if (IsLinked(index, node)) {
+  if (IsParked(node)) {
+    UnlinkParked(index, node);
+  } else if (IsLinked(index, node)) {
     UnlinkNode(index, node);
   } else if (node.slot != kNilPacingSlot) {
     node.state = TimerNodeState::kCancelledDue;
@@ -235,27 +285,32 @@ bool PacingWheel::ReRate(PacedFlowId id, uint64_t now_tick,
       (node.flags & kPacedFlowFlagIdleOnDue) == 0) {
     return false;
   }
-  uint64_t target = ClampDelay(target_interval_ticks);
+  uint64_t target = std::min<uint64_t>(target_interval_ticks, UINT32_MAX);
   node.target_interval_ticks = static_cast<uint32_t>(target);
   node.min_burst_interval_ticks = static_cast<uint32_t>(
       std::clamp<uint64_t>(min_burst_interval_ticks, 1, target));
   ++stats_.re_rates;
-  bool linked = IsLinked(index, node);
-  bool detached = !linked && node.slot != kNilPacingSlot;
-  if (!linked && !detached) {
+  bool parked = IsParked(node);
+  bool linked = !parked && IsLinked(index, node);
+  bool detached = !parked && !linked && node.slot != kNilPacingSlot;
+  if (!parked && !linked && !detached) {
     return true;  // idle: the new rate applies on the next Activate
   }
   // The rate change applies immediately: the pending emission moves to the
   // next tick and a fresh train starts there (so the new schedule line is
-  // anchored at the re-rate, not at history under the old rate).
-  if (linked) {
+  // anchored at the re-rate, not at history under the old rate). A parked
+  // flow re-rated to a representable interval leaves the overflow ring now,
+  // not at its old far-future cascade.
+  if (parked) {
+    UnlinkParked(index, node);
+  } else if (linked) {
     UnlinkNode(index, node);
   }
   node.state = TimerNodeState::kPending;
   node.flags = 0;
   node.deadline = now_tick + 1;
   node.train.Start(node.deadline);
-  if (linked) {
+  if (parked || linked) {
     LinkNode(index, node);
   }
   return true;
@@ -320,6 +375,11 @@ size_t PacingWheel::Drain(uint64_t now_tick, BatchSink* sink) {
   }
   ++stats_.drains;
   draining_ = true;
+  // Move every due outer window into the inner wheel first, so the sweep
+  // below sees cascaded entries as ordinary slot members. Runs before any
+  // sink callback: mutators never observe a node detached from the outer
+  // ring.
+  CascadeOverflow(now_tick);
   const uint64_t q = config_.quantum_ticks;
   const uint64_t horizon = horizon_ticks();
   uint64_t last = now_tick - (now_tick % q);  // current quantum's slot tick
@@ -364,8 +424,11 @@ size_t PacingWheel::Drain(uint64_t now_tick, BatchSink* sink) {
         }
         if (node.deadline > now_tick) {
           // Quantization never fires early: re-keep until the exact tick.
+          // AttachNode: a sink callback may have re-aimed a detached node
+          // past the horizon (it parks), and a freshly cascaded entry can
+          // still be up to one horizon out when its aliased slot is swept.
           ++stats_.keep_requeues;
-          LinkNode(index, node);
+          AttachNode(index, node, now_tick);
           continue;
         }
         uint64_t grant = node.train.BurstBudget(now_tick,
@@ -394,8 +457,8 @@ size_t PacingWheel::Drain(uint64_t now_tick, BatchSink* sink) {
           node.slot = kNilPacingSlot;
           node.next = kNilTimerIndex;
         } else {
-          node.deadline = now_tick + ClampDelay(d.next_delay_ticks);
-          LinkNode(index, node);
+          node.deadline = now_tick + d.next_delay_ticks;
+          AttachNode(index, node, now_tick);
         }
         // Relink-then-emit: by the time the sink sees the record the flow
         // is in a normal linked/idle state, so sink callbacks mutate it
@@ -425,33 +488,92 @@ size_t PacingWheel::Drain(uint64_t now_tick, BatchSink* sink) {
   return granted;
 }
 
-void PacingWheel::RecomputeNextDue(uint64_t from_tick) {
-  if (queued_ == 0) {
-    next_due_tick_ = UINT64_MAX;
+void PacingWheel::CascadeOuterSlot(uint32_t outer_index, uint64_t now_tick) {
+  Slot& slot = outer_slots_[outer_index];
+  if (slot.entries.empty()) {
     return;
   }
-  // All pending deadlines lie within one horizon of from_tick (enqueues are
-  // horizon-clamped and drains fire everything overdue), so the first
-  // occupied slot in circular order from from_tick's slot holds the global
-  // earliest deadline, and its per-slot min is (a conservative bound on) it.
-  uint32_t start = SlotIndexFor(from_tick);
-  uint32_t scanned = 0;
-  while (scanned < num_slots_) {
-    uint32_t s = (start + scanned) & slot_mask_;
-    uint64_t word = occupancy_[s >> 6] >> (s & 63);
-    if (word == 0) {
-      scanned += 64 - (s & 63);  // to the next word boundary
-      continue;
+  const uint64_t horizon = horizon_ticks();
+  // Detach the whole outer slot (recycling vector capacity through the
+  // scratch, like the inner sweep), then re-home every entry: current-lap
+  // deadlines are now within one horizon and link inner; later laps
+  // re-park into the same outer slot for a future pass of the cursor.
+  outer_scratch_.swap(slot.entries);
+  slot.min_deadline = UINT64_MAX;
+  parked_ -= outer_scratch_.size();
+  for (uint32_t index : outer_scratch_) {
+    PacedFlowNode& node = slab_.at(index);
+    if (node.deadline < now_tick + horizon) {
+      LinkNode(index, node);
+      ++stats_.overflow_cascades;
+    } else {
+      ParkNode(index, node);
+      ++stats_.overflow_reparks;
     }
-    uint32_t adv = static_cast<uint32_t>(__builtin_ctzll(word));
-    scanned += adv;
-    if (scanned >= num_slots_) {
+  }
+  outer_scratch_.clear();
+}
+
+void PacingWheel::CascadeOverflow(uint64_t now_tick) {
+  if (parked_ == 0 || outer_cursor_tick_ > now_tick) {
+    return;
+  }
+  const uint64_t horizon = horizon_ticks();
+  const uint64_t outer_span = horizon * outer_slots_count_;
+  if (now_tick - outer_cursor_tick_ >= outer_span) {
+    // The cursor lags by a full outer lap (a long stall, or the first park
+    // after an idle stretch left it far behind): one pass over every outer
+    // slot covers the whole ring, so fast-forward instead of walking
+    // windows one horizon at a time.
+    for (uint32_t oi = 0; oi < outer_slots_count_; ++oi) {
+      CascadeOuterSlot(oi, now_tick);
+    }
+    outer_cursor_tick_ = now_tick - (now_tick % horizon) + horizon;
+    return;
+  }
+  while (outer_cursor_tick_ <= now_tick) {
+    CascadeOuterSlot(OuterSlotIndexFor(outer_cursor_tick_), now_tick);
+    outer_cursor_tick_ += horizon;
+  }
+}
+
+void PacingWheel::RecomputeNextDue(uint64_t from_tick) {
+  uint64_t due = UINT64_MAX;
+  if (queued_ > 0) {
+    // All inner deadlines lie within one horizon of from_tick (enqueues
+    // past the horizon park in the overflow ring and drains fire everything
+    // overdue), so the first occupied slot in circular order from
+    // from_tick's slot holds the inner-wheel earliest deadline, and its
+    // per-slot min is (a conservative bound on) it.
+    uint32_t start = SlotIndexFor(from_tick);
+    uint32_t scanned = 0;
+    while (scanned < num_slots_) {
+      uint32_t s = (start + scanned) & slot_mask_;
+      uint64_t word = occupancy_[s >> 6] >> (s & 63);
+      if (word == 0) {
+        scanned += 64 - (s & 63);  // to the next word boundary
+        continue;
+      }
+      uint32_t adv = static_cast<uint32_t>(__builtin_ctzll(word));
+      scanned += adv;
+      if (scanned >= num_slots_) {
+        break;
+      }
+      due = slots_[(s + adv) & slot_mask_].min_deadline;
       break;
     }
-    next_due_tick_ = slots_[(s + adv) & slot_mask_].min_deadline;
-    return;
   }
-  next_due_tick_ = UINT64_MAX;
+  if (parked_ > 0) {
+    // The outer ring is small (a few dozen slots): a linear min over the
+    // per-slot bounds folds parked deadlines into the wake-up gate, so the
+    // wheel event fires in time to cascade them.
+    for (const Slot& slot : outer_slots_) {
+      if (slot.min_deadline < due) {
+        due = slot.min_deadline;
+      }
+    }
+  }
+  next_due_tick_ = due;
 }
 
 size_t PacingWheel::TrimStorage() {
@@ -461,7 +583,13 @@ size_t PacingWheel::TrimStorage() {
       std::vector<uint32_t>().swap(slot.entries);
     }
   }
+  for (Slot& slot : outer_slots_) {
+    if (slot.entries.empty() && slot.entries.capacity() != 0) {
+      std::vector<uint32_t>().swap(slot.entries);
+    }
+  }
   std::vector<uint32_t>().swap(scratch_);
+  std::vector<uint32_t>().swap(outer_scratch_);
   std::vector<PacedEmit>().swap(batch_);
   // The global record resets with the storage: after a trim the workload is
   // presumed to have changed shape, so re-grown slots should not jump back

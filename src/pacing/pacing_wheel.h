@@ -22,10 +22,14 @@
 //    still in the future. Lateness is bounded by the driving event's
 //    dispatch bound (the facility's T < actual < T + X + 1; the backup
 //    interrupt enforces the high side), not by the quantum.
-//  * Deadlines farther than one horizon (quantum * num_slots) are clamped
-//    to horizon - quantum (counted in Stats::horizon_clamps); per-interval
-//    rates slower than the horizon belong in a hierarchical overflow ring
-//    (ROADMAP open item).
+//  * Deadlines farther than one horizon (quantum * num_slots) park in a
+//    hierarchical overflow ring (mirroring src/timer/hierarchical wheel
+//    cascading): a coarse outer ring whose slots each span one inner
+//    horizon. When the drain cursor enters an outer window, its entries
+//    cascade into the inner wheel (they are then at most one lap out) and
+//    later-lap entries re-park. Parked deadlines are never clamped and
+//    never fire early; Stats::overflow_parks / overflow_cascades /
+//    overflow_reparks count the traffic and Stats::horizon_clamps stays 0.
 //  * Steady state allocates nothing: nodes live in a TimerSlab, slot
 //    vectors and the emit batch grow to the workload high-water mark and
 //    are reused.
@@ -74,6 +78,11 @@ class PacingWheel {
     // growth keeps finding fresh vectors to ratchet. Costs
     // 4 * num_slots * reserve bytes up front.
     uint32_t reserve_slot_capacity = 0;
+    // Outer overflow-ring slots; rounded up to a power of two (min 2).
+    // Each outer slot spans one inner horizon, so the ring covers
+    // overflow_slots * quantum_ticks * num_slots ticks before deadlines
+    // wrap onto a later lap (re-parked at cascade time, still exact).
+    uint32_t overflow_slots = 64;
   };
 
   // Receives drain batches. `now_tick` is the (single, amortized) clock
@@ -143,7 +152,11 @@ class PacingWheel {
   bool active(PacedFlowId id) const;
 
   size_t live_flows() const { return slab_.stats().live; }
-  size_t queued_flows() const { return queued_; }
+  // Flows currently scheduled (inner wheel + overflow ring).
+  size_t queued_flows() const { return queued_ + parked_; }
+  // Flows currently parked in the overflow ring.
+  size_t parked_flows() const { return parked_; }
+  uint32_t overflow_slots() const { return outer_slots_count_; }
 
   TimerSlabStats slab_stats() const { return slab_.stats(); }
   // Releases fully-free slab chunks + excess slot/scratch capacity.
@@ -160,7 +173,12 @@ class PacingWheel {
     uint64_t coalesced_bursts = 0; // emits granting > 1 packet
     uint64_t catchup_decisions = 0;  // re-buckets on the min-burst branch
     uint64_t keep_requeues = 0;    // swept nodes not yet due (quantization)
-    uint64_t horizon_clamps = 0;   // deadlines clamped to the horizon
+    // Always 0 since the overflow ring landed (far deadlines park instead
+    // of clamping); retained so dashboards can assert the absence.
+    uint64_t horizon_clamps = 0;
+    uint64_t overflow_parks = 0;     // deadlines parked in the outer ring
+    uint64_t overflow_cascades = 0;  // parked nodes moved into the inner wheel
+    uint64_t overflow_reparks = 0;   // later-lap nodes re-parked at cascade
     uint64_t batch_flushes = 0;    // OnPacedBatch calls
     uint64_t budget_exhausted = 0; // flows auto-idled by packet budget
     uint64_t deferred_cancels = 0; // mutations deferred mid-drain
@@ -181,16 +199,38 @@ class PacingWheel {
     return static_cast<uint32_t>(tick / config_.quantum_ticks) & slot_mask_;
   }
 
-  // Links node `index` (with node.deadline set) into its slot.
+  uint32_t OuterSlotIndexFor(uint64_t tick) const {
+    return static_cast<uint32_t>(tick / horizon_ticks()) & outer_mask_;
+  }
+
+  // Links node `index` (with node.deadline set) into its inner slot.
   void LinkNode(uint32_t index, PacedFlowNode& node);
   // O(1) swap-remove unlink. Only call when IsLinked.
   void UnlinkNode(uint32_t index, PacedFlowNode& node);
-  // True when the node is genuinely inside a slot vector (as opposed to
-  // detached into the drain scratch).
+  // True when the node is genuinely inside an inner slot vector (as opposed
+  // to detached into the drain scratch, parked, or idle).
   bool IsLinked(uint32_t index, const PacedFlowNode& node) const;
 
-  // Clamps a proposed next-emission delay to the wheel horizon.
-  uint64_t ClampDelay(uint64_t delay_ticks);
+  // True when the node is parked in the overflow ring. Parked nodes are
+  // always physically linked (the cascade runs before any sink callback,
+  // so mutators never observe a node detached from the outer ring).
+  bool IsParked(const PacedFlowNode& node) const {
+    return node.slot != kNilPacingSlot && node.slot >= kOuterPacingSlotBase;
+  }
+
+  // Parks node `index` (with node.deadline set) in the outer ring.
+  void ParkNode(uint32_t index, PacedFlowNode& node);
+  // O(1) swap-remove from the outer ring. Only call when IsParked.
+  void UnlinkParked(uint32_t index, PacedFlowNode& node);
+
+  // Routes a node with deadline set relative to now_tick: inner wheel when
+  // the delay fits the horizon, overflow ring otherwise.
+  void AttachNode(uint32_t index, PacedFlowNode& node, uint64_t now_tick);
+
+  // Moves every due outer window's entries into the inner wheel (re-parking
+  // later-lap entries). Runs at the top of Drain, before any sink callback.
+  void CascadeOverflow(uint64_t now_tick);
+  void CascadeOuterSlot(uint32_t outer_index, uint64_t now_tick);
 
   // Recomputes next_due_tick_ by scanning the occupancy bitmap circularly
   // from the slot covering `from_tick`.
@@ -208,11 +248,19 @@ class PacingWheel {
   Config config_;
   uint32_t num_slots_ = 0;  // power of two
   uint32_t slot_mask_ = 0;
+  uint32_t outer_slots_count_ = 0;  // power of two
+  uint32_t outer_mask_ = 0;
   TimerSlab<PacedFlowNode> slab_;
   std::vector<Slot> slots_;
+  // Overflow ring: outer slot i holds nodes whose deadline / horizon is
+  // congruent to i (mod outer_slots_count_). min_deadline has the same
+  // conservative semantics as inner slots.
+  std::vector<Slot> outer_slots_;
   std::vector<uint64_t> occupancy_;  // one bit per slot
   // Detached entries of the slot being swept (drain scratch; reused).
   std::vector<uint32_t> scratch_;
+  // Detached entries of the outer slot being cascaded (reused).
+  std::vector<uint32_t> outer_scratch_;
   std::vector<PacedEmit> batch_;
   // Largest capacity any slot vector has reached. A slot that must grow
   // jumps straight here: slot vectors are interchangeable buffers (drain
@@ -221,8 +269,14 @@ class PacingWheel {
   // ratchet allocations for the lifetime of the process. With the jump,
   // steady state allocates only when the GLOBAL occupancy record is broken.
   uint32_t slot_capacity_high_water_ = 0;
-  size_t queued_ = 0;
+  size_t queued_ = 0;  // inner-wheel linked nodes
+  size_t parked_ = 0;  // overflow-ring linked nodes
   uint64_t next_due_tick_ = UINT64_MAX;
+  // Start tick of the next outer window the cascade has not yet processed
+  // (horizon-aligned). Window W = [k*H, (k+1)*H) is processed once the
+  // drain clock reaches W's start: every current-lap entry is then within
+  // one horizon and cascades; later laps re-park.
+  uint64_t outer_cursor_tick_ = 0;
   // Quantum-aligned tick of the first slot the next sweep starts from. The
   // current quantum's slot is deliberately never marked fully swept (a node
   // due later in the same quantum must be revisited), so this trails

@@ -1,0 +1,290 @@
+#include "src/tcp/rto_engine.h"
+
+#include <cassert>
+
+namespace softtimer {
+
+namespace {
+constexpr uint32_t kFireSlotMask = kRtoWindowSegments - 1;
+static_assert((kRtoWindowSegments & (kRtoWindowSegments - 1)) == 0,
+              "window must be a power of two (slot bits in the fire pack)");
+}  // namespace
+
+RtoEngine::RtoEngine(ShardedSoftTimerRuntime* runtime,
+                     DegradationPolicy* policy, Config config)
+    : rt_(runtime), policy_(policy), config_(config) {
+  assert(config_.rto_min_ticks > 0);
+  assert(config_.rto_min_ticks <= config_.rto_max_ticks);
+}
+
+uint64_t RtoEngine::OpenConnection(void* conn_ctx) {
+  uint32_t index;
+  if (!free_list_.empty()) {
+    index = free_list_.back();
+    free_list_.pop_back();
+  } else {
+    index = static_cast<uint32_t>(conns_.size());
+    conns_.emplace_back();
+  }
+  Conn& conn = conns_[index];
+  conn.ctx = conn_ctx;
+  conn.srtt = 0;
+  conn.rttvar = 0;
+  conn.rto = config_.rto_initial_ticks;
+  conn.live = 0;
+  conn.head = 0;
+  conn.backoff_shift = 0;
+  conn.retries = 0;
+  conn.have_srtt = false;
+  conn.open = true;
+  ++open_;
+  ++stats_.opens;
+  return (static_cast<uint64_t>(conn.generation) << 32) | index;
+}
+
+void RtoEngine::CloseConnection(uint64_t conn_id) {
+  uint32_t index;
+  Conn* conn = Resolve(conn_id, &index);
+  if (conn == nullptr) {
+    return;
+  }
+  for (uint32_t i = 0; i < conn->live; ++i) {
+    Segment& seg = conn->segments[(conn->head + i) & kFireSlotMask];
+    if (seg.timer.valid()) {
+      if (rt_->CancelOnShard(config_.shard, seg.timer)) {
+        ++stats_.timers_cancelled;
+      }
+      seg.timer = SoftEventId{};
+    }
+  }
+  conn->live = 0;
+  conn->open = false;
+  conn->ctx = nullptr;
+  // Bump the generation so outstanding ids and packed fire refs go stale;
+  // keep it nonzero so ids never collapse to 0.
+  if (++conn->generation == 0) {
+    conn->generation = 1;
+  }
+  free_list_.push_back(index);
+  --open_;
+  ++stats_.closes;
+}
+
+uint64_t RtoEngine::EffectiveRto(const Conn& conn) const {
+  uint64_t rto = conn.rto;
+  // Saturating shift: past 63 the doubling has long hit the cap anyway.
+  uint8_t shift = conn.backoff_shift < 63 ? conn.backoff_shift : 63;
+  uint64_t backed = rto << shift;
+  if ((backed >> shift) != rto || backed > config_.rto_max_ticks) {
+    backed = config_.rto_max_ticks;
+  }
+  return backed < config_.rto_min_ticks ? config_.rto_min_ticks : backed;
+}
+
+// SOFTTIMER_HOT
+void RtoEngine::ArmSegmentTimer(uint32_t index, Conn& conn, uint32_t slot) {
+  Segment& seg = conn.segments[slot];
+  RtoEngine* self = this;
+  // 16-byte capture: stays inside std::function's inline buffer, so the
+  // schedule path allocates nothing.
+  uint64_t packed = PackFire(index, conn.generation, slot);
+  seg.timer = rt_->ScheduleOnShard(
+      config_.shard, EffectiveRto(conn),
+      [self, packed](const SoftTimerFacility::FireInfo& info) {
+        self->OnRtoFire(packed, info);
+      },
+      config_.handler_tag);
+  ++stats_.timers_scheduled;
+}
+
+// SOFTTIMER_HOT
+bool RtoEngine::OnSegmentSent(uint64_t conn_id, uint64_t seq_end) {
+  uint32_t index;
+  Conn* conn = Resolve(conn_id, &index);
+  if (conn == nullptr) {
+    return false;
+  }
+  if (conn->live == kRtoWindowSegments) {
+    ++stats_.window_full_rejects;
+    return false;
+  }
+  uint32_t slot = (conn->head + conn->live) & kFireSlotMask;
+  Segment& seg = conn->segments[slot];
+  seg.seq_end = seq_end;
+  seg.sent_tick = rt_->clock().NowTicks();
+  seg.retransmitted = 0;
+  ++conn->live;
+  ArmSegmentTimer(index, *conn, slot);
+  ++stats_.segments_sent;
+  return true;
+}
+
+// SOFTTIMER_HOT
+size_t RtoEngine::OnCumulativeAck(uint64_t conn_id, uint64_t ack_seq) {
+  Conn* conn = Resolve(conn_id);
+  if (conn == nullptr) {
+    return 0;
+  }
+  size_t retired = 0;
+  // Karn: sample the newest retired segment that was sent exactly once.
+  uint64_t sample_sent_tick = 0;
+  bool have_sample = false;
+  while (conn->live > 0) {
+    Segment& seg = conn->segments[conn->head];
+    if (seg.seq_end > ack_seq) {
+      break;
+    }
+    if (seg.timer.valid()) {
+      if (rt_->CancelOnShard(config_.shard, seg.timer)) {
+        ++stats_.timers_cancelled;
+      }
+      seg.timer = SoftEventId{};
+    }
+    if (seg.retransmitted) {
+      ++stats_.karn_suppressed;
+    } else {
+      sample_sent_tick = seg.sent_tick;
+      have_sample = true;
+    }
+    conn->head = (conn->head + 1) & kFireSlotMask;
+    --conn->live;
+    ++retired;
+    ++stats_.segments_acked;
+  }
+  if (retired > 0) {
+    // Forward progress: the path is alive, collapse the backoff episode.
+    conn->backoff_shift = 0;
+    conn->retries = 0;
+    if (have_sample) {
+      uint64_t now = rt_->clock().NowTicks();
+      TakeRttSample(*conn, now - sample_sent_tick);
+    }
+  }
+  return retired;
+}
+
+void RtoEngine::TakeRttSample(Conn& conn, uint64_t sample_ticks) {
+  if (!conn.have_srtt) {
+    conn.srtt = sample_ticks;
+    conn.rttvar = sample_ticks / 2;
+    conn.have_srtt = true;
+  } else {
+    uint64_t diff = conn.srtt > sample_ticks ? conn.srtt - sample_ticks
+                                             : sample_ticks - conn.srtt;
+    conn.rttvar = (3 * conn.rttvar + diff) / 4;
+    conn.srtt = (7 * conn.srtt + sample_ticks) / 8;
+  }
+  uint64_t var_term = 4 * conn.rttvar;
+  if (var_term < 1) {
+    var_term = 1;
+  }
+  uint64_t rto = conn.srtt + var_term;
+  if (rto < config_.rto_min_ticks) {
+    rto = config_.rto_min_ticks;
+  }
+  if (rto > config_.rto_max_ticks) {
+    rto = config_.rto_max_ticks;
+  }
+  conn.rto = rto;
+  ++stats_.rtt_samples;
+}
+
+// SOFTTIMER_HOT
+void RtoEngine::OnRtoFire(uint64_t packed,
+                          const SoftTimerFacility::FireInfo& info) {
+  uint32_t slot = static_cast<uint32_t>(packed) & kFireSlotMask;
+  uint32_t index = (static_cast<uint32_t>(packed)) >> 2;
+  uint32_t generation = static_cast<uint32_t>(packed >> 32);
+  if (index >= conns_.size()) {
+    ++stats_.stale_fires;
+    return;
+  }
+  Conn& conn = conns_[index];
+  if (!conn.open || conn.generation != generation) {
+    ++stats_.stale_fires;
+    return;
+  }
+  if (fire_probe_fn_ != nullptr) {
+    fire_probe_fn_(fire_probe_ctx_, info);
+  }
+  Segment& seg = conn.segments[slot];
+  // Same-thread discipline means a fire always refers to the currently
+  // armed timer for this slot (a cancelled timer never dispatches).
+  seg.timer = SoftEventId{};
+  ++stats_.timers_fired;
+
+  // Backoff first, so the retransmission is re-armed at the doubled RTO.
+  uint64_t before = EffectiveRto(conn);
+  if (conn.backoff_shift < 63) {
+    ++conn.backoff_shift;
+  }
+  if (EffectiveRto(conn) == before && before == config_.rto_max_ticks) {
+    ++stats_.backoff_capped;
+  }
+  ++conn.retries;
+  if (conn.retries > config_.max_retransmits) {
+    AbortConnection(index, conn);
+    return;
+  }
+
+  seg.retransmitted = 1;  // Karn: its ACK is ambiguous from here on
+  seg.sent_tick = rt_->clock().NowTicks();
+  ++stats_.retransmits;
+  if (retransmit_fn_ != nullptr) {
+    retransmit_fn_(hook_ctx_, conn.ctx, seg.seq_end, conn.retries);
+  }
+  ArmSegmentTimer(index, conn, slot);
+}
+
+void RtoEngine::AbortConnection(uint32_t index, Conn& conn) {
+  void* ctx = conn.ctx;
+  ++stats_.give_ups;
+  if (policy_ != nullptr) {
+    policy_->NoteConnectionReset();
+  }
+  CloseConnection((static_cast<uint64_t>(conn.generation) << 32) | index);
+  if (abort_fn_ != nullptr) {
+    abort_fn_(abort_ctx_, ctx);
+  }
+}
+
+RtoEngine::Conn* RtoEngine::Resolve(uint64_t conn_id, uint32_t* index_out) {
+  uint32_t index = static_cast<uint32_t>(conn_id);
+  uint32_t generation = static_cast<uint32_t>(conn_id >> 32);
+  if (index >= conns_.size()) {
+    return nullptr;
+  }
+  Conn& conn = conns_[index];
+  if (!conn.open || conn.generation != generation) {
+    return nullptr;
+  }
+  if (index_out != nullptr) {
+    *index_out = index;
+  }
+  return &conn;
+}
+
+const RtoEngine::Conn* RtoEngine::Resolve(uint64_t conn_id) const {
+  return const_cast<RtoEngine*>(this)->Resolve(conn_id);
+}
+
+bool RtoEngine::IsOpen(uint64_t conn_id) const {
+  return Resolve(conn_id) != nullptr;
+}
+
+size_t RtoEngine::in_flight(uint64_t conn_id) const {
+  const Conn* conn = Resolve(conn_id);
+  return conn != nullptr ? conn->live : 0;
+}
+
+uint64_t RtoEngine::effective_rto_ticks(uint64_t conn_id) const {
+  const Conn* conn = Resolve(conn_id);
+  return conn != nullptr ? EffectiveRto(*conn) : 0;
+}
+
+uint64_t RtoEngine::srtt_ticks(uint64_t conn_id) const {
+  const Conn* conn = Resolve(conn_id);
+  return conn != nullptr ? conn->srtt : 0;
+}
+
+}  // namespace softtimer

@@ -408,6 +408,129 @@ TEST(FaultInjectionTest, LinkBurstLossDropsOnTheWire) {
   EXPECT_LT(inj.stats().packets_dropped, 140u);
 }
 
+TEST(FaultInjectionTest, PacketLossDistinguishesDataFromAcks) {
+  Simulator sim;
+  SimClockSource clock(&sim, kMeasureHz);
+  fault::FaultPlan plan;
+  // Drop every data segment, no ACKs, inside the window.
+  fault::FaultPlan::PacketLoss loss;
+  loss.window = {0, 10'000'000};
+  loss.data_drop_probability = 1.0;
+  loss.ack_drop_probability = 0.0;
+  plan.packet_loss.push_back(loss);
+  fault::FaultInjector inj(&clock, plan, 7);
+
+  Packet data;
+  data.kind = Packet::Kind::kData;
+  Packet ack;
+  ack.kind = Packet::Kind::kAck;
+  Packet syn;
+  syn.kind = Packet::Kind::kSyn;
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(inj.LinkAction(data), Link::FaultAction::kDrop);
+    EXPECT_EQ(inj.LinkAction(ack), Link::FaultAction::kNone);
+    // Kinds outside data/ack pass through a PacketLoss-only plan.
+    EXPECT_EQ(inj.LinkAction(syn), Link::FaultAction::kNone);
+  }
+  EXPECT_EQ(inj.stats().data_dropped, 10u);
+  EXPECT_EQ(inj.stats().acks_dropped, 0u);
+
+  // The convenience queries agree with LinkAction.
+  EXPECT_TRUE(inj.DropDataSegment());
+  EXPECT_FALSE(inj.DropAck());
+}
+
+TEST(FaultInjectionTest, AckLossIsProbabilisticAndSeedStable) {
+  Simulator sim;
+  SimClockSource clock(&sim, kMeasureHz);
+  fault::FaultPlan plan;
+  fault::FaultPlan::PacketLoss loss;
+  loss.window = {0, 10'000'000};
+  loss.ack_drop_probability = 0.3;
+  plan.packet_loss.push_back(loss);
+
+  auto run = [&](uint64_t seed) {
+    fault::FaultInjector inj(&clock, plan, seed);
+    uint64_t dropped = 0;
+    for (int i = 0; i < 1000; ++i) {
+      if (inj.DropAck()) {
+        ++dropped;
+      }
+    }
+    return dropped;
+  };
+  uint64_t a = run(42);
+  // p = 0.3 over 1000 trials: broad central range.
+  EXPECT_GT(a, 200u);
+  EXPECT_LT(a, 400u);
+  // Same (plan, seed) reproduces the exact verdict count.
+  EXPECT_EQ(a, run(42));
+}
+
+TEST(FaultInjectionTest, BurstLossDropsExactlyCountThenStops) {
+  Simulator sim;
+  SimClockSource clock(&sim, kMeasureHz);
+  fault::FaultPlan plan;
+  fault::FaultPlan::BurstLoss burst;
+  burst.window = {0, 10'000'000};
+  burst.count = 5;
+  burst.match_data = true;
+  burst.match_acks = false;
+  plan.burst_loss.push_back(burst);
+  fault::FaultInjector inj(&clock, plan, 1);
+
+  Packet data;
+  data.kind = Packet::Kind::kData;
+  Packet ack;
+  ack.kind = Packet::Kind::kAck;
+  uint64_t dropped = 0;
+  for (int i = 0; i < 20; ++i) {
+    // ACKs never match this burst and never consume its budget.
+    EXPECT_EQ(inj.LinkAction(ack), Link::FaultAction::kNone);
+    if (inj.LinkAction(data) == Link::FaultAction::kDrop) {
+      ++dropped;
+    }
+  }
+  // Deterministic: exactly the first `count` data packets, regardless of
+  // seed or interleaving.
+  EXPECT_EQ(dropped, 5u);
+  EXPECT_EQ(inj.stats().burst_dropped, 5u);
+  EXPECT_EQ(inj.stats().data_dropped, 0u);
+}
+
+TEST(FaultInjectionTest, BurstLossOnTheWireForcesRetransmissionWindow) {
+  // Wire-level integration: a Link with a burst plan delivers everything
+  // except the burst, matching the injector's own accounting.
+  Simulator sim;
+  Link link(&sim, Link::Config{});
+  uint64_t received = 0;
+  link.set_receiver([&](const Packet&) { ++received; });
+
+  SimClockSource clock(&sim, kMeasureHz);
+  fault::FaultPlan plan;
+  fault::FaultPlan::BurstLoss burst;
+  burst.window = {0, 10'000'000};
+  burst.count = 7;
+  plan.burst_loss.push_back(burst);
+  fault::FaultInjector inj(&clock, plan, 42);
+  inj.InstallOn(&link);
+
+  const int kPackets = 50;
+  for (int i = 0; i < kPackets; ++i) {
+    sim.ScheduleAt(SimTime::Zero() + SimDuration::Micros(20.0 * (i + 1)), [&] {
+      Packet p;
+      p.kind = Packet::Kind::kData;
+      p.size_bytes = 125;
+      ASSERT_TRUE(link.Send(p));
+    });
+  }
+  sim.RunUntil(SimTime::Zero() + SimDuration::Millis(100));
+
+  EXPECT_EQ(received, static_cast<uint64_t>(kPackets) - 7u);
+  EXPECT_EQ(link.stats().fault_dropped, 7u);
+  EXPECT_EQ(inj.stats().burst_dropped, 7u);
+}
+
 TEST(FaultInjectionTest, LinkDuplicationDeliversTwice) {
   Simulator sim;
   Link link(&sim, Link::Config{});

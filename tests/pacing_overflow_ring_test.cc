@@ -1,0 +1,265 @@
+// Overflow-ring boundary semantics for PacingWheel: the hierarchical outer
+// ring that parks deadlines past `quantum * num_slots` and cascades them
+// into the inner wheel one lap ahead. Covers the ISSUE 6 checklist:
+// deadline exactly at the horizon, deadlines multiple outer laps away,
+// re-rate of a parked flow, cancel (deactivate/remove) while parked, and
+// cascade ordering (a cascaded entry never fires earlier than an
+// inner-wheel peer with the same deadline).
+
+#include "src/pacing/pacing_wheel.h"
+
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace softtimer {
+namespace {
+
+struct RecordedEmit {
+  uint64_t flow;
+  uint64_t user_data;
+  uint32_t packets;
+  uint64_t now_tick;
+};
+
+class RecordingSink : public PacingWheel::BatchSink {
+ public:
+  void OnPacedBatch(const PacedEmit* batch, size_t count,
+                    uint64_t now_tick) override {
+    for (size_t i = 0; i < count; ++i) {
+      emits.push_back({batch[i].flow.value, batch[i].user_data,
+                       batch[i].packets, now_tick});
+    }
+  }
+  std::vector<RecordedEmit> emits;
+};
+
+PacedFlowConfig Flow(uint64_t target, uint64_t min_burst,
+                     uint64_t user_data = 0) {
+  PacedFlowConfig c;
+  c.target_interval_ticks = target;
+  c.min_burst_interval_ticks = min_burst;
+  c.user_data = user_data;
+  return c;
+}
+
+PacingWheel::Config Wheel(uint64_t quantum, uint32_t slots,
+                          uint32_t overflow_slots = 64) {
+  PacingWheel::Config c;
+  c.quantum_ticks = quantum;
+  c.num_slots = slots;
+  c.overflow_slots = overflow_slots;
+  return c;
+}
+
+// The boundary between "links inner" and "parks": the largest delay the
+// inner wheel represents without aliasing is horizon - quantum (the same
+// bound the old clamp enforced); one tick past it must park.
+TEST(PacingOverflowRingTest, DeadlineExactlyAtHorizonBoundary) {
+  PacingWheel wheel(Wheel(8, 64));  // horizon = 512
+  RecordingSink sink;
+  PacedFlowId at = wheel.AddFlow(Flow(100, 10, 1));
+  PacedFlowId past = wheel.AddFlow(Flow(100, 10, 2));
+  // Activate delay d gives deadline now + 1 + d. horizon - quantum = 504:
+  // deadline 504 is the last inner-representable delay...
+  ASSERT_TRUE(wheel.Activate(at, 0, 503));
+  EXPECT_EQ(wheel.stats().overflow_parks, 0u);
+  EXPECT_EQ(wheel.parked_flows(), 0u);
+  // ...and deadline 505 (delay 504, one past the bound) parks.
+  ASSERT_TRUE(wheel.Activate(past, 0, 504));
+  EXPECT_EQ(wheel.stats().overflow_parks, 1u);
+  EXPECT_EQ(wheel.parked_flows(), 1u);
+  EXPECT_EQ(wheel.queued_flows(), 2u);
+  EXPECT_EQ(wheel.next_due_tick(), 504u);
+  // Both fire at their exact deadlines, never early.
+  EXPECT_EQ(wheel.Drain(503, &sink), 0u);
+  EXPECT_EQ(wheel.Drain(504, &sink), 1u);
+  ASSERT_EQ(sink.emits.size(), 1u);
+  EXPECT_EQ(sink.emits[0].user_data, 1u);
+  EXPECT_EQ(wheel.Drain(505, &sink), 1u);
+  ASSERT_EQ(sink.emits.size(), 2u);
+  EXPECT_EQ(sink.emits[1].user_data, 2u);
+  EXPECT_EQ(wheel.stats().horizon_clamps, 0u);
+}
+
+// A deadline several outer laps out survives the cursor passing its outer
+// slot multiple times (re-parked each lap, fired only at its exact tick).
+// A busy inner flow keeps the drains past the wake-up gate so the outer
+// cursor genuinely walks window by window instead of leaping.
+TEST(PacingOverflowRingTest, DeadlineMultipleOuterLapsAway) {
+  // horizon = 512, 4 outer slots -> outer span = 2048 ticks.
+  PacingWheel wheel(Wheel(8, 64, 4));
+  EXPECT_EQ(wheel.overflow_slots(), 4u);
+  RecordingSink sink;
+  PacedFlowId busy = wheel.AddFlow(Flow(50, 5, 0));
+  PacedFlowId id = wheel.AddFlow(Flow(9'000, 10, 7));
+  ASSERT_TRUE(wheel.Activate(busy, 0));
+  // Deadline 9'001: outer window [8'704, 9'216), i.e. more than four full
+  // outer laps (4 * 2'048 = 8'192) from activation.
+  ASSERT_TRUE(wheel.Activate(id, 0, 9'000));
+  EXPECT_EQ(wheel.parked_flows(), 1u);
+  // Drains every quantum up to just short of the deadline: the cursor
+  // passes the flow's outer slot once per outer lap; each pass re-parks,
+  // and the far flow never fires early.
+  for (uint64_t now = 8; now < 9'001; now += 8) {
+    wheel.Drain(now, &sink);
+    for (const RecordedEmit& e : sink.emits) {
+      ASSERT_NE(e.user_data, 7u) << "early fire at " << now;
+    }
+  }
+  // Four re-parks: cursor passes outer slot 1 at ~512, ~2560, ~4608, ~6656
+  // before the deadline's own window at ~8704 cascades it in.
+  EXPECT_GE(wheel.stats().overflow_reparks, 3u);
+  size_t before = sink.emits.size();
+  EXPECT_GE(wheel.Drain(9'001, &sink), 1u);
+  bool fired = false;
+  for (size_t i = before; i < sink.emits.size(); ++i) {
+    if (sink.emits[i].user_data == 7u) {
+      EXPECT_EQ(sink.emits[i].now_tick, 9'001u);
+      fired = true;
+    }
+  }
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(wheel.stats().horizon_clamps, 0u);
+}
+
+// Re-rating a parked flow to a representable interval pulls it out of the
+// overflow ring immediately (next emission at now + 1, then the new
+// cadence), instead of waiting for the old far-future cascade.
+TEST(PacingOverflowRingTest, ReRateOfParkedFlowLeavesRingImmediately) {
+  PacingWheel wheel(Wheel(8, 64));
+  RecordingSink sink;
+  PacedFlowId id = wheel.AddFlow(Flow(100'000, 10));
+  ASSERT_TRUE(wheel.Activate(id, 0));
+  // First emission at tick 1, then the 100'000-tick interval parks it.
+  EXPECT_EQ(wheel.Drain(1, &sink), 1u);
+  EXPECT_EQ(wheel.parked_flows(), 1u);
+  ASSERT_TRUE(wheel.ReRate(id, 1, 50, 5));
+  EXPECT_EQ(wheel.parked_flows(), 0u);
+  EXPECT_EQ(wheel.queued_flows(), 1u);
+  EXPECT_EQ(wheel.next_due_tick(), 2u);
+  EXPECT_EQ(wheel.Drain(2, &sink), 1u);
+  EXPECT_EQ(sink.emits.size(), 2u);
+  // And the reverse: re-rating an inner flow past the horizon parks the
+  // NEXT emission (the re-rate itself re-aims at now + 1 first).
+  ASSERT_TRUE(wheel.ReRate(id, 2, 100'000, 10));
+  EXPECT_EQ(wheel.next_due_tick(), 3u);
+  EXPECT_EQ(wheel.Drain(3, &sink), 1u);
+  EXPECT_EQ(wheel.parked_flows(), 1u);
+  EXPECT_EQ(wheel.next_due_tick(), 100'003u);
+}
+
+// Deactivate and RemoveFlow while parked unlink from the outer ring;
+// nothing fires later and the wake-up gate resets when the ring empties.
+TEST(PacingOverflowRingTest, CancelWhileParked) {
+  PacingWheel wheel(Wheel(8, 64));
+  RecordingSink sink;
+  PacedFlowId a = wheel.AddFlow(Flow(10'000, 10, 1));
+  PacedFlowId b = wheel.AddFlow(Flow(20'000, 10, 2));
+  ASSERT_TRUE(wheel.Activate(a, 0, 9'999));
+  ASSERT_TRUE(wheel.Activate(b, 0, 19'999));
+  EXPECT_EQ(wheel.parked_flows(), 2u);
+  ASSERT_TRUE(wheel.Deactivate(a));
+  EXPECT_EQ(wheel.parked_flows(), 1u);
+  EXPECT_FALSE(wheel.active(a));
+  EXPECT_TRUE(wheel.contains(a));  // still registered, just idle
+  ASSERT_TRUE(wheel.RemoveFlow(b));
+  EXPECT_FALSE(wheel.contains(b));
+  EXPECT_EQ(wheel.parked_flows(), 0u);
+  EXPECT_EQ(wheel.next_due_tick(), UINT64_MAX);
+  // Sweeping far past both old deadlines emits nothing.
+  EXPECT_EQ(wheel.Drain(50'000, &sink), 0u);
+  EXPECT_TRUE(sink.emits.empty());
+  // A deactivated-then-reactivated flow runs normally.
+  ASSERT_TRUE(wheel.Activate(a, 50'000, 0));
+  EXPECT_EQ(wheel.Drain(50'001, &sink), 1u);
+  EXPECT_EQ(sink.emits.size(), 1u);
+}
+
+// Cascade ordering: an entry that reaches its deadline via the overflow
+// ring fires in the same drain (same now_tick) as an inner-wheel peer
+// scheduled for the same deadline — the cascaded entry never fires
+// earlier than the peer, and neither fires before the exact deadline.
+TEST(PacingOverflowRingTest, CascadedEntryNeverFiresBeforeInnerPeer) {
+  PacingWheel wheel(Wheel(8, 64));  // horizon = 512
+  RecordingSink sink;
+  const uint64_t deadline = 1'000;
+  PacedFlowId parked = wheel.AddFlow(Flow(100, 10, 1));
+  PacedFlowId inner = wheel.AddFlow(Flow(100, 10, 2));
+  // Parked at activation (delay 999 > 504)...
+  ASSERT_TRUE(wheel.Activate(parked, 0, deadline - 1));
+  EXPECT_EQ(wheel.parked_flows(), 1u);
+  // ...while the peer enters the inner wheel later, aimed at the same
+  // absolute deadline (activated at 600, delay 399 fits the horizon).
+  wheel.Drain(600, &sink);  // gated: nothing due yet, the entry stays parked
+  ASSERT_TRUE(sink.emits.empty());
+  ASSERT_TRUE(wheel.Activate(inner, 600, deadline - 601));
+  EXPECT_EQ(wheel.parked_flows(), 1u);
+  EXPECT_EQ(wheel.queued_flows(), 2u);
+  // Sub-deadline drains: neither fires.
+  EXPECT_EQ(wheel.Drain(deadline - 1, &sink), 0u);
+  ASSERT_TRUE(sink.emits.empty());
+  // At the deadline both fire under one clock read.
+  EXPECT_EQ(wheel.Drain(deadline, &sink), 2u);
+  ASSERT_EQ(sink.emits.size(), 2u);
+  EXPECT_EQ(sink.emits[0].now_tick, deadline);
+  EXPECT_EQ(sink.emits[1].now_tick, deadline);
+  EXPECT_EQ(wheel.stats().horizon_clamps, 0u);
+}
+
+// The wake-up gate (next_due_tick) tracks parked deadlines so a host that
+// arms one soft event from it cascades in time; emptying and refilling
+// the ring keeps the gate exact.
+TEST(PacingOverflowRingTest, NextDueTracksParkedDeadlines) {
+  PacingWheel wheel(Wheel(8, 64));
+  RecordingSink sink;
+  PacedFlowId far = wheel.AddFlow(Flow(5'000, 10, 1));
+  PacedFlowId near = wheel.AddFlow(Flow(50, 5, 2));
+  ASSERT_TRUE(wheel.Activate(far, 0, 4'999));
+  EXPECT_EQ(wheel.next_due_tick(), 5'000u);  // parked-only gate
+  ASSERT_TRUE(wheel.Activate(near, 0, 0));
+  EXPECT_EQ(wheel.next_due_tick(), 1u);  // inner deadline wins
+  EXPECT_EQ(wheel.Drain(1, &sink), 1u);
+  // After the drain the gate holds the near flow's next deadline.
+  EXPECT_EQ(wheel.next_due_tick(), 51u);
+  ASSERT_TRUE(wheel.Deactivate(near));
+  wheel.Drain(60, &sink);
+  EXPECT_EQ(wheel.next_due_tick(), 5'000u);
+}
+
+// Overflow traffic stays allocation-stable: after the ring's vectors reach
+// their high-water mark, park/cascade/re-park cycles reuse storage (the
+// slab and the outer slot vectors grow only to the workload peak).
+TEST(PacingOverflowRingTest, SteadyStateParkCascadeReusesStorage) {
+  PacingWheel wheel(Wheel(8, 64, 4));
+  RecordingSink sink;
+  std::vector<PacedFlowId> ids;
+  for (int i = 0; i < 32; ++i) {
+    ids.push_back(wheel.AddFlow(Flow(3'000 + 8 * i, 10, i)));
+  }
+  uint64_t now = 0;
+  for (PacedFlowId id : ids) {
+    ASSERT_TRUE(wheel.Activate(id, now));
+  }
+  // Several full interval cycles: every flow parks, cascades, fires,
+  // re-parks each cycle.
+  for (int cycle = 0; cycle < 8; ++cycle) {
+    for (int step = 0; step < 400; ++step) {
+      now += 8;
+      wheel.Drain(now, &sink);
+    }
+  }
+  EXPECT_EQ(wheel.stats().horizon_clamps, 0u);
+  EXPECT_GE(wheel.stats().overflow_parks, 8u * 32u);
+  // The final cycle's parks may still be waiting at test end.
+  EXPECT_GE(wheel.stats().overflow_cascades, 7u * 32u);
+  // Every emission happened at or after its exact deadline (the sink's
+  // now_tick is the drain clock; per-flow deadlines are multiples of the
+  // interval from activation, so lateness >= 0 is implied by the wheel's
+  // keep-requeue discipline — spot-check that each flow fired each cycle).
+  EXPECT_GE(sink.emits.size(), 8u * 32u);
+}
+
+}  // namespace
+}  // namespace softtimer

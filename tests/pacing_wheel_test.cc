@@ -1,6 +1,6 @@
 // PacingWheel unit semantics: exact-deadline emission (quantization never
 // fires early), catch-up and coalesced-burst arithmetic shared with
-// AdaptivePacer, budget auto-idle, horizon clamping, stale-id rejection,
+// AdaptivePacer, budget auto-idle, overflow-ring parking, stale-id rejection,
 // deferred mid-drain mutation, and the single-armed-event host contract
 // (one soft event per shard regardless of flow count).
 
@@ -194,18 +194,34 @@ TEST(PacingWheelTest, ReRateAppliesImmediatelyToQueuedFlow) {
   EXPECT_EQ(wheel.stats().re_rates, 1u);
 }
 
-TEST(PacingWheelTest, HorizonClampBoundsFarDeadlines) {
+TEST(PacingWheelTest, FarDeadlinesParkInOverflowRingAndFireExactly) {
   PacingWheel wheel(Wheel(8, 64));  // horizon = 512 ticks
   EXPECT_EQ(wheel.horizon_ticks(), 512u);
   RecordingSink sink;
-  // Target beyond the horizon is clamped at registration...
+  // A target beyond the horizon is kept exact, not clamped...
   PacedFlowId id = wheel.AddFlow(Flow(10'000, 10));
-  EXPECT_EQ(wheel.stats().horizon_clamps, 1u);
-  // ...and so is an initial delay.
+  EXPECT_EQ(wheel.stats().horizon_clamps, 0u);
+  // ...and so is a far initial delay: the deadline parks in the overflow
+  // ring and the wake-up gate reflects it exactly.
   ASSERT_TRUE(wheel.Activate(id, 0, 100'000));
-  EXPECT_EQ(wheel.stats().horizon_clamps, 2u);
-  EXPECT_EQ(wheel.next_due_tick(), 504u);  // horizon - quantum
-  EXPECT_EQ(wheel.Drain(504, &sink), 1u);
+  EXPECT_EQ(wheel.stats().horizon_clamps, 0u);
+  EXPECT_EQ(wheel.stats().overflow_parks, 1u);
+  EXPECT_EQ(wheel.parked_flows(), 1u);
+  EXPECT_EQ(wheel.next_due_tick(), 100'001u);
+  // A drain short of the deadline cascades nothing out and emits nothing
+  // early, no matter how many horizons it crosses.
+  EXPECT_EQ(wheel.Drain(504, &sink), 0u);
+  EXPECT_EQ(wheel.Drain(100'000, &sink), 0u);
+  EXPECT_TRUE(sink.emits.empty());
+  // At the exact deadline the parked entry has cascaded in and fires.
+  EXPECT_EQ(wheel.Drain(100'001, &sink), 1u);
+  ASSERT_EQ(sink.emits.size(), 1u);
+  EXPECT_EQ(sink.emits[0].now_tick, 100'001u);
+  EXPECT_GE(wheel.stats().overflow_cascades, 1u);
+  // The next emission (interval 10'000 > horizon) parks again.
+  EXPECT_EQ(wheel.parked_flows(), 1u);
+  EXPECT_EQ(wheel.next_due_tick(), 110'001u);
+  EXPECT_EQ(wheel.stats().horizon_clamps, 0u);
 }
 
 TEST(PacingWheelTest, StaleIdsAreRejectedEverywhere) {
