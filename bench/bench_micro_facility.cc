@@ -8,8 +8,9 @@
 // Extra flags (consumed before google-benchmark sees the command line):
 //
 //   --hotpath-json=PATH   instead of running google-benchmark, measure the
-//                         four hot-path operations (schedule, cancel,
-//                         nothing-due check, dispatch cycle) across all four
+//                         hot-path operations (schedule, cancel, nothing-due
+//                         check, dispatch cycle, burst drains, and the
+//                         update-heavy re-arm mix) across all five
 //                         TimerQueue kinds and write machine-readable JSON
 //                         (ns/op and allocs/op) to PATH, alongside the
 //                         facility-level numbers recorded from the tree
@@ -127,6 +128,13 @@ struct HotpathSample {
   // vs the amortized default (one read per batch of 64).
   OpSample burst_dispatch_read_every_event;
   OpSample burst_dispatch_amortized_reads;
+  // Re-arm churn over a pool of live events (the RTO-restart shape):
+  // `update` is RescheduleSoftEvent (native in-place relink on the grouped
+  // sorting queue, the inherited cancel+reschedule elsewhere);
+  // `update_emulated` is the portable CancelSoftEvent+ScheduleSoftEvent
+  // pair every pre-update caller had to write.
+  OpSample update;
+  OpSample update_emulated;
 };
 
 // Times `iters` runs of `body`, returning wall ns/op and probe allocs/op.
@@ -237,6 +245,37 @@ HotpathSample MeasureHotpath(TimerQueueKind kind, size_t iters) {
   out.burst_dispatch_read_every_event = measure_burst(1);
   out.burst_dispatch_amortized_reads = measure_burst(64);
 
+  // Update-heavy mix: a pool of live far-out events whose deadlines keep
+  // moving, one re-arm per measured op. The pool never drains, so this is
+  // pure relink cost - the dominant write pattern of an RTO engine
+  // restarting survivor timers on every partial ACK.
+  constexpr size_t kPool = 4096;
+  auto measure_rearm = [&](bool native) {
+    Env env(kind);
+    std::vector<SoftEventId> ids(kPool);
+    for (size_t i = 0; i < kPool; ++i) {
+      ids[i] = env.facility.ScheduleSoftEvent(
+          1'000'000 + i, [](const SoftTimerFacility::FireInfo&) {});
+    }
+    auto rearm = [&](size_t i) {
+      size_t slot = i % kPool;
+      uint64_t delta = 1'000'000 + ((i * 7) & 4095);
+      if (native) {
+        ids[slot] = env.facility.RescheduleSoftEvent(ids[slot], delta);
+      } else {
+        env.facility.CancelSoftEvent(ids[slot]);
+        ids[slot] = env.facility.ScheduleSoftEvent(
+            delta, [](const SoftTimerFacility::FireInfo&) {});
+      }
+    };
+    for (size_t i = 0; i < kPool; ++i) {
+      rearm(i);  // warmup: slab and (heap backend) entry vector high-water
+    }
+    return Measure(iters, rearm);
+  };
+  out.update = measure_rearm(true);
+  out.update_emulated = measure_rearm(false);
+
   return out;
 }
 
@@ -259,7 +298,9 @@ int WriteHotpathJson(const std::string& path, size_t iters) {
                "ns/op is wall time on the build machine, allocs/op from the "
                "operator-new probe; burst_dispatch_* is a 128-due-event drain "
                "normalized per event, with one clock read per event vs the "
-               "amortized default (one per 64 dispatches)\",\n");
+               "amortized default (one per 64 dispatches); update is one "
+               "RescheduleSoftEvent over a 4096-event live pool, "
+               "update_emulated the equivalent cancel+schedule pair\",\n");
   // Facility-level numbers measured on this machine immediately before the
   // typed-node / slab / fast-gate rework (default hashed-wheel queue), kept
   // for comparison: the nothing-due check must stay >= 2x faster than this.
@@ -277,8 +318,10 @@ int WriteHotpathJson(const std::string& path, size_t iters) {
   std::fprintf(f, "  \"current\": {\n");
   const TimerQueueKind kKinds[] = {
       TimerQueueKind::kHeap, TimerQueueKind::kHashedWheel,
-      TimerQueueKind::kHierarchicalWheel, TimerQueueKind::kCalloutList};
-  for (size_t k = 0; k < 4; ++k) {
+      TimerQueueKind::kHierarchicalWheel, TimerQueueKind::kCalloutList,
+      TimerQueueKind::kGroupedSorting};
+  constexpr size_t kNumKinds = sizeof(kKinds) / sizeof(kKinds[0]);
+  for (size_t k = 0; k < kNumKinds; ++k) {
     HotpathSample s = MeasureHotpath(kKinds[k], iters);
     std::fprintf(f, "    \"%s\": {\n", TimerQueueKindName(kKinds[k]));
     WriteOp(f, "schedule", s.schedule, ",");
@@ -288,16 +331,20 @@ int WriteHotpathJson(const std::string& path, size_t iters) {
     WriteOp(f, "burst_dispatch_read_every_event",
             s.burst_dispatch_read_every_event, ",");
     WriteOp(f, "burst_dispatch_amortized_reads",
-            s.burst_dispatch_amortized_reads, "");
-    std::fprintf(f, "    }%s\n", k + 1 < 4 ? "," : "");
+            s.burst_dispatch_amortized_reads, ",");
+    WriteOp(f, "update", s.update, ",");
+    WriteOp(f, "update_emulated", s.update_emulated, "");
+    std::fprintf(f, "    }%s\n", k + 1 < kNumKinds ? "," : "");
     std::printf("%-12s schedule %6.1f ns  cancel %6.1f ns  nothing-due %5.2f ns "
                 "(allocs/op %.3f)  dispatch-cycle %6.1f ns  "
-                "burst/event %5.1f -> %5.1f ns\n",
+                "burst/event %5.1f -> %5.1f ns  "
+                "update %5.1f ns vs pair %5.1f ns\n",
                 TimerQueueKindName(kKinds[k]), s.schedule.ns_per_op,
                 s.cancel.ns_per_op, s.nothing_due_check.ns_per_op,
                 s.nothing_due_check.allocs_per_op, s.dispatch_cycle.ns_per_op,
                 s.burst_dispatch_read_every_event.ns_per_op,
-                s.burst_dispatch_amortized_reads.ns_per_op);
+                s.burst_dispatch_amortized_reads.ns_per_op,
+                s.update.ns_per_op, s.update_emulated.ns_per_op);
   }
   std::fprintf(f, "  }\n}\n");
   std::fclose(f);

@@ -1,10 +1,12 @@
 // Microbenchmarks of the timer-queue data structures (google-benchmark).
 //
 // The paper keeps soft-timer events in "a modified form of timing wheels";
-// these benchmarks compare the hashed wheel, the hierarchical wheel and the
-// binary-heap baseline on the operations the facility performs: schedule,
-// cancel, the per-trigger-state check (EarliestDeadline + no-op expire), and
-// a steady fire/reschedule churn at various pending-set sizes.
+// these benchmarks compare the hashed wheel, the hierarchical wheel, the
+// callout list, the grouped sorting queue, and the binary-heap baseline on
+// the operations the facility performs: schedule, cancel, the
+// per-trigger-state check (EarliestDeadline + no-op expire), steady
+// fire/reschedule churn, and deadline-update churn at various pending-set
+// sizes.
 
 #include <benchmark/benchmark.h>
 
@@ -24,8 +26,10 @@ TimerQueueKind KindFromArg(int64_t a) {
       return TimerQueueKind::kHashedWheel;
     case 2:
       return TimerQueueKind::kHierarchicalWheel;
-    default:
+    case 3:
       return TimerQueueKind::kCalloutList;
+    default:
+      return TimerQueueKind::kGroupedSorting;
   }
 }
 
@@ -42,7 +46,7 @@ void BM_Schedule(benchmark::State& state) {
     }
   }
 }
-BENCHMARK(BM_Schedule)->Arg(0)->Arg(1)->Arg(2)->Arg(3);
+BENCHMARK(BM_Schedule)->Arg(0)->Arg(1)->Arg(2)->Arg(3)->Arg(4);
 
 void BM_ScheduleCancel(benchmark::State& state) {
   auto q = MakeTimerQueue(KindFromArg(state.range(0)));
@@ -51,7 +55,7 @@ void BM_ScheduleCancel(benchmark::State& state) {
     benchmark::DoNotOptimize(q->Cancel(id));
   }
 }
-BENCHMARK(BM_ScheduleCancel)->Arg(0)->Arg(1)->Arg(2)->Arg(3);
+BENCHMARK(BM_ScheduleCancel)->Arg(0)->Arg(1)->Arg(2)->Arg(3)->Arg(4);
 
 // The facility's hot path: nothing due, check and move on.
 void BM_TriggerCheckNothingDue(benchmark::State& state) {
@@ -72,10 +76,12 @@ BENCHMARK(BM_TriggerCheckNothingDue)
     ->Args({1, 4})
     ->Args({2, 4})
     ->Args({3, 4})
+    ->Args({4, 4})
     ->Args({0, 1024})
     ->Args({1, 1024})
     ->Args({2, 1024})
-    ->Args({3, 1024});
+    ->Args({3, 1024})
+    ->Args({4, 1024});
 
 // Steady-state churn: one event fires and is rescheduled per step, with a
 // standing population of `range(1)` pending timers.
@@ -98,8 +104,33 @@ void BM_FireRescheduleChurn(benchmark::State& state) {
     }
   }
 }
-BENCHMARK(BM_FireRescheduleChurn)->Args({0, 16})->Args({1, 16})->Args({2, 16})->Args({3, 16})
-    ->Args({0, 4096})->Args({1, 4096})->Args({2, 4096})->Args({3, 4096});
+BENCHMARK(BM_FireRescheduleChurn)
+    ->Args({0, 16})->Args({1, 16})->Args({2, 16})->Args({3, 16})->Args({4, 16})
+    ->Args({0, 4096})->Args({1, 4096})->Args({2, 4096})->Args({3, 4096})
+    ->Args({4, 4096});
+
+// Deadline update churn: every step moves one live timer of a standing
+// population to a new deadline. Arg 0 selects the backend; native O(1)
+// Update (grouped sorting queue) against the emulated cancel+reschedule the
+// other backends inherit.
+void BM_UpdateChurn(benchmark::State& state) {
+  auto q = MakeTimerQueue(KindFromArg(state.range(0)));
+  size_t population = static_cast<size_t>(state.range(1));
+  std::vector<TimerId> ids(population);
+  for (size_t i = 0; i < population; ++i) {
+    ids[i] = q->Schedule(1'000'000 + i * 13 % 100'000, [] {});
+  }
+  uint64_t step = 0;
+  for (auto _ : state) {
+    size_t slot = step % population;
+    ids[slot] = q->Update(ids[slot], 1'000'000 + (step * 7) % 100'000);
+    benchmark::DoNotOptimize(ids[slot]);
+    ++step;
+  }
+}
+BENCHMARK(BM_UpdateChurn)
+    ->Args({0, 4096})->Args({1, 4096})->Args({2, 4096})->Args({3, 4096})
+    ->Args({4, 4096});
 
 }  // namespace
 }  // namespace softtimer

@@ -10,6 +10,14 @@
 //               ACK. Gates: >= 95% of timers cancelled before firing
 //               (here: all of them), 0 allocs/op on the schedule->cancel
 //               path, and zero fires across the whole phase.
+//   rearm       Full 4-segment windows under partial ACKs: every ACK
+//               retires the head and restarts the three survivors (RFC
+//               6298 5.3) through RescheduleOnShard. Run twice - on the
+//               grouped sorting queue (native O(1) Update) and on the
+//               hashed wheel (inherited cancel+reschedule emulation) - to
+//               price the native path at connection scale. Gates: every
+//               round restarts 3 survivors/conn on both backends, 0
+//               allocs/op, zero fires, exact conservation.
 //   loss        Same engine under a FaultInjector plan (probabilistic
 //               data/ACK loss plus a deterministic burst episode): timers
 //               fire, retransmissions back off exponentially, some
@@ -187,6 +195,105 @@ ChurnResult RunChurn(size_t conns) {
   const RtoEngine::Stats& st = engine.stats();
   r.total_scheduled = st.timers_scheduled;
   r.total_cancelled = st.timers_cancelled;
+  r.total_fired = st.timers_fired;
+  r.conserved = st.timers_scheduled == st.timers_cancelled + st.timers_fired &&
+                st.stale_fires == 0;
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// Phase 1b: partial-ACK re-arm - the RFC 6298 5.3 restart at scale, native
+// update vs emulated cancel+reschedule.
+// ---------------------------------------------------------------------------
+
+struct RearmResult {
+  size_t conns = 0;
+  const char* queue = "";
+  int measured_rounds = 0;
+  uint64_t reschedules = 0;  // per measured round
+  uint64_t cpu_ns = 0;       // best measured round
+  uint64_t allocs = 0;       // worst measured round
+  uint64_t total_rescheduled = 0;
+  uint64_t total_fired = 0;
+  bool conserved = false;
+  // The measured round is one partial ACK + one fresh send per connection:
+  // 3 survivor restarts, 1 cancel, 1 schedule. The restarts dominate and
+  // are the only part that differs between backends, so normalize on them.
+  double ns_per_reschedule() const {
+    return reschedules == 0 ? 0.0
+                            : static_cast<double>(cpu_ns) /
+                                  static_cast<double>(reschedules);
+  }
+  double allocs_per_op() const {
+    return reschedules == 0 ? 0.0
+                            : static_cast<double>(allocs) /
+                                  static_cast<double>(reschedules);
+  }
+};
+
+RearmResult RunRearm(size_t conns, TimerQueueKind kind) {
+  TickClock clock;
+  ShardedSoftTimerRuntime::Config rc;
+  rc.num_shards = 1;
+  rc.facility.queue_kind = kind;
+  ShardedSoftTimerRuntime rt(&clock, rc);
+  RtoEngine::Config ec;
+  ec.rto_initial_ticks = 8'000;  // ACK cadence is 500: restarts always win
+  ec.rto_min_ticks = 4'000;
+  ec.rto_max_ticks = 64'000;
+  RtoEngine engine(&rt, nullptr, ec);
+
+  std::vector<uint64_t> ids(conns);
+  for (size_t i = 0; i < conns; ++i) {
+    ids[i] = engine.OpenConnection(nullptr);
+  }
+  // Fill every window: 4 segments in flight per connection.
+  for (uint32_t s = 1; s <= kRtoWindowSegments; ++s) {
+    for (size_t i = 0; i < conns; ++i) {
+      engine.OnSegmentSent(ids[i], s * 1'000ull);
+    }
+  }
+
+  uint64_t round_idx = 0;
+  auto round = [&] {
+    clock.Advance(500);
+    rt.OnTriggerState(0, TriggerSource::kSyscall);
+    uint64_t ack = (round_idx + 1) * 1'000ull;
+    uint64_t next_send = (kRtoWindowSegments + round_idx + 1) * 1'000ull;
+    for (size_t i = 0; i < conns; ++i) {
+      engine.OnCumulativeAck(ids[i], ack);  // retires head, restarts 3
+      engine.OnSegmentSent(ids[i], next_send);
+    }
+    ++round_idx;
+  };
+
+  round();  // warmup: slab / window bookkeeping high-water marks
+
+  constexpr int kReps = 3;
+  RearmResult r;
+  r.conns = conns;
+  r.queue = TimerQueueKindName(kind);
+  r.measured_rounds = kReps;
+  r.reschedules = static_cast<uint64_t>(conns) * (kRtoWindowSegments - 1);
+  uint64_t best_cpu = UINT64_MAX;
+  uint64_t worst_allocs = 0;
+  for (int rep = 0; rep < kReps; ++rep) {
+    uint64_t a0 = AllocProbeAllocCount();
+    uint64_t t0 = ThreadCpuNs();
+    round();
+    uint64_t cpu = ThreadCpuNs() - t0;
+    uint64_t allocs = AllocProbeAllocCount() - a0;
+    best_cpu = cpu < best_cpu ? cpu : best_cpu;
+    worst_allocs = allocs > worst_allocs ? allocs : worst_allocs;
+  }
+  r.cpu_ns = best_cpu;
+  r.allocs = worst_allocs;
+
+  for (size_t i = 0; i < conns; ++i) {
+    engine.CloseConnection(ids[i]);
+  }
+  const RtoEngine::Stats& st = engine.stats();
+  r.total_rescheduled = st.timers_rescheduled;
   r.total_fired = st.timers_fired;
   r.conserved = st.timers_scheduled == st.timers_cancelled + st.timers_fired &&
                 st.stale_fires == 0;
@@ -590,6 +697,33 @@ int Run(const std::string& json_path, bool smoke, size_t conns_override) {
       churn.ns_per_op(), churn.ops_per_sec() / 1e6, churn.allocs_per_op(),
       churn.cancelled_ratio(), churn.total_fired);
 
+  // Re-arm phase is quadratic-ish in window depth, not conns, but a full
+  // million-conn run is still heavy; a quarter of the churn population keeps
+  // it proportionate while staying way past cache sizes.
+  size_t rearm_conns = conns / 4 > 0 ? conns / 4 : 1;
+  std::printf("rto rearm: %zu connections x %u-segment windows...\n",
+              rearm_conns, kRtoWindowSegments);
+  RearmResult rearm_native =
+      RunRearm(rearm_conns, TimerQueueKind::kGroupedSorting);
+  RearmResult rearm_emulated =
+      RunRearm(rearm_conns, TimerQueueKind::kHashedWheel);
+  double rearm_speedup =
+      rearm_native.cpu_ns == 0
+          ? 0.0
+          : static_cast<double>(rearm_emulated.cpu_ns) /
+                static_cast<double>(rearm_native.cpu_ns);
+  std::printf(
+      "  native (%s)   %.1f ns/reschedule  allocs/op %.6f  fired %" PRIu64
+      "\n",
+      rearm_native.queue, rearm_native.ns_per_reschedule(),
+      rearm_native.allocs_per_op(), rearm_native.total_fired);
+  std::printf(
+      "  emulated (%s) %.1f ns/reschedule  allocs/op %.6f  fired %" PRIu64
+      "  native speedup %.2fx\n",
+      rearm_emulated.queue, rearm_emulated.ns_per_reschedule(),
+      rearm_emulated.allocs_per_op(), rearm_emulated.total_fired,
+      rearm_speedup);
+
   std::printf("rto loss: %zu connections under chaos plan...\n", conns);
   LossResult loss = RunLoss(conns);
   std::printf(
@@ -635,7 +769,11 @@ int Run(const std::string& json_path, bool smoke, size_t conns_override) {
         "timers) on ShardedSoftTimerRuntime; 1 tick = 1 us nominal. churn: "
         "send+cumulative-ACK rounds, cost is thread CPU "
         "(CLOCK_THREAD_CPUTIME_ID) over schedule+cancel ops (best of 3 "
-        "rounds), allocs from the operator-new probe (worst of 3). loss: "
+        "rounds), allocs from the operator-new probe (worst of 3). rearm: "
+        "4-segment windows under partial ACKs, every ACK restarts the 3 "
+        "survivors (RFC 6298 5.3); native Update on the grouped sorting "
+        "queue vs the emulated cancel+reschedule on the hashed wheel, cost "
+        "normalized per survivor restart. loss: "
         "FaultInjector plan (2%% data, 1%% ACK, burst=conns/100), lateness "
         "from the engine fire probe against a 128-tick trigger cadence. "
         "wheel: PacingWheel flows re-rated through doubling intervals past "
@@ -654,6 +792,22 @@ int Run(const std::string& json_path, bool smoke, size_t conns_override) {
         churn.ns_per_op(), churn.ops_per_sec(), churn.allocs_per_op(),
         churn.cancelled_ratio(), churn.total_fired,
         churn.conserved ? "true" : "false");
+    auto write_rearm = [&](const char* key, const RearmResult& r,
+                           const char* trailer) {
+      std::fprintf(
+          f,
+          "  \"%s\": {\"conns\": %zu, \"queue\": \"%s\", "
+          "\"reschedules_per_round\": %" PRIu64 ", \"cpu_ns\": %" PRIu64
+          ", \"ns_per_reschedule\": %.2f, \"allocs_per_op\": %.6f, "
+          "\"timers_rescheduled\": %" PRIu64 ", \"timers_fired\": %" PRIu64
+          ", \"conserved\": %s}%s\n",
+          key, r.conns, r.queue, r.reschedules, r.cpu_ns,
+          r.ns_per_reschedule(), r.allocs_per_op(), r.total_rescheduled,
+          r.total_fired, r.conserved ? "true" : "false", trailer);
+    };
+    write_rearm("rearm_native", rearm_native, ",");
+    write_rearm("rearm_emulated", rearm_emulated, ",");
+    std::fprintf(f, "  \"rearm_native_speedup\": %.3f,\n", rearm_speedup);
     std::fprintf(
         f,
         "  \"loss\": {\"conns\": %zu, \"completed\": %s, \"fires\": %" PRIu64
@@ -714,6 +868,35 @@ int Run(const std::string& json_path, bool smoke, size_t conns_override) {
   if (!churn.conserved) {
     std::fprintf(stderr, "FAIL: churn timer accounting not conserved\n");
     rc = 1;
+  }
+  for (const RearmResult* r : {&rearm_native, &rearm_emulated}) {
+    // warmup + measured rounds, 3 survivors restarted per connection each.
+    uint64_t expected =
+        static_cast<uint64_t>(1 + r->measured_rounds) * r->reschedules;
+    if (r->total_rescheduled != expected) {
+      std::fprintf(stderr,
+                   "FAIL: rearm (%s) restarted %" PRIu64 " timers, want %" PRIu64
+                   "\n",
+                   r->queue, r->total_rescheduled, expected);
+      rc = 1;
+    }
+    if (r->allocs_per_op() > 1e-6) {
+      std::fprintf(stderr, "FAIL: rearm (%s) allocs/op %.6f != 0\n", r->queue,
+                   r->allocs_per_op());
+      rc = 1;
+    }
+    if (r->total_fired != 0) {
+      std::fprintf(stderr,
+                   "FAIL: rearm (%s) fired %" PRIu64 " timers (restarts "
+                   "should always win)\n",
+                   r->queue, r->total_fired);
+      rc = 1;
+    }
+    if (!r->conserved) {
+      std::fprintf(stderr, "FAIL: rearm (%s) timer accounting not conserved\n",
+                   r->queue);
+      rc = 1;
+    }
   }
   if (!loss.completed) {
     std::fprintf(stderr, "FAIL: loss phase did not drain every connection\n");

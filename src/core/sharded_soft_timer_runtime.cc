@@ -158,6 +158,16 @@ bool ShardedSoftTimerRuntime::CancelOnShard(size_t shard, SoftEventId id) {
 }
 
 // SOFTTIMER_HOT
+SoftEventId ShardedSoftTimerRuntime::RescheduleOnShard(size_t shard,
+                                                       SoftEventId id,
+                                                       uint64_t delta_ticks) {
+  if (!id.valid() || TimerIdShard(id.value) != shard) {
+    return SoftEventId{};
+  }
+  return ApplyReschedule(*shards_[shard], id.value, delta_ticks);
+}
+
+// SOFTTIMER_HOT
 size_t ShardedSoftTimerRuntime::DrainRemote(size_t shard) {
   Shard& s = *shards_[shard];
   // Clear the flag, then seq_cst-fence before sweeping (the store-buffering
@@ -214,6 +224,19 @@ void ShardedSoftTimerRuntime::ApplyCommand(Shard& shard, Command&& cmd) {
         ++shard.stats.remote_cancel_misses;
       }
       break;
+    case Command::Op::kUpdate: {
+      // Re-anchor the delay at the enqueue tick, like a schedule command:
+      // time spent in the ring counts against T instead of stretching it.
+      uint64_t now = shard.facility->MeasureTime();
+      uint64_t due = cmd.enqueue_tick + cmd.delta_ticks;
+      uint64_t remaining = due > now ? due - now : 0;
+      if (ApplyReschedule(shard, cmd.id, remaining).valid()) {
+        ++shard.stats.remote_rescheduled;
+      } else {
+        ++shard.stats.remote_reschedule_misses;
+      }
+      break;
+    }
     case Command::Op::kNone:
       break;
   }
@@ -232,6 +255,37 @@ bool ShardedSoftTimerRuntime::ApplyCancel(Shard& shard, uint64_t id_value) {
   }
   return shard.facility->CancelSoftEvent(
       SoftEventId{StripTimerIdShard(id_value)});
+}
+
+// SOFTTIMER_HOT
+SoftEventId ShardedSoftTimerRuntime::ApplyReschedule(Shard& shard,
+                                                     uint64_t id_value,
+                                                     uint64_t delta_ticks) {
+  if (IsRemoteTimerId(id_value)) {
+    uint64_t local = shard.remote_ids.Find(id_value);
+    if (local == 0) {
+      return SoftEventId{};  // fired/cancelled already, or not yet drained
+    }
+    SoftEventId moved =
+        shard.facility->RescheduleSoftEvent(SoftEventId{local}, delta_ticks);
+    if (!moved.valid()) {
+      return SoftEventId{};
+    }
+    // The event stayed alive (a reschedule never fires the retire hook), so
+    // rebind the remote key to its possibly-renamed slab id; the caller's
+    // remote handle keeps working unchanged.
+    if (moved.value != local) {
+      shard.remote_ids.Insert(id_value, moved.value);
+    }
+    return SoftEventId{id_value};
+  }
+  SoftEventId moved = shard.facility->RescheduleSoftEvent(
+      SoftEventId{StripTimerIdShard(id_value)}, delta_ticks);
+  if (!moved.valid()) {
+    return SoftEventId{};
+  }
+  return SoftEventId{
+      WithTimerIdShard(moved.value, TimerIdShard(id_value))};
 }
 
 // SOFTTIMER_HOT
@@ -310,6 +364,33 @@ SoftEventId ShardedSoftTimerRuntime::ScheduleCrossCoreWithRetry(
 }
 
 // SOFTTIMER_HOT
+bool ShardedSoftTimerRuntime::RescheduleCrossCore(ProducerToken& token,
+                                                  SoftEventId id,
+                                                  uint64_t delta_ticks) {
+  // Remote ids only: the shard rebinds its remote-id table on apply, so the
+  // caller's handle survives. A local id could be renamed by the reschedule
+  // (emulated-update backends) with no way to return the new name.
+  if (!token.valid() || !id.valid() || !IsRemoteTimerId(id.value)) {
+    return false;
+  }
+  size_t shard = TimerIdShard(id.value);
+  if (shard >= shards_.size()) {
+    return false;
+  }
+  Command cmd;
+  cmd.op = Command::Op::kUpdate;
+  cmd.id = id.value;
+  cmd.delta_ticks = delta_ticks;
+  cmd.enqueue_tick = clock_->NowTicks();
+  if (!shards_[shard]->rings[token.index_]->TryPush(std::move(cmd))) {
+    ++token.ring_full_rejects_;
+    return false;
+  }
+  PublishToShard(shard, token);
+  return true;
+}
+
+// SOFTTIMER_HOT
 bool ShardedSoftTimerRuntime::CancelCrossCore(ProducerToken& token,
                                               SoftEventId id) {
   if (!token.valid() || !id.valid()) {
@@ -350,11 +431,13 @@ ShardedSoftTimerRuntime::RuntimeStats ShardedSoftTimerRuntime::AggregateStats()
     out.dispatches += f.dispatches;
     out.scheduled += f.scheduled;
     out.cancelled += f.cancelled;
+    out.rescheduled += f.rescheduled;
     for (size_t s = 0; s < kNumTriggerSources; ++s) {
       out.dispatches_by_source[s] += f.dispatches_by_source[s];
     }
     out.remote_scheduled += shard->stats.remote_scheduled;
     out.remote_cancelled += shard->stats.remote_cancelled;
+    out.remote_rescheduled += shard->stats.remote_rescheduled;
     out.slab_capacity += f.slab_capacity;
     out.slab_live += f.slab_live;
   }

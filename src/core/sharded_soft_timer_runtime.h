@@ -186,6 +186,17 @@ class ShardedSoftTimerRuntime {
   // whose schedule command has not drained yet.
   bool CancelOnShard(size_t shard, SoftEventId id);
 
+  // Re-arms an id (local or remote) that targets `shard` to fire
+  // `delta_ticks` from now, preserving its handler and tag - the facility's
+  // RescheduleSoftEvent with the runtime's id plumbing on top. Returns the
+  // id naming the event afterwards: a remote id is returned unchanged (the
+  // shard's remote-id table is rebound underneath it, so the producer's
+  // handle stays live), a local id may be renamed on backends without a
+  // native update path. Invalid id when the event already fired, was
+  // cancelled, or targets another shard.
+  SoftEventId RescheduleOnShard(size_t shard, SoftEventId id,
+                                uint64_t delta_ticks);
+
   // The shard's trigger-state check: drains remote commands when the
   // pending flag says any exist, then runs the facility check. When nothing
   // is due and no commands are pending this is one relaxed load + clock
@@ -247,6 +258,18 @@ class ShardedSoftTimerRuntime {
   // header comment for the async semantics).
   bool CancelCrossCore(ProducerToken& token, SoftEventId id);
 
+  // Enqueues a re-arm for a REMOTE id (one returned by a cross-core
+  // schedule): when the command drains, the target shard reschedules the
+  // event `delta_ticks` from the enqueue tick and rebinds its remote-id
+  // table, so this same id keeps naming the event afterwards. Local ids are
+  // rejected (a backend without native update renames them on reschedule,
+  // and an async command has no way to hand the new name back); owner
+  // threads use RescheduleOnShard instead. Returns true when the command
+  // was enqueued, with the usual async semantics: a re-arm racing the
+  // event's own dispatch is a no-op counted in remote_reschedule_misses.
+  bool RescheduleCrossCore(ProducerToken& token, SoftEventId id,
+                           uint64_t delta_ticks);
+
   // --- Wakeup integration ----------------------------------------------
   // Invoked (from the producer thread) after a command is published to a
   // shard, so a host can wake that shard's sleeping owner. Raw pointer +
@@ -273,6 +296,8 @@ class ShardedSoftTimerRuntime {
     uint64_t remote_scheduled = 0;   // schedule commands applied
     uint64_t remote_cancelled = 0;   // cancel commands that hit a live event
     uint64_t remote_cancel_misses = 0;
+    uint64_t remote_rescheduled = 0;  // update commands that re-armed an event
+    uint64_t remote_reschedule_misses = 0;
     size_t remote_live = 0;          // live entries in the remote-id table
   };
   // Owner-thread (or quiesced) reads only.
@@ -289,9 +314,11 @@ class ShardedSoftTimerRuntime {
     uint64_t dispatches = 0;
     uint64_t scheduled = 0;
     uint64_t cancelled = 0;
+    uint64_t rescheduled = 0;
     std::array<uint64_t, kNumTriggerSources> dispatches_by_source{};
     uint64_t remote_scheduled = 0;
     uint64_t remote_cancelled = 0;
+    uint64_t remote_rescheduled = 0;
     uint32_t slab_capacity = 0;
     uint32_t slab_live = 0;
   };
@@ -299,7 +326,7 @@ class ShardedSoftTimerRuntime {
 
  private:
   struct Command {
-    enum class Op : uint8_t { kNone, kSchedule, kCancel };
+    enum class Op : uint8_t { kNone, kSchedule, kCancel, kUpdate };
     Op op = Op::kNone;
     uint32_t tag = 0;
     uint64_t id = 0;           // remote id (schedule) or cancel target
@@ -331,6 +358,8 @@ class ShardedSoftTimerRuntime {
   // Applies a drained command on the owner thread.
   void ApplyCommand(Shard& shard, Command&& cmd);
   bool ApplyCancel(Shard& shard, uint64_t id_value);
+  SoftEventId ApplyReschedule(Shard& shard, uint64_t id_value,
+                              uint64_t delta_ticks);
 
   // Raises the shard's pending flag and fires the wake hook (called by a
   // producer after a successful ring push).

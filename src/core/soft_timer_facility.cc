@@ -170,6 +170,43 @@ bool SoftTimerFacility::CancelSoftEvent(SoftEventId id) {
 }
 
 // SOFTTIMER_HOT
+SoftEventId SoftTimerFacility::RescheduleSoftEvent(SoftEventId id,
+                                                   uint64_t delta_ticks) {
+  // Like cookies, rescheduling is a no-policy feature: policy mode reuses
+  // payload.user_data for deferral remaps and would need the remap probe on
+  // every re-arm, defeating the point of the fast path.
+  assert(policy_ == nullptr);
+  TimerPayload* payload = queue_->MutablePayload(TimerId{id.value});
+  if (payload == nullptr) {
+    return SoftEventId{};  // already fired or cancelled
+  }
+  // Rewrite the bookkeeping in place before the relink so both the native
+  // path (payload stays put) and the emulated cancel+reschedule (payload is
+  // moved into the new node) carry the fresh schedule stamp.
+  uint64_t scheduled_tick = MeasureTime();
+  payload->scheduled_tick = scheduled_tick;
+  payload->delta_ticks = delta_ticks;
+  // Same deadline rule as a fresh schedule: fire once measure_time() exceeds
+  // the scheduled value by at least T + 1.
+  uint64_t deadline = scheduled_tick + delta_ticks + 1;
+  TimerId moved = queue_->Update(TimerId{id.value}, deadline);
+  if (!moved.valid()) {
+    return SoftEventId{};  // raced with expiry between the peek and the move
+  }
+  ++stats_.rescheduled;
+  // Only lower the gate. If the event was the earliest and moved later,
+  // next_deadline_ lags low, which is safe (the gate is conservative) and
+  // costs at most one extra slow-path check - same policy as cancel.
+  if (deadline < next_deadline_) {
+    next_deadline_ = deadline;
+  }
+  if (schedule_observer_) {
+    schedule_observer_();
+  }
+  return SoftEventId{moved.value};
+}
+
+// SOFTTIMER_HOT
 size_t SoftTimerFacility::ExpireDue(TriggerSource source) {
   dispatch_source_ = source;
   uint64_t now = MeasureTime();

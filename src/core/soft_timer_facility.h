@@ -130,6 +130,18 @@ class SoftTimerFacility {
   // Cancels a pending event; false if it fired or was already cancelled.
   bool CancelSoftEvent(SoftEventId id);
 
+  // Re-arms a pending event to fire `delta_ticks` from now, preserving its
+  // handler, tag, and cookie (no retire: the event stays alive). Returns the
+  // id naming the event afterwards - the input id itself when the backend
+  // updates natively (grouped sorting queue), a fresh id under the emulated
+  // cancel+reschedule - or an invalid id if the event already fired or was
+  // cancelled. Treat the input id as consumed either way. The paper's
+  // deadline rule applies as if freshly scheduled: the event fires at the
+  // first trigger state past MeasureTime() + delta + 1. Zero-alloc; only
+  // valid without a degradation policy (like cookies, the policy reuses the
+  // payload metadata this path rewrites in place).
+  SoftEventId RescheduleSoftEvent(SoftEventId id, uint64_t delta_ticks);
+
   // Raw-function-pointer hook invoked when an event carrying a non-zero
   // cookie is retired: pre-handler at dispatch, or on a successful
   // CancelSoftEvent; no-policy mode only. Kept as a plain pointer + context
@@ -225,6 +237,7 @@ class SoftTimerFacility {
     uint64_t dispatches = 0;        // handlers invoked
     uint64_t scheduled = 0;
     uint64_t cancelled = 0;
+    uint64_t rescheduled = 0;       // RescheduleSoftEvent re-arms
     // Dispatches broken down by the trigger source that performed them.
     std::array<uint64_t, kNumTriggerSources> dispatches_by_source{};
     // Distribution of handler lateness (FireInfo::lateness_ticks), in ticks.

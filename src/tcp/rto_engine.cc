@@ -159,6 +159,25 @@ size_t RtoEngine::OnCumulativeAck(uint64_t conn_id, uint64_t ack_seq) {
       uint64_t now = rt_->clock().NowTicks();
       TakeRttSample(*conn, now - sample_sent_tick);
     }
+    // RFC 6298 step 5.3: new data was acknowledged with segments still in
+    // flight, so restart the retransmission timer from now at the refreshed
+    // (backoff-collapsed, re-estimated) RTO. One in-place reschedule per
+    // survivor - the native update path, not a cancel+schedule pair.
+    if (conn->live > 0) {
+      uint64_t rto = EffectiveRto(*conn);
+      for (uint32_t i = 0; i < conn->live; ++i) {
+        Segment& seg = conn->segments[(conn->head + i) & kFireSlotMask];
+        if (!seg.timer.valid()) {
+          continue;
+        }
+        SoftEventId moved =
+            rt_->RescheduleOnShard(config_.shard, seg.timer, rto);
+        if (moved.valid()) {
+          seg.timer = moved;
+          ++stats_.timers_rescheduled;
+        }
+      }
+    }
   }
   return retired;
 }

@@ -120,7 +120,11 @@ class RtoEngine {
 
   // Cumulative ACK: retires every in-flight segment with seq_end <=
   // ack_seq, cancelling its timer; takes an RTT sample per Karn's rule and
-  // resets backoff on forward progress. Returns segments retired.
+  // resets backoff on forward progress. On forward progress with segments
+  // still in flight it restarts the survivors' timers from now at the
+  // refreshed RTO (RFC 6298 step 5.3) through the runtime's reschedule
+  // path - a single in-place update per survivor, not a cancel+schedule
+  // pair. Returns segments retired.
   // SOFTTIMER_HOT
   size_t OnCumulativeAck(uint64_t conn_id, uint64_t ack_seq);
 
@@ -140,6 +144,10 @@ class RtoEngine {
     uint64_t timers_scheduled = 0;
     uint64_t timers_cancelled = 0;  // cancelled before firing (the 95% path)
     uint64_t timers_fired = 0;
+    // Survivor restarts on partial ACKs (RFC 6298 5.3); a reschedule is
+    // neither a schedule nor a cancel, so the conservation equation
+    // timers_scheduled == timers_cancelled + timers_fired still holds.
+    uint64_t timers_rescheduled = 0;
     uint64_t retransmits = 0;
     uint64_t rtt_samples = 0;
     uint64_t karn_suppressed = 0;  // retired retransmitted segs (no sample)

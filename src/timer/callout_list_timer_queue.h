@@ -39,6 +39,11 @@ class CalloutListTimerQueue : public TimerQueue {
                ? slab_.at(TimerIdIndex(id.value)).payload.user_data
                : 0;
   }
+  TimerPayload* MutablePayload(TimerId id) override {
+    return slab_.IsCurrent(id.value)
+               ? &slab_.at(TimerIdIndex(id.value)).payload
+               : nullptr;
+  }
 
  private:
   struct Node {

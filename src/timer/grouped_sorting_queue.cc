@@ -1,0 +1,422 @@
+#include "src/timer/grouped_sorting_queue.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace softtimer {
+
+GroupedSortingQueue::GroupedSortingQueue(uint64_t granularity,
+                                         size_t group_count)
+    : fine_width_(granularity),
+      coarse_width_(granularity * group_count),
+      group_count_(group_count),
+      fine_limit_(coarse_width_),
+      coarse_limit_(coarse_width_),
+      fine_heads_(group_count, kNilTimerIndex),
+      coarse_heads_(group_count, kNilTimerIndex) {
+  assert(fine_width_ >= 1);
+  assert(group_count_ >= 2);
+}
+
+// SOFTTIMER_HOT
+void GroupedSortingQueue::Link(uint32_t index) {
+  Node& n = slab_.at(index);
+  uint32_t* head;
+  if (n.deadline < fine_limit_) {
+    n.level = kLevelFine;
+    n.group = static_cast<uint32_t>((n.deadline / fine_width_) % group_count_);
+    head = &fine_heads_[n.group];
+    ++ring_count_;
+  } else if (n.deadline < coarse_limit_) {
+    n.level = kLevelCoarse;
+    n.group =
+        static_cast<uint32_t>((n.deadline / coarse_width_) % group_count_);
+    head = &coarse_heads_[n.group];
+    ++ring_count_;
+  } else {
+    n.level = kLevelFar;
+    head = &far_head_;
+    ++far_count_;
+  }
+  n.prev = kNilTimerIndex;
+  n.next = *head;
+  if (n.next != kNilTimerIndex) {
+    slab_.at(n.next).prev = index;
+  }
+  *head = index;
+}
+
+// SOFTTIMER_HOT
+void GroupedSortingQueue::Unlink(uint32_t index) {
+  Node& n = slab_.at(index);
+  uint32_t* head;
+  if (n.level == kLevelFine) {
+    head = &fine_heads_[n.group];
+    --ring_count_;
+  } else if (n.level == kLevelCoarse) {
+    head = &coarse_heads_[n.group];
+    --ring_count_;
+  } else {
+    head = &far_head_;
+    --far_count_;
+  }
+  if (n.prev != kNilTimerIndex) {
+    slab_.at(n.prev).next = n.next;
+  } else {
+    *head = n.next;
+  }
+  if (n.next != kNilTimerIndex) {
+    slab_.at(n.next).prev = n.prev;
+  }
+  n.prev = kNilTimerIndex;
+  n.next = kNilTimerIndex;
+}
+
+// SOFTTIMER_HOT
+void GroupedSortingQueue::FreeNode(uint32_t index) {
+  Node& n = slab_.at(index);
+  n.payload.handler.reset();
+  slab_.Free(index);
+}
+
+void GroupedSortingQueue::PlaceOrBatch(uint32_t index, uint64_t now_tick,
+                                       std::vector<uint32_t>* batch) {
+  Node& n = slab_.at(index);
+  if (batch != nullptr && n.deadline <= now_tick) {
+    n.state = TimerNodeState::kDue;
+    batch->push_back(index);
+    return;
+  }
+  Link(index);
+}
+
+void GroupedSortingQueue::MigrateCoarseGroup(uint64_t now_tick,
+                                             std::vector<uint32_t>* batch) {
+  size_t group = (fine_limit_ / coarse_width_) % group_count_;
+  uint32_t it = coarse_heads_[group];
+  coarse_heads_[group] = kNilTimerIndex;
+  // Advance the window edge before redistributing, so Link routes the
+  // detached nodes (all with deadline < the new fine_limit_) into fine
+  // groups instead of straight back into this coarse group.
+  fine_limit_ += coarse_width_;
+  while (it != kNilTimerIndex) {
+    Node& n = slab_.at(it);
+    uint32_t next = n.next;
+    n.prev = kNilTimerIndex;
+    n.next = kNilTimerIndex;
+    --ring_count_;
+    PlaceOrBatch(it, now_tick, batch);
+    it = next;
+  }
+}
+
+void GroupedSortingQueue::RefillCoarseFromFar(uint64_t now_tick,
+                                              std::vector<uint32_t>* batch) {
+  assert(fine_limit_ == coarse_limit_);
+  coarse_limit_ += coarse_width_ * group_count_;
+  uint32_t it = far_head_;
+  while (it != kNilTimerIndex) {
+    Node& n = slab_.at(it);
+    uint32_t next = n.next;
+    if (n.deadline < coarse_limit_) {
+      Unlink(it);
+      PlaceOrBatch(it, now_tick, batch);
+    }
+    it = next;
+  }
+}
+
+void GroupedSortingQueue::AdvanceWindows(uint64_t now_tick,
+                                         std::vector<uint32_t>* batch) {
+  while (fine_limit_ <= now_tick) {
+    if (ring_count_ == 0) {
+      // Both rings empty: jump the windows wholesale instead of detaching
+      // empty groups one by one across the gap.
+      fine_limit_ = RoundUpMultiple(now_tick + 1, coarse_width_);
+      if (coarse_limit_ < fine_limit_) {
+        coarse_limit_ = fine_limit_;
+      }
+      if (fine_limit_ == coarse_limit_ && far_count_ > 0) {
+        RefillCoarseFromFar(now_tick, batch);
+      }
+      continue;  // fine_limit_ > now_tick now; loop exits
+    }
+    if (fine_limit_ == coarse_limit_) {
+      RefillCoarseFromFar(now_tick, batch);
+    }
+    MigrateCoarseGroup(now_tick, batch);
+  }
+}
+
+// SOFTTIMER_HOT
+TimerId GroupedSortingQueue::Schedule(uint64_t deadline_tick,
+                                      TimerPayload payload) {
+  if (deadline_tick < cursor_) {
+    deadline_tick = cursor_;
+  }
+  uint32_t index = slab_.Allocate();
+  Node& n = slab_.at(index);
+  n.payload = std::move(payload);
+  n.deadline = deadline_tick;
+  n.seq = next_seq_++;
+  Link(index);
+  ++live_count_;
+  if (earliest_known_) {
+    if (!earliest_cache_ || deadline_tick < *earliest_cache_) {
+      earliest_cache_ = deadline_tick;
+    }
+  }
+  return TimerId{PackTimerIdValue(index, n.generation)};
+}
+
+// SOFTTIMER_HOT
+bool GroupedSortingQueue::Cancel(TimerId id) {
+  if (!slab_.IsCurrent(id.value)) {
+    return false;
+  }
+  uint32_t index = TimerIdIndex(id.value);
+  Node& n = slab_.at(index);
+  if (n.state == TimerNodeState::kCancelledDue) {
+    return false;  // already cancelled (while sitting in an expiry batch)
+  }
+  if (n.state == TimerNodeState::kDue) {
+    // In an in-progress expiry batch: mark it; the fire loop reaps it.
+    n.state = TimerNodeState::kCancelledDue;
+    --live_count_;
+    return true;
+  }
+  bool was_earliest =
+      earliest_known_ && earliest_cache_ && n.deadline == *earliest_cache_;
+  Unlink(index);
+  FreeNode(index);
+  --live_count_;
+  if (live_count_ == 0) {
+    earliest_cache_.reset();
+    earliest_known_ = true;
+  } else if (was_earliest) {
+    earliest_known_ = false;
+  }
+  return true;
+}
+
+// The native O(1) update: relink the node under the new deadline, keeping
+// its slab slot and generation, so the input id stays valid and is returned.
+// A fresh seq keeps FIFO parity with the cancel+reschedule emulation (the
+// moved timer fires after existing equal-deadline timers).
+// SOFTTIMER_HOT
+TimerId GroupedSortingQueue::Update(TimerId id, uint64_t new_deadline_tick) {
+  if (!slab_.IsCurrent(id.value)) {
+    return TimerId{};
+  }
+  uint32_t index = TimerIdIndex(id.value);
+  Node& n = slab_.at(index);
+  if (n.state == TimerNodeState::kCancelledDue) {
+    return TimerId{};
+  }
+  if (new_deadline_tick < cursor_) {
+    new_deadline_tick = cursor_;
+  }
+  if (n.state == TimerNodeState::kDue) {
+    // Sitting unfired in an in-progress expiry batch: pull it back to
+    // pending and relink; the fire loop skips non-kDue entries without
+    // freeing them, so the node simply fires at its new deadline later.
+    n.state = TimerNodeState::kPending;
+    n.deadline = new_deadline_tick;
+    n.seq = next_seq_++;
+    Link(index);
+    if (earliest_known_ &&
+        (!earliest_cache_ || new_deadline_tick < *earliest_cache_)) {
+      earliest_cache_ = new_deadline_tick;
+    }
+    return id;
+  }
+  bool was_earliest =
+      earliest_known_ && earliest_cache_ && n.deadline == *earliest_cache_;
+  Unlink(index);
+  n.deadline = new_deadline_tick;
+  n.seq = next_seq_++;
+  Link(index);
+  if (earliest_known_) {
+    if (!earliest_cache_ || new_deadline_tick <= *earliest_cache_) {
+      earliest_cache_ = new_deadline_tick;
+    } else if (was_earliest) {
+      // The (possibly sole) earliest timer moved later; recompute lazily.
+      earliest_known_ = false;
+    }
+  }
+  return id;
+}
+
+std::optional<uint64_t> GroupedSortingQueue::EarliestDeadline() const {
+  if (!earliest_known_) {
+    uint64_t best = UINT64_MAX;
+    if (ring_count_ > 0) {
+      // Fine groups outward from the cursor, with a per-group floor
+      // early-exit: group b only holds deadlines >= b * fine_width_. When
+      // cursor_ > fine_limit_ the range is empty, and so is the fine ring
+      // (see the cursor_ comment in the header).
+      for (uint64_t b = cursor_ / fine_width_; b < fine_limit_ / fine_width_;
+           ++b) {
+        if (best <= b * fine_width_) {
+          break;
+        }
+        uint32_t it = fine_heads_[b % group_count_];
+        while (it != kNilTimerIndex) {
+          const Node& n = slab_.at(it);
+          if (n.deadline < best) {
+            best = n.deadline;
+          }
+          it = n.next;
+        }
+      }
+      // Any fine hit beats every coarse node (tiers are range-disjoint).
+      if (best == UINT64_MAX) {
+        for (uint64_t b = fine_limit_ / coarse_width_;
+             b < coarse_limit_ / coarse_width_; ++b) {
+          if (best <= b * coarse_width_) {
+            break;
+          }
+          uint32_t it = coarse_heads_[b % group_count_];
+          while (it != kNilTimerIndex) {
+            const Node& n = slab_.at(it);
+            if (n.deadline < best) {
+              best = n.deadline;
+            }
+            it = n.next;
+          }
+        }
+      }
+    }
+    if (best == UINT64_MAX && far_count_ > 0) {
+      uint32_t it = far_head_;
+      while (it != kNilTimerIndex) {
+        const Node& n = slab_.at(it);
+        if (n.deadline < best) {
+          best = n.deadline;
+        }
+        it = n.next;
+      }
+    }
+    // best can remain UINT64_MAX mid-batch when every live node is an
+    // unfired due entry; the batch re-invalidates the cache on completion.
+    if (best != UINT64_MAX) {
+      earliest_cache_ = best;
+    } else {
+      earliest_cache_.reset();
+    }
+    earliest_known_ = true;
+  }
+  return earliest_cache_;
+}
+
+size_t GroupedSortingQueue::ExpireUpTo(uint64_t now_tick) {
+  if (now_tick < cursor_) {
+    return 0;
+  }
+  if (live_count_ == 0) {
+    cursor_ = now_tick + 1;
+    if (fine_limit_ <= now_tick) {
+      // Nothing pending anywhere (live_count_ covers the far list too), so
+      // the empty-ring jump in AdvanceWindows applies directly.
+      fine_limit_ = RoundUpMultiple(now_tick + 1, coarse_width_);
+      if (coarse_limit_ < fine_limit_) {
+        coarse_limit_ = fine_limit_;
+      }
+    }
+    earliest_cache_.reset();
+    earliest_known_ = true;
+    return 0;
+  }
+  std::optional<uint64_t> earliest = EarliestDeadline();
+  if (!earliest || *earliest > now_tick) {
+    // Nothing due: skip window advancement entirely. The cursor may pass
+    // fine_limit_ (or even coarse_limit_); placement and the earliest walk
+    // tolerate that, and the next due expiry catches the windows up.
+    cursor_ = now_tick + 1;
+    return 0;
+  }
+
+  std::vector<uint32_t> batch;
+  batch.swap(due_scratch_);
+  // Catch the windows up first (this alone batches every due node that was
+  // still sitting in a coarse group or the far list), then sweep the fine
+  // groups covering [cursor_, now_tick] for the rest.
+  AdvanceWindows(now_tick, &batch);
+  // Groups to visit: every fine period from cursor_'s to now_tick's,
+  // inclusive, capped at one lap of the ring (a wider span would only
+  // revisit groups).
+  uint64_t span_groups =
+      now_tick / fine_width_ - cursor_ / fine_width_ + 1;
+  uint64_t visit = std::min<uint64_t>(span_groups, group_count_);
+  uint64_t first_group = cursor_ / fine_width_;
+  for (uint64_t k = 0; k < visit; ++k) {
+    uint32_t it = fine_heads_[(first_group + k) % group_count_];
+    while (it != kNilTimerIndex) {
+      Node& n = slab_.at(it);
+      uint32_t next = n.next;
+      if (n.deadline <= now_tick) {
+        Unlink(it);
+        n.state = TimerNodeState::kDue;
+        batch.push_back(it);
+      }
+      it = next;
+    }
+  }
+  // The lazy sort: group contents stay unsorted until this moment, when the
+  // imminent set is ordered once by the shared (deadline, seq) fire order.
+  std::sort(batch.begin(), batch.end(), [this](uint32_t a, uint32_t b) {
+    const Node& na = slab_.at(a);
+    const Node& nb = slab_.at(b);
+    if (na.deadline != nb.deadline) {
+      return na.deadline < nb.deadline;
+    }
+    return na.seq < nb.seq;
+  });
+
+  // Advance the cursor before firing so callbacks that re-schedule get
+  // deadlines clamped into the future (see the header contract).
+  cursor_ = now_tick + 1;
+  earliest_known_ = false;
+
+  size_t fired = 0;
+  for (uint32_t index : batch) {
+    Node& n = slab_.at(index);
+    if (n.state != TimerNodeState::kDue) {
+      // kCancelledDue: cancelled by an earlier callback in this batch.
+      // Anything else: the node was Updated out of the batch (and possibly
+      // cancelled, freed, or its slot reused afterwards) - not ours to
+      // touch, let alone fire.
+      if (n.state == TimerNodeState::kCancelledDue) {
+        FreeNode(index);
+      }
+      continue;
+    }
+    // Move the payload out and recycle the node before invoking, so the
+    // handler can schedule (reusing this slot), cancel stale ids, and defer
+    // itself by moving its own state into a fresh node.
+    TimerPayload payload = std::move(n.payload);
+    TimerFired fired_info{&payload, n.deadline,
+                          TimerId{PackTimerIdValue(index, n.generation)}};
+    FreeNode(index);
+    --live_count_;
+    ++fired;
+    payload.handler.Invoke(fired_info);
+  }
+  batch.clear();
+  if (due_scratch_.capacity() < batch.capacity()) {
+    due_scratch_.swap(batch);  // keep the larger buffer for next time
+  }
+
+  if (live_count_ == 0) {
+    earliest_cache_.reset();
+    earliest_known_ = true;
+  } else {
+    // A callback may have recomputed the cache mid-batch without seeing
+    // then-unfired due nodes; recompute lazily now that the batch is done.
+    earliest_known_ = false;
+  }
+  return fired;
+}
+
+}  // namespace softtimer

@@ -1,0 +1,145 @@
+// Grouped sorting queue - the fifth TimerQueue backend, built for the
+// high-churn dynamic-update mix (RTO re-arm on every cumulative ACK) the NIC
+// timer-queue literature targets with grouped sorting queues.
+//
+// Pending timers live unsorted in coarse deadline groups; a group's entries
+// are ordered (by (deadline, seq), the shared conformance order) only when
+// the group becomes imminent - i.e. its members join the current expiry
+// batch, which is sorted once before firing. Three range-disjoint tiers:
+//
+//   fine ring    [cursor_, fine_limit_)        group_count groups, each
+//                                              `granularity` ticks wide
+//   coarse ring  [fine_limit_, coarse_limit_)  group_count groups, each
+//                                              granularity * group_count wide
+//   far list     [coarse_limit_, inf)          one unsorted list
+//
+// As time advances, the coarse group at the fine window's edge is detached
+// and its nodes redistributed into fine groups (or straight into the expiry
+// batch); when the coarse window is exhausted the far list is swept once to
+// refill it. Tiers never overlap in deadline range, so a group index plus
+// the node's recorded {level, group} locate any timer in O(1).
+//
+// The point of the structure is native Update(id, new_deadline): unlink the
+// node from its group, relink it under the new deadline, keep its slab slot
+// and generation. No payload move, no free/allocate round-trip, and the
+// returned id is the input id - against the cancel+reschedule emulation the
+// other four backends inherit, this is the O(1) re-arm fast path.
+//
+// Window advancement cost: O(elapsed / coarse_width) group detaches per
+// expiry (each O(1) when empty), with one far-list sweep per coarse-window
+// span; when both rings are empty the windows jump wholesale, so an idle gap
+// costs O(1) unless far timers must be swept in.
+//
+// Earliest-deadline caching, the expiry batch protocol, and the re-entrancy
+// caveats match the hashed wheel (see hashed_timing_wheel.h): a node updated
+// or cancelled while sitting in an in-progress batch is skipped or reaped by
+// the fire loop, never fired under its old deadline.
+
+#ifndef SOFTTIMER_SRC_TIMER_GROUPED_SORTING_QUEUE_H_
+#define SOFTTIMER_SRC_TIMER_GROUPED_SORTING_QUEUE_H_
+
+#include <vector>
+
+#include "src/timer/timer_queue.h"
+#include "src/timer/timer_slab.h"
+
+namespace softtimer {
+
+class GroupedSortingQueue : public TimerQueue {
+ public:
+  explicit GroupedSortingQueue(uint64_t granularity = 1,
+                               size_t group_count = 1024);
+
+  using TimerQueue::Schedule;
+  TimerId Schedule(uint64_t deadline_tick, TimerPayload payload) override;
+  bool Cancel(TimerId id) override;
+  TimerId Update(TimerId id, uint64_t new_deadline_tick) override;
+  size_t ExpireUpTo(uint64_t now_tick) override;
+  std::optional<uint64_t> EarliestDeadline() const override;
+  size_t size() const override { return live_count_; }
+  std::string name() const override { return "grouped-sort"; }
+  TimerSlabStats slab_stats() const override { return slab_.stats(); }
+  // Group links only ever reach live nodes, so the slab can trim directly.
+  size_t TrimSlab() override { return slab_.Trim(); }
+  uint64_t PeekUserData(TimerId id) const override {
+    return slab_.IsCurrent(id.value)
+               ? slab_.at(TimerIdIndex(id.value)).payload.user_data
+               : 0;
+  }
+  // kCancelledDue is excluded: its Cancel already returned true once, so
+  // neither Update nor the inherited emulation may revive it.
+  TimerPayload* MutablePayload(TimerId id) override {
+    if (!slab_.IsCurrent(id.value)) {
+      return nullptr;
+    }
+    Node& node = slab_.at(TimerIdIndex(id.value));
+    return node.state == TimerNodeState::kCancelledDue ? nullptr
+                                                       : &node.payload;
+  }
+
+ private:
+  enum Level : uint8_t { kLevelFine = 0, kLevelCoarse = 1, kLevelFar = 2 };
+
+  struct Node {
+    TimerPayload payload;
+    uint64_t deadline = 0;
+    uint64_t seq = 0;
+    uint32_t generation = 1;         // slab convention (see timer_slab.h)
+    uint32_t next = kNilTimerIndex;  // group link / free-list link
+    uint32_t prev = kNilTimerIndex;
+    uint32_t group = 0;              // ring slot while level is fine/coarse
+    uint8_t level = kLevelFine;
+    TimerNodeState state = TimerNodeState::kFree;
+  };
+
+  static uint64_t RoundUpMultiple(uint64_t value, uint64_t multiple) {
+    return (value + multiple - 1) / multiple * multiple;
+  }
+
+  // Picks the tier for the node's deadline and links it at the group head.
+  void Link(uint32_t index);
+  // Removes the node from the tier recorded in {level, group}.
+  void Unlink(uint32_t index);
+  void FreeNode(uint32_t index);
+  // Routes a detached node: due -> batch (kDue), else relink by deadline.
+  void PlaceOrBatch(uint32_t index, uint64_t now_tick,
+                    std::vector<uint32_t>* batch);
+  // Detaches the coarse group at the fine window's edge and advances
+  // fine_limit_ one coarse width, redistributing its nodes.
+  void MigrateCoarseGroup(uint64_t now_tick, std::vector<uint32_t>* batch);
+  // Extends the coarse window one full span and sweeps the far list for
+  // nodes that now fall inside it. Only called when fine_limit_ ==
+  // coarse_limit_ (the coarse window is empty of range).
+  void RefillCoarseFromFar(uint64_t now_tick, std::vector<uint32_t>* batch);
+  // Advances fine_limit_/coarse_limit_ until fine_limit_ > now_tick,
+  // batching every node whose deadline elapsed on the way.
+  void AdvanceWindows(uint64_t now_tick, std::vector<uint32_t>* batch);
+
+  uint64_t fine_width_;    // = granularity
+  uint64_t coarse_width_;  // = granularity * group_count
+  size_t group_count_;
+  // Next tick value not yet covered by an ExpireUpTo walk. Deadlines below
+  // this are clamped up to it at Schedule/Update time. May exceed
+  // fine_limit_ after a nothing-due expiry; the fine ring is provably empty
+  // whenever it does (every fine deadline would already have been due).
+  uint64_t cursor_ = 0;
+  uint64_t fine_limit_;    // multiple of coarse_width_
+  uint64_t coarse_limit_;  // multiple of coarse_width_, >= fine_limit_
+  TimerSlab<Node> slab_;
+  std::vector<uint32_t> fine_heads_;    // head index per group (kNil = empty)
+  std::vector<uint32_t> coarse_heads_;  // head index per group
+  uint32_t far_head_ = kNilTimerIndex;
+  std::vector<uint32_t> due_scratch_;   // reused expiry batch
+  uint64_t next_seq_ = 0;
+  size_t live_count_ = 0;
+  size_t ring_count_ = 0;  // nodes linked in the fine + coarse rings
+  size_t far_count_ = 0;   // nodes linked in the far list
+  // Exact earliest pending deadline; nullopt means empty.
+  // earliest_known_ == false means "unknown, recompute on demand".
+  mutable std::optional<uint64_t> earliest_cache_;
+  mutable bool earliest_known_ = true;  // empty queue: known, no value
+};
+
+}  // namespace softtimer
+
+#endif  // SOFTTIMER_SRC_TIMER_GROUPED_SORTING_QUEUE_H_

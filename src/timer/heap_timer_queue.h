@@ -44,6 +44,11 @@ class HeapTimerQueue : public TimerQueue {
                ? slab_.at(TimerIdIndex(id.value)).payload.user_data
                : 0;
   }
+  TimerPayload* MutablePayload(TimerId id) override {
+    return slab_.IsCurrent(id.value)
+               ? &slab_.at(TimerIdIndex(id.value)).payload
+               : nullptr;
+  }
 
  private:
   struct Node {

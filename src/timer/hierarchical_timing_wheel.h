@@ -49,6 +49,16 @@ class HierarchicalTimingWheel : public TimerQueue {
                ? slab_.at(TimerIdIndex(id.value)).payload.user_data
                : 0;
   }
+  // kCancelledDue is excluded: its Cancel already returned true once, so the
+  // inherited Update emulation must see it as stale, not revive it.
+  TimerPayload* MutablePayload(TimerId id) override {
+    if (!slab_.IsCurrent(id.value)) {
+      return nullptr;
+    }
+    Node& node = slab_.at(TimerIdIndex(id.value));
+    return node.state == TimerNodeState::kCancelledDue ? nullptr
+                                                       : &node.payload;
+  }
 
  private:
   struct Node {

@@ -1,7 +1,7 @@
 // TimerQueue: the data-structure interface under the soft-timer facility.
 //
 // The paper maintains scheduled soft-timer events in "a modified form of
-// timing wheels [Varghese & Lauck]". This library provides four
+// timing wheels [Varghese & Lauck]". This library provides five
 // interchangeable implementations behind one interface:
 //
 //   HeapTimerQueue           - binary heap; the textbook baseline.
@@ -9,6 +9,8 @@
 //   HierarchicalTimingWheel  - multi-level cascading wheel.
 //   CalloutListTimerQueue    - sorted list; the 4.3BSD callout structure
 //                              timing wheels were invented to replace.
+//   GroupedSortingQueue      - coarse deadline groups sorted lazily on
+//                              imminence, with native O(1) Update.
 //
 // All of them deal in abstract unsigned "ticks" (the facility maps its
 // measurement clock onto ticks). Deadlines are absolute tick values.
@@ -35,6 +37,13 @@
 //  * Cancel returns true exactly once per scheduled timer that has neither
 //    fired nor been cancelled; stale ids (fired, cancelled, or recycled
 //    slots) return false.
+//  * Update(id, new_deadline) atomically moves a live timer to a new
+//    deadline, preserving its payload, and returns the id that names the
+//    timer afterwards (an invalid id for stale/fired/cancelled inputs).
+//    Observably it is cancel+reschedule: the moved timer fires at the new
+//    deadline in fresh schedule order, past deadlines clamp like Schedule.
+//    Backends without a native path inherit exactly that emulation;
+//    GroupedSortingQueue relinks the node in place and returns `id` itself.
 
 #ifndef SOFTTIMER_SRC_TIMER_TIMER_QUEUE_H_
 #define SOFTTIMER_SRC_TIMER_TIMER_QUEUE_H_
@@ -190,6 +199,19 @@ class TimerQueue {
   // cancelled, or the id is stale (its slab slot was recycled).
   virtual bool Cancel(TimerId id) = 0;
 
+  // Moves a live timer to `new_deadline_tick`, preserving its payload, and
+  // returns the id naming the timer afterwards; an invalid id if `id` is
+  // stale/fired/cancelled (the reused slot, if any, is left untouched).
+  // The default is an allocation-free cancel+reschedule emulation (the
+  // returned id carries a fresh generation); backends with native update
+  // relink in place and return `id` unchanged.
+  virtual TimerId Update(TimerId id, uint64_t new_deadline_tick);
+
+  // The live timer's payload for in-place metadata edits, or nullptr for
+  // stale/fired/cancelled ids. Callers must not touch the handler slot of a
+  // node that is being fired.
+  virtual TimerPayload* MutablePayload(TimerId id) = 0;
+
   // The pending timer's payload user_data, or 0 for stale/fired/cancelled
   // ids. The facility's cancel path reads this before Cancel destroys the
   // payload, so a cancelled event's cookie can still be retired.
@@ -233,6 +255,7 @@ enum class TimerQueueKind {
   kHashedWheel,
   kHierarchicalWheel,
   kCalloutList,
+  kGroupedSorting,
 };
 
 // Creates a queue of the given kind. `tick_granularity` is the wheel slot

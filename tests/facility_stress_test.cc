@@ -109,7 +109,8 @@ INSTANTIATE_TEST_SUITE_P(Backends, FacilityStress,
                          ::testing::Values(TimerQueueKind::kHeap,
                                            TimerQueueKind::kHashedWheel,
                                            TimerQueueKind::kHierarchicalWheel,
-                                           TimerQueueKind::kCalloutList),
+                                           TimerQueueKind::kCalloutList,
+                                           TimerQueueKind::kGroupedSorting),
                          [](const ::testing::TestParamInfo<TimerQueueKind>& info) {
                            std::string n = TimerQueueKindName(info.param);
                            std::string out;

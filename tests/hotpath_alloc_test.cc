@@ -102,6 +102,36 @@ TEST_P(HotpathAllocTest, SteadyStateDispatchAllocatesNothing) {
   EXPECT_EQ(fired_ - fired_before, 10'000u);
 }
 
+TEST_P(HotpathAllocTest, SteadyStateRescheduleAllocatesNothing) {
+  // Re-arm churn - the RTO restart pattern: a pool of live events whose
+  // deadlines keep moving. Both the native update (grouped sorting queue)
+  // and the emulated cancel+reschedule on the other backends must stay off
+  // the heap once the slab has grown.
+  uint64_t* fired = &fired_;
+  auto handler = [fired](const SoftTimerFacility::FireInfo&) { ++*fired; };
+  std::vector<SoftEventId> ids(256);
+  for (size_t i = 0; i < ids.size(); ++i) {
+    ids[i] = facility_.ScheduleSoftEvent(10'000 + i, handler);
+  }
+  auto round = [&](uint64_t delta) {
+    for (size_t i = 0; i < ids.size(); ++i) {
+      ids[i] = facility_.RescheduleSoftEvent(ids[i], delta + i);
+      ASSERT_TRUE(ids[i].valid());
+    }
+  };
+  round(20'000);  // warmup: emulated backends relink through fresh slots
+  round(10'000);
+  uint64_t start = AllocProbeAllocCount();
+  for (int r = 0; r < 8; ++r) {
+    round(10'000 + static_cast<uint64_t>(r) * 1'000);
+  }
+  EXPECT_EQ(AllocProbeAllocCount() - start, 0u);
+  EXPECT_EQ(facility_.stats().rescheduled, 10u * ids.size());
+  for (SoftEventId id : ids) {
+    EXPECT_TRUE(facility_.CancelSoftEvent(id));
+  }
+}
+
 // --- pacing wheel: enqueue / re-rate / dispatch stay off the heap ---------
 
 class NullSink : public PacingWheel::BatchSink {
@@ -203,35 +233,32 @@ TEST_P(PacingWheelAllocTest, SteadyStateEnqueueReRateDispatchAllocatesNothing) {
   EXPECT_GT(sink_.packets - packets_before, 10'000u);
 }
 
+std::string KindName(const ::testing::TestParamInfo<TimerQueueKind>& info) {
+  switch (info.param) {
+    case TimerQueueKind::kHeap: return "Heap";
+    case TimerQueueKind::kHashedWheel: return "HashedWheel";
+    case TimerQueueKind::kHierarchicalWheel: return "HierarchicalWheel";
+    case TimerQueueKind::kCalloutList: return "CalloutList";
+    case TimerQueueKind::kGroupedSorting: return "GroupedSorting";
+  }
+  return "Unknown";
+}
+
 INSTANTIATE_TEST_SUITE_P(
     AllQueueKinds, PacingWheelAllocTest,
     ::testing::Values(TimerQueueKind::kHeap, TimerQueueKind::kHashedWheel,
                       TimerQueueKind::kHierarchicalWheel,
-                      TimerQueueKind::kCalloutList),
-    [](const ::testing::TestParamInfo<TimerQueueKind>& info) {
-      switch (info.param) {
-        case TimerQueueKind::kHeap: return "Heap";
-        case TimerQueueKind::kHashedWheel: return "HashedWheel";
-        case TimerQueueKind::kHierarchicalWheel: return "HierarchicalWheel";
-        case TimerQueueKind::kCalloutList: return "CalloutList";
-      }
-      return "Unknown";
-    });
+                      TimerQueueKind::kCalloutList,
+                      TimerQueueKind::kGroupedSorting),
+    KindName);
 
 INSTANTIATE_TEST_SUITE_P(
     AllQueueKinds, HotpathAllocTest,
     ::testing::Values(TimerQueueKind::kHeap, TimerQueueKind::kHashedWheel,
                       TimerQueueKind::kHierarchicalWheel,
-                      TimerQueueKind::kCalloutList),
-    [](const ::testing::TestParamInfo<TimerQueueKind>& info) {
-      switch (info.param) {
-        case TimerQueueKind::kHeap: return "Heap";
-        case TimerQueueKind::kHashedWheel: return "HashedWheel";
-        case TimerQueueKind::kHierarchicalWheel: return "HierarchicalWheel";
-        case TimerQueueKind::kCalloutList: return "CalloutList";
-      }
-      return "Unknown";
-    });
+                      TimerQueueKind::kCalloutList,
+                      TimerQueueKind::kGroupedSorting),
+    KindName);
 
 }  // namespace
 }  // namespace softtimer

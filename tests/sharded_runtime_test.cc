@@ -229,6 +229,128 @@ TEST(ShardedRuntimeTest, OwnerCanCancelDrainedRemoteId) {
   EXPECT_EQ(fired, 0);
 }
 
+TEST(ShardedRuntimeTest, RescheduleOnShardMovesDeadlineBothWays) {
+  ManualClock clock;
+  ShardedSoftTimerRuntime rt(&clock, Cfg(2));
+  int fired = 0;
+  SoftEventId id = rt.ScheduleOnShard(
+      1, 100, [&](const SoftTimerFacility::FireInfo&) { ++fired; });
+  // Wrong shard: rejected, event untouched.
+  EXPECT_FALSE(rt.RescheduleOnShard(0, id, 10).valid());
+
+  // Push the deadline out: t=50, re-arm for T=500 -> due past t=551.
+  clock.Advance(50);
+  SoftEventId moved = rt.RescheduleOnShard(1, id, 500);
+  ASSERT_TRUE(moved.valid());
+  EXPECT_EQ(TimerIdShard(moved.value), 1u);
+  clock.Advance(100);  // t=150: the original deadline passed, must not fire
+  EXPECT_EQ(rt.OnTriggerState(1, TriggerSource::kSyscall), 0u);
+
+  // Pull it back in: t=150, re-arm for T=20 -> due past t=171.
+  moved = rt.RescheduleOnShard(1, moved, 20);
+  ASSERT_TRUE(moved.valid());
+  clock.Advance(30);
+  EXPECT_EQ(rt.OnTriggerState(1, TriggerSource::kSyscall), 1u);
+  EXPECT_EQ(fired, 1);
+  // The event is gone: a further reschedule misses.
+  EXPECT_FALSE(rt.RescheduleOnShard(1, moved, 10).valid());
+  EXPECT_EQ(rt.shard_facility(1).stats().rescheduled, 2u);
+}
+
+TEST(ShardedRuntimeTest, RescheduleCrossCoreKeepsRemoteHandleLive) {
+  ManualClock clock;
+  ShardedSoftTimerRuntime rt(&clock, Cfg(2));
+  auto token = rt.RegisterProducer();
+  int fired = 0;
+  SoftEventId id = rt.ScheduleCrossCore(
+      token, 1, 100, [&](const SoftTimerFacility::FireInfo&) { ++fired; });
+  ASSERT_TRUE(IsRemoteTimerId(id.value));
+  // FIFO drain applies schedule-then-update, so a same-producer reschedule
+  // is reliable even before the schedule has drained.
+  EXPECT_TRUE(rt.RescheduleCrossCore(token, id, 400));
+  rt.OnTriggerState(1, TriggerSource::kSyscall);
+  EXPECT_EQ(rt.shard_stats(1).remote_rescheduled, 1u);
+  clock.Advance(150);  // t=150: original deadline passed, moved one pending
+  EXPECT_EQ(rt.OnTriggerState(1, TriggerSource::kSyscall), 0u);
+  // The SAME remote id still names the event: cancel it through the table.
+  EXPECT_TRUE(rt.CancelOnShard(1, id));
+  clock.Advance(500);
+  EXPECT_EQ(rt.OnTriggerState(1, TriggerSource::kSyscall), 0u);
+  EXPECT_EQ(fired, 0);
+  EXPECT_EQ(rt.shard_stats(1).remote_live, 0u);
+}
+
+TEST(ShardedRuntimeTest, RescheduleCrossCoreAnchorsAtEnqueueTick) {
+  ManualClock clock;
+  ShardedSoftTimerRuntime rt(&clock, Cfg(1));
+  auto token = rt.RegisterProducer();
+  int fired = 0;
+  SoftEventId id = rt.ScheduleCrossCore(
+      token, 0, 50, [&](const SoftTimerFacility::FireInfo&) { ++fired; });
+  rt.OnTriggerState(0, TriggerSource::kSyscall);  // drain the schedule
+  // Enqueue the re-arm at t=0 with T=100, drain it at t=60: the event must
+  // fire at ~t=101, not t=161 (ring residency counts against T).
+  EXPECT_TRUE(rt.RescheduleCrossCore(token, id, 100));
+  clock.Advance(60);
+  rt.OnTriggerState(0, TriggerSource::kSyscall);  // drain at t=60
+  clock.Advance(35);                              // t=95 < 100: not yet
+  EXPECT_EQ(rt.OnTriggerState(0, TriggerSource::kSyscall), 0u);
+  clock.Advance(10);                              // t=105 > 101: due
+  EXPECT_EQ(rt.OnTriggerState(0, TriggerSource::kSyscall), 1u);
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(ShardedRuntimeTest, RescheduleCrossCoreRejectsLocalIdsAndMissesDead) {
+  ManualClock clock;
+  ShardedSoftTimerRuntime rt(&clock, Cfg(1));
+  auto token = rt.RegisterProducer();
+  // Local ids have no rebindable table entry: the producer API refuses them
+  // up front (an emulated-update backend would rename the id with no way to
+  // hand the new name back).
+  SoftEventId local = rt.ScheduleOnShard(
+      0, 1'000, [](const SoftTimerFacility::FireInfo&) {});
+  EXPECT_FALSE(rt.RescheduleCrossCore(token, local, 10));
+
+  // A re-arm racing the event's own dispatch is a counted miss, not a crash.
+  int fired = 0;
+  SoftEventId remote = rt.ScheduleCrossCore(
+      token, 0, 10, [&](const SoftTimerFacility::FireInfo&) { ++fired; });
+  rt.OnTriggerState(0, TriggerSource::kSyscall);
+  clock.Advance(50);
+  rt.OnTriggerState(0, TriggerSource::kSyscall);
+  ASSERT_EQ(fired, 1);
+  EXPECT_TRUE(rt.RescheduleCrossCore(token, remote, 100));  // enqueued...
+  rt.OnTriggerState(0, TriggerSource::kSyscall);
+  EXPECT_EQ(rt.shard_stats(0).remote_reschedule_misses, 1u);  // ...but missed
+  EXPECT_EQ(rt.shard_stats(0).remote_rescheduled, 0u);
+}
+
+TEST(ShardedRuntimeTest, RescheduleWorksOnNativeUpdateBackend) {
+  // Same handle-stability contract on the grouped-sorting backend, where the
+  // facility-level reschedule keeps the slab id instead of renaming it.
+  ManualClock clock;
+  ShardedSoftTimerRuntime::Config cfg = Cfg(1);
+  cfg.facility.queue_kind = TimerQueueKind::kGroupedSorting;
+  ShardedSoftTimerRuntime rt(&clock, cfg);
+  auto token = rt.RegisterProducer();
+  int fired = 0;
+  SoftEventId remote = rt.ScheduleCrossCore(
+      token, 0, 100, [&](const SoftTimerFacility::FireInfo&) { ++fired; });
+  rt.OnTriggerState(0, TriggerSource::kSyscall);
+  SoftEventId local = rt.ScheduleOnShard(
+      0, 100, [&](const SoftTimerFacility::FireInfo&) { ++fired; });
+  // Native path: the local id survives a reschedule unchanged.
+  SoftEventId moved = rt.RescheduleOnShard(0, local, 300);
+  ASSERT_TRUE(moved.valid());
+  EXPECT_EQ(moved.value, local.value);
+  ASSERT_TRUE(rt.RescheduleOnShard(0, remote, 300).valid());
+  clock.Advance(150);  // past the original deadlines
+  EXPECT_EQ(rt.OnTriggerState(0, TriggerSource::kSyscall), 0u);
+  clock.Advance(200);  // past the re-armed deadlines
+  EXPECT_EQ(rt.OnTriggerState(0, TriggerSource::kSyscall), 2u);
+  EXPECT_EQ(fired, 2);
+}
+
 TEST(ShardedRuntimeTest, WakeHookFiresOnPublish) {
   ManualClock clock;
   ShardedSoftTimerRuntime rt(&clock, Cfg(3));

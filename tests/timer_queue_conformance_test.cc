@@ -1,8 +1,11 @@
 // Conformance suite shared by every TimerQueue implementation (heap, hashed
-// wheel, hierarchical wheel): the semantics documented in
-// src/timer/timer_queue.h, exercised identically via TEST_P, plus a
-// randomized differential test that replays the same operation stream
-// against a trivially-correct reference model.
+// wheel, hierarchical wheel, callout list, grouped sorting queue): the
+// semantics documented in src/timer/timer_queue.h, exercised identically via
+// TEST_P, plus a randomized differential test that replays the same
+// operation stream (including Update re-arms) against a trivially-correct
+// reference model. The Update tests deliberately only ever act through the
+// id *returned* by Update: that is the portable contract (the native grouped
+// path returns the input id unchanged, the emulated path a fresh one).
 
 #include <gtest/gtest.h>
 
@@ -11,6 +14,7 @@
 #include <vector>
 
 #include "src/sim/random.h"
+#include "src/timer/grouped_sorting_queue.h"
 #include "src/timer/timer_queue.h"
 
 namespace softtimer {
@@ -214,6 +218,202 @@ TEST_P(TimerQueueConformanceTest, PeekThenCancelWorksOnDueBatchPeer) {
   EXPECT_FALSE(q->Cancel(peer));
 }
 
+// --- Update(id, new_deadline): observable cancel+reschedule, whether the
+// backend relinks natively (grouped sorting queue) or emulates.
+
+TEST_P(TimerQueueConformanceTest, UpdateMovesDeadlineBothDirections) {
+  auto q = Make();
+  int fired = 0;
+  TimerId id = q->Schedule(100, [&] { ++fired; });
+  id = q->Update(id, 500);  // push later
+  ASSERT_TRUE(id.valid());
+  EXPECT_EQ(q->ExpireUpTo(100), 0u);
+  EXPECT_EQ(fired, 0);
+  id = q->Update(id, 200);  // pull earlier
+  ASSERT_TRUE(id.valid());
+  EXPECT_EQ(q->EarliestDeadline(), 200u);
+  EXPECT_EQ(q->ExpireUpTo(200), 1u);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(q->size(), 0u);
+}
+
+TEST_P(TimerQueueConformanceTest, UpdatePreservesPayloadAndCookie) {
+  auto q = Make();
+  int fired = 0;
+  TimerId id = ScheduleWithUserData(*q, 100, 0xD4, &fired);
+  id = q->Update(id, 300);
+  ASSERT_TRUE(id.valid());
+  EXPECT_EQ(q->PeekUserData(id), 0xD4u);  // cookie survived the move
+  EXPECT_EQ(q->ExpireUpTo(300), 1u);
+  EXPECT_EQ(fired, 1);
+}
+
+TEST_P(TimerQueueConformanceTest, UpdateToPastDeadlineClampsLikeSchedule) {
+  auto q = Make();
+  q->ExpireUpTo(1000);  // cursor is now 1001
+  int fired = 0;
+  TimerId id = q->Schedule(2000, [&] { ++fired; });
+  id = q->Update(id, 50);  // past: clamps to the cursor
+  ASSERT_TRUE(id.valid());
+  EXPECT_EQ(q->ExpireUpTo(1001), 1u);
+  EXPECT_EQ(fired, 1);
+}
+
+TEST_P(TimerQueueConformanceTest, UpdatedTimerJoinsEqualDeadlineFifoAtTail) {
+  // Parity pin for schedule order: a moved timer fires after timers already
+  // sitting at its new deadline, exactly as a cancel+reschedule would.
+  auto q = Make();
+  std::vector<int> order;
+  TimerId moved = q->Schedule(100, [&] { order.push_back(0); });
+  q->Schedule(500, [&] { order.push_back(1); });
+  q->Schedule(500, [&] { order.push_back(2); });
+  moved = q->Update(moved, 500);
+  ASSERT_TRUE(moved.valid());
+  q->ExpireUpTo(500);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 0}));
+}
+
+TEST_P(TimerQueueConformanceTest, UpdateReturnedIdCancelsExactlyOnce) {
+  auto q = Make();
+  int fired = 0;
+  TimerId id = q->Schedule(100, [&] { ++fired; });
+  id = q->Update(id, 200);
+  ASSERT_TRUE(id.valid());
+  EXPECT_TRUE(q->Cancel(id));
+  EXPECT_FALSE(q->Cancel(id));
+  EXPECT_EQ(q->size(), 0u);
+  EXPECT_EQ(q->ExpireUpTo(1000), 0u);
+  EXPECT_EQ(fired, 0);
+}
+
+// --- Generation staleness / ABA: Update on a dead id must fail and must
+// not disturb whatever timer reuses the slot.
+
+TEST_P(TimerQueueConformanceTest, UpdateOnCancelledIdFailsAndSparesReuser) {
+  auto q = Make();
+  int fired_b = 0;
+  TimerId a = q->Schedule(10, [] {});
+  EXPECT_TRUE(q->Cancel(a));
+  // b very likely recycles a's slab slot; a's id must stay dead either way.
+  TimerId b = ScheduleWithUserData(*q, 20, 0xB2, &fired_b);
+  EXPECT_FALSE(q->Update(a, 5000).valid());
+  EXPECT_EQ(q->PeekUserData(b), 0xB2u);  // b is untouched by the stale probe
+  EXPECT_EQ(q->EarliestDeadline(), 20u);
+  EXPECT_EQ(q->ExpireUpTo(20), 1u);
+  EXPECT_EQ(fired_b, 1);
+}
+
+TEST_P(TimerQueueConformanceTest, UpdateOnFiredIdFailsAndSparesReuser) {
+  auto q = Make();
+  int fired_a = 0;
+  int fired_b = 0;
+  TimerId a = q->Schedule(10, [&] { ++fired_a; });
+  EXPECT_EQ(q->ExpireUpTo(10), 1u);
+  TimerId b = ScheduleWithUserData(*q, 20, 0xB2, &fired_b);
+  EXPECT_FALSE(q->Update(a, 5000).valid());
+  EXPECT_EQ(q->PeekUserData(b), 0xB2u);
+  EXPECT_EQ(q->size(), 1u);
+  EXPECT_EQ(q->ExpireUpTo(20), 1u);
+  EXPECT_EQ(fired_a, 1);
+  EXPECT_EQ(fired_b, 1);
+}
+
+TEST_P(TimerQueueConformanceTest, UpdateStaleIdsStayDeadAcrossGenerations) {
+  auto q = Make();
+  uint64_t now = 0;
+  std::vector<TimerId> stale;
+  int fired = 0;
+  for (int round = 0; round < 50; ++round) {
+    TimerId cancelled = q->Schedule(now + 5, [&] { ++fired; });
+    TimerId fires = q->Schedule(now + 6, [&] { ++fired; });
+    EXPECT_TRUE(q->Cancel(cancelled));
+    now += 10;
+    EXPECT_EQ(q->ExpireUpTo(now), 1u);
+    stale.push_back(cancelled);
+    stale.push_back(fires);
+  }
+  EXPECT_EQ(fired, 50);
+  int live = 0;
+  TimerId pending = q->Schedule(now + 100, [&] { ++live; });
+  for (TimerId id : stale) {
+    EXPECT_FALSE(q->Update(id, now + 50).valid());
+  }
+  EXPECT_EQ(q->size(), 1u);  // the pending timer survived every stale update
+  EXPECT_EQ(q->EarliestDeadline(), now + 100);
+  EXPECT_TRUE(q->Cancel(pending));
+  EXPECT_EQ(q->ExpireUpTo(now + 200), 0u);
+  EXPECT_EQ(live, 0);
+}
+
+// --- Update-while-due: a handler re-arms a peer that is due in the same
+// expiry batch but has not fired yet. The peer must not fire under its old
+// deadline; it fires once, at the new one.
+
+TEST_P(TimerQueueConformanceTest, UpdateWhileDueDefersPeerToNewDeadline) {
+  auto q = Make();
+  int peer_fired = 0;
+  TimerId peer{};
+  bool update_ok = false;
+  q->Schedule(10, [&] {
+    TimerId moved = q->Update(peer, 50);
+    update_ok = moved.valid();
+    peer = moved;
+  });
+  peer = ScheduleWithUserData(*q, 10, 0xC3, &peer_fired);
+  EXPECT_EQ(q->ExpireUpTo(10), 1u);  // only the updater fired
+  EXPECT_TRUE(update_ok);
+  EXPECT_EQ(peer_fired, 0);
+  EXPECT_EQ(q->size(), 1u);
+  EXPECT_EQ(q->PeekUserData(peer), 0xC3u);
+  EXPECT_EQ(q->ExpireUpTo(49), 0u);
+  EXPECT_EQ(q->ExpireUpTo(50), 1u);
+  EXPECT_EQ(peer_fired, 1);
+  EXPECT_EQ(q->size(), 0u);
+}
+
+TEST_P(TimerQueueConformanceTest, UpdateWhileDueThenCancelSuppressesPeer) {
+  // Re-arm a due peer, then cancel it through the returned id, all from
+  // inside the same batch: the peer must never fire, its slot must recycle
+  // cleanly, and a timer reusing the slot must be unaffected.
+  auto q = Make();
+  int peer_fired = 0;
+  int reuser_fired = 0;
+  TimerId peer{};
+  bool cancel_ok = false;
+  q->Schedule(10, [&] {
+    TimerId moved = q->Update(peer, 50);
+    ASSERT_TRUE(moved.valid());
+    cancel_ok = q->Cancel(moved);
+  });
+  peer = ScheduleWithUserData(*q, 10, 0xC3, &peer_fired);
+  EXPECT_EQ(q->ExpireUpTo(10), 1u);
+  EXPECT_TRUE(cancel_ok);
+  EXPECT_EQ(peer_fired, 0);
+  EXPECT_EQ(q->size(), 0u);
+  TimerId reuser = q->Schedule(60, [&] { ++reuser_fired; });
+  EXPECT_FALSE(q->Cancel(peer));  // stale whichever id convention applies
+  EXPECT_EQ(q->ExpireUpTo(60), 1u);
+  EXPECT_EQ(reuser_fired, 1);
+  (void)reuser;
+}
+
+TEST_P(TimerQueueConformanceTest, UpdateWhileDueToStillDueDeadlineClamps) {
+  // Re-arming a due peer to a deadline that is *also* already due clamps to
+  // the cursor (one past the current expiry time), so it fires on the next
+  // ExpireUpTo that reaches it - never inside the current batch under its
+  // old deadline.
+  auto q = Make();
+  int peer_fired = 0;
+  TimerId peer{};
+  q->Schedule(10, [&] { peer = q->Update(peer, 3); });
+  peer = q->Schedule(10, [&] { ++peer_fired; });
+  EXPECT_EQ(q->ExpireUpTo(10), 1u);
+  EXPECT_EQ(peer_fired, 0);
+  EXPECT_EQ(q->size(), 1u);
+  EXPECT_EQ(q->ExpireUpTo(11), 1u);
+  EXPECT_EQ(peer_fired, 1);
+}
+
 TEST_P(TimerQueueConformanceTest, EarliestDeadlineTracksMin) {
   auto q = Make();
   EXPECT_FALSE(q->EarliestDeadline().has_value());
@@ -360,6 +560,27 @@ TEST_P(TimerQueueConformanceTest, RandomizedDifferentialAgainstReference) {
         }
       }
       live_ids.erase(it);
+    } else if (dice < 0.82 && !live_ids.empty()) {
+      // Update a random live timer to a new deadline (the RTO re-arm mix):
+      // observably a cancel+reschedule, so the reference re-keys the entry
+      // with a fresh seq at the clamped deadline.
+      auto it = live_ids.begin();
+      std::advance(it, static_cast<long>(rng.UniformU64(live_ids.size())));
+      uint64_t delta = rng.NextDouble() < 0.8 ? rng.UniformU64(8192)
+                                              : rng.UniformU64(3'000'000);
+      uint64_t deadline = now + delta;
+      TimerId moved = q->Update(it->second, deadline);
+      ASSERT_TRUE(moved.valid()) << "live id went stale at step " << step;
+      it->second = moved;
+      for (auto r = ref.begin(); r != ref.end(); ++r) {
+        if (r->second.key == it->first) {
+          uint64_t key = r->second.key;
+          ref.erase(r);
+          ref.emplace(deadline < cursor ? cursor : deadline,
+                      RefEntry{seq++, key});
+          break;
+        }
+      }
     } else {
       // Advance time and expire.
       now += rng.UniformU64(300);
@@ -392,7 +613,8 @@ INSTANTIATE_TEST_SUITE_P(AllKinds, TimerQueueConformanceTest,
                          ::testing::Values(TimerQueueKind::kHeap,
                                            TimerQueueKind::kHashedWheel,
                                            TimerQueueKind::kHierarchicalWheel,
-                                           TimerQueueKind::kCalloutList),
+                                           TimerQueueKind::kCalloutList,
+                                           TimerQueueKind::kGroupedSorting),
                          [](const ::testing::TestParamInfo<TimerQueueKind>& info) {
                            switch (info.param) {
                              case TimerQueueKind::kHeap:
@@ -403,9 +625,141 @@ INSTANTIATE_TEST_SUITE_P(AllKinds, TimerQueueConformanceTest,
                                return "HierarchicalWheel";
                              case TimerQueueKind::kCalloutList:
                                return "CalloutList";
+                             case TimerQueueKind::kGroupedSorting:
+                               return "GroupedSorting";
                            }
                            return "Unknown";
                          });
+
+// --- Emulated-vs-native Update parity: replay one fixed update-heavy script
+// on every backend and require byte-identical fire sequences. The four
+// emulating backends and the native grouped path must be indistinguishable.
+
+TEST(TimerQueueUpdateParityTest, AllBackendsProduceIdenticalFireSequences) {
+  const TimerQueueKind kKinds[] = {
+      TimerQueueKind::kHeap, TimerQueueKind::kHashedWheel,
+      TimerQueueKind::kHierarchicalWheel, TimerQueueKind::kCalloutList,
+      TimerQueueKind::kGroupedSorting};
+  std::vector<std::vector<uint64_t>> sequences;
+  for (TimerQueueKind kind : kKinds) {
+    auto q = MakeTimerQueue(kind);
+    std::vector<uint64_t> fires;
+    Rng rng(7);  // same stream for every backend
+    std::map<uint64_t, TimerId> live;
+    uint64_t now = 0;
+    uint64_t key = 1;
+    size_t pruned = 0;  // fires consumed from the log so far
+    for (int step = 0; step < 1500; ++step) {
+      double dice = rng.NextDouble();
+      uint64_t delta = rng.UniformU64(4096);
+      if (dice < 0.35 || live.empty()) {
+        uint64_t k = key++;
+        live[k] = q->Schedule(now + delta,
+                              [&fires, k] { fires.push_back(k); });
+      } else if (dice < 0.8) {
+        // Update-heavy: re-arm an existing timer (the RTO ACK pattern).
+        auto it = live.begin();
+        std::advance(it, static_cast<long>(rng.UniformU64(live.size())));
+        TimerId moved = q->Update(it->second, now + delta);
+        ASSERT_TRUE(moved.valid());
+        it->second = moved;
+      } else if (dice < 0.9) {
+        auto it = live.begin();
+        std::advance(it, static_cast<long>(rng.UniformU64(live.size())));
+        EXPECT_TRUE(q->Cancel(it->second));
+        live.erase(it);
+      } else {
+        now += rng.UniformU64(512);
+        q->ExpireUpTo(now);
+        // Prune fired keys from the live pool via the fire log, so later
+        // update/cancel picks only touch genuinely live timers.
+        for (; pruned < fires.size(); ++pruned) {
+          live.erase(fires[pruned]);
+        }
+      }
+    }
+    q->ExpireUpTo(now + 10'000'000);
+    sequences.push_back(std::move(fires));
+  }
+  for (size_t i = 1; i < sequences.size(); ++i) {
+    EXPECT_EQ(sequences[i], sequences[0])
+        << "backend " << TimerQueueKindName(kKinds[i])
+        << " diverged from " << TimerQueueKindName(kKinds[0]);
+  }
+}
+
+// --- Window-migration stress for the grouped queue: a tiny group count
+// forces constant coarse->fine migration and far-list refills, and updates
+// hop nodes across all three tiers in both directions.
+
+TEST(GroupedSortingQueueTest, TinyGroupCountMigrationAndCrossTierUpdates) {
+  GroupedSortingQueue q(/*granularity=*/1, /*group_count=*/4);
+  // Tiers: fine width 1 (4 groups), coarse width 4 (4 groups, 16-tick span),
+  // far beyond. Drive the same differential harness shape by hand.
+  std::vector<uint64_t> fires;
+  std::map<uint64_t, TimerId> live;
+  Rng rng(11);
+  uint64_t now = 0;
+  uint64_t key = 1;
+  std::multimap<uint64_t, uint64_t> ref;  // clamped deadline -> key
+  uint64_t cursor = 0;
+  std::vector<uint64_t> ref_fires;
+  for (int step = 0; step < 6000; ++step) {
+    double dice = rng.NextDouble();
+    // Deltas straddle every tier boundary of this tiny geometry.
+    uint64_t delta = rng.UniformU64(64);
+    if (dice < 0.4 || live.empty()) {
+      uint64_t k = key++;
+      live[k] = q.Schedule(now + delta, [&fires, k] { fires.push_back(k); });
+      ref.emplace(now + delta < cursor ? cursor : now + delta, k);
+    } else if (dice < 0.75) {
+      auto it = live.begin();
+      std::advance(it, static_cast<long>(rng.UniformU64(live.size())));
+      TimerId moved = q.Update(it->second, now + delta);
+      ASSERT_TRUE(moved.valid());
+      EXPECT_EQ(moved.value, it->second.value);  // native: id is stable
+      for (auto r = ref.begin(); r != ref.end(); ++r) {
+        if (r->second == it->first) {
+          uint64_t k = r->second;
+          ref.erase(r);
+          ref.emplace(now + delta < cursor ? cursor : now + delta, k);
+          break;
+        }
+      }
+    } else if (dice < 0.85) {
+      auto it = live.begin();
+      std::advance(it, static_cast<long>(rng.UniformU64(live.size())));
+      EXPECT_TRUE(q.Cancel(it->second));
+      for (auto r = ref.begin(); r != ref.end(); ++r) {
+        if (r->second == it->first) {
+          ref.erase(r);
+          break;
+        }
+      }
+      live.erase(it);
+    } else {
+      now += rng.UniformU64(24);
+      q.ExpireUpTo(now);
+      cursor = now + 1;
+      while (!ref.empty() && ref.begin()->first <= now) {
+        uint64_t k = ref.begin()->second;
+        ref_fires.push_back(k);
+        live.erase(k);
+        ref.erase(ref.begin());
+      }
+      ASSERT_EQ(fires, ref_fires) << "diverged at step " << step;
+      EXPECT_EQ(q.size(), ref.size());
+    }
+  }
+  now += 1'000'000;
+  q.ExpireUpTo(now);
+  while (!ref.empty()) {
+    ref_fires.push_back(ref.begin()->second);
+    ref.erase(ref.begin());
+  }
+  EXPECT_EQ(fires, ref_fires);
+  EXPECT_EQ(q.size(), 0u);
+}
 
 // Granularity > 1 wheels (not part of the heap's parameter space).
 TEST(HashedWheelGranularityTest, CoarseGranularityStillFiresCorrectly) {

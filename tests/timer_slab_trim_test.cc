@@ -128,6 +128,8 @@ std::string KindTestName(const ::testing::TestParamInfo<TimerQueueKind>& info) {
       return "HierWheel";
     case TimerQueueKind::kCalloutList:
       return "CalloutList";
+    case TimerQueueKind::kGroupedSorting:
+      return "GroupedSorting";
   }
   return "Unknown";
 }
@@ -136,7 +138,8 @@ INSTANTIATE_TEST_SUITE_P(AllBackends, SlabTrimTest,
                          ::testing::Values(TimerQueueKind::kHeap,
                                            TimerQueueKind::kHashedWheel,
                                            TimerQueueKind::kHierarchicalWheel,
-                                           TimerQueueKind::kCalloutList),
+                                           TimerQueueKind::kCalloutList,
+                                           TimerQueueKind::kGroupedSorting),
                          KindTestName);
 
 }  // namespace
