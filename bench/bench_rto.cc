@@ -65,6 +65,7 @@
 
 #include "bench/alloc_probe.h"
 #include "src/core/sharded_soft_timer_runtime.h"
+#include "src/stats/latency_histogram.h"
 #include "src/fault/fault_injector.h"
 #include "src/pacing/pacing_wheel.h"
 #include "src/sim/random.h"
@@ -322,8 +323,10 @@ struct LossWorld {
   size_t done_count = 0;
   uint64_t aborted = 0;
   uint64_t retx_copies_dropped = 0;
-  // Fire-probe accumulators.
-  std::vector<uint64_t> lateness;
+  // Fire-probe accumulators. The histogram is the shared metric definition
+  // with bench_shard_scaling's isolated-SLO phase (src/stats); its reported
+  // percentiles are bucket upper bounds (conservative), max is exact.
+  LatencyHistogram lateness;
   uint64_t early_fires = 0;
 
   uint64_t AckDelay() { return 300 + rng->UniformU64(400); }
@@ -351,7 +354,7 @@ void LossAbort(void* ctx, void* conn_ctx) {
 
 void LossFireProbe(void* ctx, const SoftTimerFacility::FireInfo& info) {
   LossWorld* w = static_cast<LossWorld*>(ctx);
-  w->lateness.push_back(info.lateness_ticks());
+  w->lateness.Record(info.lateness_ticks());
   if (info.fired_tick < info.scheduled_tick + info.delta_ticks) {
     ++w->early_fires;
   }
@@ -414,7 +417,6 @@ LossResult RunLoss(size_t conns) {
   world.rng = &delay_rng;
   world.acks = &acks;
   world.done = &done;
-  world.lateness.reserve(conns / 4 + 1024);
   engine.set_retransmit_hook(&LossRetransmit, &world);
   engine.set_abort_hook(&LossAbort, &world);
   engine.set_fire_probe(&LossFireProbe, &world);
@@ -483,12 +485,11 @@ LossResult RunLoss(size_t conns) {
   r.acks_dropped = inj.stats().acks_dropped;
   r.burst_dropped = inj.stats().burst_dropped;
   r.early_fires = world.early_fires;
-  r.samples = world.lateness.size();
-  if (!world.lateness.empty()) {
-    std::sort(world.lateness.begin(), world.lateness.end());
-    r.lateness_p50 = world.lateness[world.lateness.size() / 2];
-    r.lateness_p99 = world.lateness[world.lateness.size() * 99 / 100];
-    r.lateness_max = world.lateness.back();
+  r.samples = world.lateness.count();
+  if (r.samples != 0) {
+    r.lateness_p50 = world.lateness.Percentile(50.0);
+    r.lateness_p99 = world.lateness.Percentile(99.0);
+    r.lateness_max = world.lateness.max();
   }
   r.conserved = st.timers_scheduled == st.timers_cancelled + st.timers_fired &&
                 st.stale_fires == 0;

@@ -33,6 +33,8 @@
 #include "bench/alloc_probe.h"
 #include "src/core/sharded_soft_timer_runtime.h"
 #include "src/rt/monotonic_clock_source.h"
+#include "src/rt/sharded_rt_host.h"
+#include "src/stats/latency_histogram.h"
 
 namespace softtimer {
 namespace {
@@ -272,6 +274,184 @@ void MeasureCrossCoreLatency(CrossCoreResult* out, double scale) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Isolated-shard latency-SLO phase (DESIGN.md section 14).
+//
+// A 2-shard ShardedRtHost: shard 0 runs the kIsolated profile (dedicated
+// spinning trigger loop, compensated software backup, 1 us lateness SLO at
+// the 1 GHz measure clock) under a 100-tick self-re-arm chain; shard 1 runs
+// the normal profile under a 400 us chain, demonstrating - simultaneously -
+// that its dispatches piggyback on trigger states (kIdleLoop source) rather
+// than costing backup interrupts. A second, shorter run flips the isolated
+// backup to kUncompensated as the CHRONOS-style contrast: arming at the
+// deadline instead of deadline-minus-overhead makes every backup fire late
+// by one check gap.
+//
+// Self-checking gates (the bench exits nonzero if they fail after retries):
+//   - clean p99.9 dispatch lateness on the isolated shard < the SLO budget
+//     (1000 ticks = 1 us), with a minimum clean sample count;
+//   - zero backup_true_late on the compensated run (late fires with a
+//     detected hypervisor steal are classified, reported, and excluded);
+//   - backup fires actually happened on both isolated runs;
+//   - the uncompensated contrast run fired its backups late;
+//   - the sibling normal shard dispatched via trigger piggybacking.
+// "Clean" excludes dispatches adjacent to a detected preemption gap - the
+// same shared-CI-host honesty rule as the CPU-time-per-op methodology above;
+// raw percentiles are reported next to clean in the JSON.
+// ---------------------------------------------------------------------------
+
+struct ChainCtx {
+  ShardedSoftTimerRuntime* rt = nullptr;
+  size_t shard = 0;
+  uint64_t delta = 0;
+  uint64_t fires = 0;
+};
+
+void ChainFire(ChainCtx* c) {
+  c->rt->ScheduleOnShard(c->shard, c->delta,
+                         [c](const SoftTimerFacility::FireInfo&) {
+                           ++c->fires;
+                           ChainFire(c);
+                         });
+}
+
+struct IsolatedSloResult {
+  // Compensated (primary) run, isolated shard 0.
+  uint64_t slo_budget_ticks = 0;
+  uint64_t clean_samples = 0;
+  uint64_t clean_p50 = 0, clean_p99 = 0, clean_p999 = 0, clean_max = 0;
+  uint64_t raw_samples = 0;
+  uint64_t raw_p50 = 0, raw_p99 = 0, raw_p999 = 0, raw_max = 0;
+  ShardedRtHost::IsolatedShardStats iso;
+  // Sibling normal shard 1.
+  uint64_t normal_dispatches = 0;
+  uint64_t normal_piggyback_dispatches = 0;  // TriggerSource::kIdleLoop
+  uint64_t normal_backup_dispatches = 0;     // TriggerSource::kBackupIntr
+  // Uncompensated contrast run.
+  uint64_t uncomp_backup_fires = 0;
+  uint64_t uncomp_backup_on_time = 0;
+  uint64_t uncomp_backup_late = 0;  // true_late + steal_late
+  // Gate outcomes.
+  bool pass_clean_p999 = false;
+  bool pass_min_samples = false;
+  bool pass_zero_true_late = false;
+  bool pass_backup_exercised = false;
+  bool pass_uncomp_late = false;
+  bool pass_normal_piggyback = false;
+  bool passed = false;
+  int attempts = 0;
+  // Clean-histogram snapshot for the JSON bucket dump.
+  LatencyHistogram clean_hist;
+};
+
+IsolatedSloResult RunIsolatedSloOnce(double scale) {
+  constexpr uint64_t kSloTicks = 1'000;       // 1 us at the 1 GHz clock
+  constexpr uint64_t kMinCleanSamples = 1'000;
+  const auto comp_ms =
+      std::chrono::milliseconds(std::max<int64_t>(40, int64_t(600 * scale)));
+  const auto uncomp_ms =
+      std::chrono::milliseconds(std::max<int64_t>(20, int64_t(150 * scale)));
+
+  IsolatedSloResult r;
+  r.slo_budget_ticks = kSloTicks;
+
+  ChainCtx iso_chain, normal_chain;
+  {
+    ShardedRtHost::Config hc;
+    hc.num_shards = 2;
+    hc.measure_hz = 1'000'000'000;
+    hc.interrupt_clock_hz = 1'000;  // 1 ms backup period
+    hc.queue_kind = TimerQueueKind::kHeap;
+    hc.shard_profiles.resize(2);
+    hc.shard_profiles[0].profile = ShardedRtHost::ShardProfile::kIsolated;
+    hc.shard_profiles[0].backup = ShardedRtHost::IsolatedBackup::kCompensated;
+    hc.shard_profiles[0].slo_lateness_ticks = kSloTicks;
+    hc.shard_setup = [&](size_t shard) {
+      ChainFire(shard == 0 ? &iso_chain : &normal_chain);
+    };
+    ShardedRtHost host(hc);
+    iso_chain = {&host.runtime(), 0, 100, 0};       // 100 ns re-arm chain
+    normal_chain = {&host.runtime(), 1, 400'000, 0};  // 400 us chain
+    host.Start();
+    std::this_thread::sleep_for(comp_ms);
+    host.Stop();
+
+    r.iso = host.isolated_shard_stats(0);
+    const LatencyHistogram& clean = host.shard_lateness_clean(0);
+    const LatencyHistogram& raw = host.shard_lateness_raw(0);
+    r.clean_samples = clean.count();
+    r.clean_p50 = clean.Percentile(50.0);
+    r.clean_p99 = clean.Percentile(99.0);
+    r.clean_p999 = clean.Percentile(99.9);
+    r.clean_max = clean.max();
+    r.raw_samples = raw.count();
+    r.raw_p50 = raw.Percentile(50.0);
+    r.raw_p99 = raw.Percentile(99.0);
+    r.raw_p999 = raw.Percentile(99.9);
+    r.raw_max = raw.max();
+    r.clean_hist = clean;
+    const SoftTimerFacility::Stats& fs = host.runtime().shard_facility(1).stats();
+    r.normal_dispatches = fs.dispatches;
+    r.normal_piggyback_dispatches =
+        fs.dispatches_by_source[static_cast<size_t>(TriggerSource::kIdleLoop)];
+    r.normal_backup_dispatches =
+        fs.dispatches_by_source[static_cast<size_t>(TriggerSource::kBackupIntr)];
+  }
+
+  {
+    ShardedRtHost::Config hc;
+    hc.num_shards = 1;
+    hc.measure_hz = 1'000'000'000;
+    hc.interrupt_clock_hz = 1'000;
+    hc.queue_kind = TimerQueueKind::kHeap;
+    hc.shard_profiles.resize(1);
+    hc.shard_profiles[0].profile = ShardedRtHost::ShardProfile::kIsolated;
+    hc.shard_profiles[0].backup =
+        ShardedRtHost::IsolatedBackup::kUncompensated;
+    ChainCtx chain;
+    hc.shard_setup = [&](size_t) { ChainFire(&chain); };
+    ShardedRtHost host(hc);
+    chain = {&host.runtime(), 0, 100, 0};
+    host.Start();
+    std::this_thread::sleep_for(uncomp_ms);
+    host.Stop();
+    ShardedRtHost::IsolatedShardStats u = host.isolated_shard_stats(0);
+    r.uncomp_backup_fires = u.backup_fires;
+    r.uncomp_backup_on_time = u.backup_on_time;
+    r.uncomp_backup_late = u.backup_true_late + u.backup_steal_late;
+  }
+
+  r.pass_clean_p999 = r.clean_p999 < kSloTicks;
+  r.pass_min_samples = r.clean_samples >= kMinCleanSamples;
+  r.pass_zero_true_late = r.iso.backup_true_late == 0;
+  r.pass_backup_exercised =
+      r.iso.backup_fires > 0 && r.uncomp_backup_fires > 0;
+  r.pass_uncomp_late = r.uncomp_backup_late > 0;
+  r.pass_normal_piggyback = r.normal_piggyback_dispatches > 0;
+  r.passed = r.pass_clean_p999 && r.pass_min_samples &&
+             r.pass_zero_true_late && r.pass_backup_exercised &&
+             r.pass_uncomp_late && r.pass_normal_piggyback;
+  return r;
+}
+
+IsolatedSloResult RunIsolatedSlo(double scale) {
+  // A hypervisor steal storm on a shared CI host can defeat any single run
+  // (it also taints the calibration); retry a bounded number of times before
+  // declaring failure.
+  constexpr int kMaxAttempts = 3;
+  IsolatedSloResult r;
+  for (int attempt = 1; attempt <= kMaxAttempts; ++attempt) {
+    r = RunIsolatedSloOnce(scale);
+    r.attempts = attempt;
+    if (r.passed) {
+      break;
+    }
+    std::fprintf(stderr, "isolated-slo attempt %d failed its gates%s\n",
+                 attempt, attempt < kMaxAttempts ? ", retrying" : "");
+  }
+  return r;
+}
+
 int Run(const std::string& json_path, double scale) {
   const size_t kThreadCounts[] = {1, 2, 4, 8};
   uint64_t ops = static_cast<uint64_t>(1'000'000 * scale);
@@ -297,9 +477,47 @@ int Run(const std::string& json_path, double scale) {
       cross.push_ns_per_op, cross.push_allocs_per_op, cross.apply_ns_per_op,
       cross.latency_p50_us, cross.latency_p99_us);
 
+  IsolatedSloResult slo = RunIsolatedSlo(scale);
+  std::printf(
+      "isolated-slo: clean lateness p50/p99/p99.9/max %llu/%llu/%llu/%llu "
+      "ticks (%llu samples)  raw p99.9 %llu (%llu)\n",
+      static_cast<unsigned long long>(slo.clean_p50),
+      static_cast<unsigned long long>(slo.clean_p99),
+      static_cast<unsigned long long>(slo.clean_p999),
+      static_cast<unsigned long long>(slo.clean_max),
+      static_cast<unsigned long long>(slo.clean_samples),
+      static_cast<unsigned long long>(slo.raw_p999),
+      static_cast<unsigned long long>(slo.raw_samples));
+  std::printf(
+      "  steals %llu (%llu ticks, max gap %llu)  threshold %llu  "
+      "compensation %llu  calibrated gap %llu\n",
+      static_cast<unsigned long long>(slo.iso.steal_events),
+      static_cast<unsigned long long>(slo.iso.stolen_ticks),
+      static_cast<unsigned long long>(slo.iso.max_gap_ticks),
+      static_cast<unsigned long long>(slo.iso.steal_threshold_ticks),
+      static_cast<unsigned long long>(slo.iso.compensation_ticks),
+      static_cast<unsigned long long>(slo.iso.calibrated_gap_ticks));
+  std::printf(
+      "  backup compensated: fires %llu on_time %llu true_late %llu "
+      "steal_late %llu | uncompensated: fires %llu late %llu\n",
+      static_cast<unsigned long long>(slo.iso.backup_fires),
+      static_cast<unsigned long long>(slo.iso.backup_on_time),
+      static_cast<unsigned long long>(slo.iso.backup_true_late),
+      static_cast<unsigned long long>(slo.iso.backup_steal_late),
+      static_cast<unsigned long long>(slo.uncomp_backup_fires),
+      static_cast<unsigned long long>(slo.uncomp_backup_late));
+  std::printf(
+      "  normal sibling: dispatches %llu, piggybacked on trigger states %llu, "
+      "via backup %llu\n",
+      static_cast<unsigned long long>(slo.normal_dispatches),
+      static_cast<unsigned long long>(slo.normal_piggyback_dispatches),
+      static_cast<unsigned long long>(slo.normal_backup_dispatches));
+  std::printf("  gates: %s (attempts %d)\n",
+              slo.passed ? "PASS" : "FAIL", slo.attempts);
+
   const ScalePoint& base = points[0];
   if (json_path.empty()) {
-    return 0;
+    return slo.passed ? 0 : 1;
   }
   FILE* f = std::fopen(json_path.c_str(), "w");
   if (f == nullptr) {
@@ -341,13 +559,93 @@ int Run(const std::string& json_path, double scale) {
                "    \"apply_ns_per_op\": %.2f,\n"
                "    \"latency_p50_us\": %.2f,\n"
                "    \"latency_p99_us\": %.2f\n"
-               "  }\n}\n",
+               "  },\n",
                cross.push_ns_per_op, cross.push_allocs_per_op,
                cross.apply_ns_per_op, cross.latency_p50_us,
                cross.latency_p99_us);
+  std::fprintf(
+      f,
+      "  \"isolated_slo\": {\n"
+      "    \"note\": \"2-shard ShardedRtHost at 1 GHz: shard 0 isolated "
+      "(spinning trigger loop, compensated software backup, 100-tick re-arm "
+      "chain), shard 1 normal (400 us chain). 'clean' excludes dispatches "
+      "adjacent to a detected hypervisor-steal gap (> steal_threshold_ticks "
+      "between consecutive clock reads) - same honesty rule as the CPU-time "
+      "methodology; 'raw' keeps everything. Percentiles are bucket upper "
+      "bounds (LatencyHistogram, <=6%% relative error), max exact. The "
+      "uncompensated contrast arms the backup at the deadline instead of "
+      "deadline-minus-compensation, so its fires trail by one check gap.\",\n");
+  std::fprintf(
+      f,
+      "    \"slo_budget_ticks\": %llu,\n"
+      "    \"clean\": {\"samples\": %llu, \"p50_ticks\": %llu, "
+      "\"p99_ticks\": %llu, \"p999_ticks\": %llu, \"max_ticks\": %llu},\n"
+      "    \"raw\": {\"samples\": %llu, \"p50_ticks\": %llu, "
+      "\"p99_ticks\": %llu, \"p999_ticks\": %llu, \"max_ticks\": %llu},\n",
+      static_cast<unsigned long long>(slo.slo_budget_ticks),
+      static_cast<unsigned long long>(slo.clean_samples),
+      static_cast<unsigned long long>(slo.clean_p50),
+      static_cast<unsigned long long>(slo.clean_p99),
+      static_cast<unsigned long long>(slo.clean_p999),
+      static_cast<unsigned long long>(slo.clean_max),
+      static_cast<unsigned long long>(slo.raw_samples),
+      static_cast<unsigned long long>(slo.raw_p50),
+      static_cast<unsigned long long>(slo.raw_p99),
+      static_cast<unsigned long long>(slo.raw_p999),
+      static_cast<unsigned long long>(slo.raw_max));
+  std::fprintf(
+      f,
+      "    \"spin\": {\"checks\": %llu, \"calibrated_gap_ticks\": %llu, "
+      "\"steal_threshold_ticks\": %llu, \"steal_events\": %llu, "
+      "\"stolen_ticks\": %llu, \"max_gap_ticks\": %llu, "
+      "\"steal_suppressed_dispatches\": %llu, \"slo_violations\": %llu},\n",
+      static_cast<unsigned long long>(slo.iso.spin_checks),
+      static_cast<unsigned long long>(slo.iso.calibrated_gap_ticks),
+      static_cast<unsigned long long>(slo.iso.steal_threshold_ticks),
+      static_cast<unsigned long long>(slo.iso.steal_events),
+      static_cast<unsigned long long>(slo.iso.stolen_ticks),
+      static_cast<unsigned long long>(slo.iso.max_gap_ticks),
+      static_cast<unsigned long long>(slo.iso.steal_suppressed_dispatches),
+      static_cast<unsigned long long>(slo.iso.slo_violations));
+  std::fprintf(
+      f,
+      "    \"backup_compensated\": {\"compensation_ticks\": %llu, "
+      "\"fires\": %llu, \"on_time\": %llu, \"true_late\": %llu, "
+      "\"steal_late\": %llu},\n"
+      "    \"backup_uncompensated\": {\"fires\": %llu, \"on_time\": %llu, "
+      "\"late\": %llu},\n"
+      "    \"normal_sibling\": {\"dispatches\": %llu, "
+      "\"trigger_piggyback_dispatches\": %llu, \"backup_dispatches\": "
+      "%llu},\n",
+      static_cast<unsigned long long>(slo.iso.compensation_ticks),
+      static_cast<unsigned long long>(slo.iso.backup_fires),
+      static_cast<unsigned long long>(slo.iso.backup_on_time),
+      static_cast<unsigned long long>(slo.iso.backup_true_late),
+      static_cast<unsigned long long>(slo.iso.backup_steal_late),
+      static_cast<unsigned long long>(slo.uncomp_backup_fires),
+      static_cast<unsigned long long>(slo.uncomp_backup_on_time),
+      static_cast<unsigned long long>(slo.uncomp_backup_late),
+      static_cast<unsigned long long>(slo.normal_dispatches),
+      static_cast<unsigned long long>(slo.normal_piggyback_dispatches),
+      static_cast<unsigned long long>(slo.normal_backup_dispatches));
+  std::fprintf(f, "    \"clean_histogram\": [");
+  {
+    bool first = true;
+    slo.clean_hist.ForEachNonZero(
+        [&](uint64_t lo, uint64_t hi, uint64_t n) {
+          std::fprintf(f, "%s\n      {\"lo\": %llu, \"hi\": %llu, \"n\": %llu}",
+                       first ? "" : ",", static_cast<unsigned long long>(lo),
+                       static_cast<unsigned long long>(hi),
+                       static_cast<unsigned long long>(n));
+          first = false;
+        });
+  }
+  std::fprintf(f, "\n    ],\n");
+  std::fprintf(f, "    \"attempts\": %d,\n    \"passed\": %s\n  }\n}\n",
+               slo.attempts, slo.passed ? "true" : "false");
   std::fclose(f);
   std::printf("wrote %s\n", json_path.c_str());
-  return 0;
+  return slo.passed ? 0 : 1;
 }
 
 }  // namespace

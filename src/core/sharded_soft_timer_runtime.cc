@@ -5,6 +5,7 @@
 #include <thread>
 #include <utility>
 
+#include "src/core/cpu_relax.h"
 #include "src/timer/timer_slab.h"
 
 namespace softtimer {
@@ -344,13 +345,11 @@ SoftEventId ShardedSoftTimerRuntime::ScheduleCrossCoreWithRetry(
     }
     // Exponential spin backoff: the consumer drains whole rings at its next
     // trigger state, so a short producer-side spin is the cheapest way to
-    // ride out a momentary burst without sleeping into added latency.
+    // ride out a momentary burst without sleeping into added latency. Each
+    // iteration issues the pause hint so the spin does not starve a sibling
+    // hyperthread of the very consumer it is waiting on.
     for (uint32_t i = 0; i < spin; ++i) {
-#if defined(__x86_64__) || defined(__i386__)
-      __builtin_ia32_pause();
-#else
-      std::atomic_signal_fence(std::memory_order_seq_cst);
-#endif
+      CpuRelax();
     }
     if (spin < retry.spin_cap) {
       spin = spin * 2 < retry.spin_cap ? spin * 2 : retry.spin_cap;

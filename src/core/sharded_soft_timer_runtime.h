@@ -299,11 +299,18 @@ class ShardedSoftTimerRuntime {
     uint64_t remote_rescheduled = 0;  // update commands that re-armed an event
     uint64_t remote_reschedule_misses = 0;
     size_t remote_live = 0;          // live entries in the remote-id table
+    // Snapshot of this shard facility's dispatch-lateness distribution
+    // (FireInfo::lateness_ticks), so per-shard latency health is readable
+    // through one accessor without reaching into the facility. Hosts that
+    // need full percentiles install a facility lateness probe feeding a
+    // LatencyHistogram instead (see ShardedRtHost).
+    SummaryStats lateness_ticks;
   };
   // Owner-thread (or quiesced) reads only.
   ShardStats shard_stats(size_t shard) const {
     ShardStats s = shards_[shard]->stats;
     s.remote_live = shards_[shard]->remote_ids.size();
+    s.lateness_ticks = shards_[shard]->facility->stats().lateness_ticks;
     return s;
   }
 

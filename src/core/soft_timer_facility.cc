@@ -62,6 +62,9 @@ void SoftTimerFacility::DispatchFired(const TimerFired& fired,
   if (p.user_data != 0 && event_retired_fn_ != nullptr && policy_ == nullptr) {
     event_retired_fn_(event_retired_ctx_, p.user_data);
   }
+  if (lateness_probe_fn_ != nullptr) {
+    lateness_probe_fn_(lateness_probe_ctx_, info);
+  }
   if (dispatch_observer_) {
     dispatch_observer_(info);
   }

@@ -182,6 +182,19 @@ class SoftTimerFacility {
     dispatch_observer_ = std::move(obs);
   }
 
+  // Raw-function-pointer probe invoked once per dispatched handler (before
+  // the handler and before the dispatch observer) with the event's FireInfo.
+  // Kept as a plain pointer + context so installing and firing it never
+  // allocates and costs one predictable indirect call on the hot path - this
+  // is how ShardedRtHost feeds its per-shard dispatch-lateness histograms
+  // (FireInfo::lateness_ticks per dispatch) without a std::function in the
+  // loop. Independent of the dispatch observer; both may be installed.
+  using LatenessProbeFn = void (*)(void* ctx, const FireInfo& info);
+  void set_lateness_probe(LatenessProbeFn fn, void* ctx) {
+    lateness_probe_fn_ = fn;
+    lateness_probe_ctx_ = ctx;
+  }
+
   // Observer invoked after each ScheduleSoftEvent. The host's idle loop uses
   // this to resume polling when a new event lands while the CPU is idle
   // (Section 5.2's halt condition (a) can newly fail).
@@ -304,6 +317,8 @@ class SoftTimerFacility {
   std::function<uint64_t(const FireInfo&)> dispatch_cost_probe_;
   EventRetiredFn event_retired_fn_ = nullptr;
   void* event_retired_ctx_ = nullptr;
+  LatenessProbeFn lateness_probe_fn_ = nullptr;
+  void* lateness_probe_ctx_ = nullptr;
   // Conservative cached copy of the earliest pending deadline, maintained
   // only when no policy is configured (the policy needs every check to reach
   // its density tracker anyway). Invariant: next_deadline_ <= the queue's

@@ -1,12 +1,19 @@
 #include "src/rt/sharded_rt_host.h"
 
+#include <algorithm>
 #include <cassert>
+
+#include "src/core/cpu_relax.h"
 
 namespace softtimer {
 
 ShardedRtHost::ShardedRtHost(Config config)
-    : config_(config), clock_(config.measure_hz) {
+    : config_(std::move(config)), clock_(config_.measure_hz) {
   assert(config_.num_shards >= 1);
+  assert(config_.shard_profiles.empty() ||
+         config_.shard_profiles.size() == config_.num_shards);
+  profiles_ = config_.shard_profiles;
+  profiles_.resize(config_.num_shards);  // missing entries default to kNormal
   ShardedSoftTimerRuntime::Config rc;
   rc.num_shards = config_.num_shards;
   rc.max_producers = config_.max_producers;
@@ -18,6 +25,11 @@ ShardedRtHost::ShardedRtHost(Config config)
   loops_.reserve(config_.num_shards);
   for (size_t i = 0; i < config_.num_shards; ++i) {
     loops_.push_back(std::make_unique<ShardLoop>());
+    ShardLoop& loop = *loops_.back();
+    loop.isolated = profiles_[i].profile == ShardProfile::kIsolated;
+    loop.slo_budget = profiles_[i].slo_lateness_ticks;
+    runtime_->shard_facility(i).set_lateness_probe(
+        &ShardedRtHost::LatenessProbe, &loop);
   }
 }
 
@@ -31,7 +43,9 @@ void ShardedRtHost::Start() {
   // itself synchronizes.
   stop_.store(false, std::memory_order_relaxed);
   for (size_t i = 0; i < loops_.size(); ++i) {
-    loops_[i]->thread = std::thread([this, i] { RunShard(i); });
+    bool isolated = profiles_[i].profile == ShardProfile::kIsolated;
+    loops_[i]->thread = std::thread(
+        [this, i, isolated] { isolated ? RunShardIsolated(i) : RunShard(i); });
   }
   running_ = true;
 }
@@ -163,12 +177,181 @@ void ShardedRtHost::RunShard(size_t shard) {
   }
 }
 
+// SOFTTIMER_HOT
+void ShardedRtHost::LatenessProbe(void* ctx,
+                                  const SoftTimerFacility::FireInfo& info) {
+  auto* loop = static_cast<ShardLoop*>(ctx);
+  uint64_t lateness = info.lateness_ticks();
+  loop->lateness_raw.Record(lateness);
+  if (!loop->isolated) {
+    // Normal profile: no steal detection, every dispatch is clean.
+    loop->lateness_clean.Record(lateness);
+    if (loop->slo_budget != 0 && lateness > loop->slo_budget) {
+      ++loop->iso.slo_violations;
+    }
+    return;
+  }
+  if (loop->check_tainted) {
+    // Leading gap was a steal: this dispatch's fired_tick is preemption
+    // noise, keep it out of the clean histogram entirely.
+    ++loop->iso.steal_suppressed_dispatches;
+    return;
+  }
+  // Clean so far, but a steal could still have landed between the loop-top
+  // clock read and the facility's dispatch read. Buffer until the NEXT
+  // loop-top read vouches for the trailing gap (sandwich rule: a dispatch
+  // is clean only when the gaps on both sides of its check are clean).
+  if (loop->pending_clean_count < kCleanBufferCap) {
+    loop->pending_clean[loop->pending_clean_count++] = lateness;
+  } else {
+    ++loop->iso.steal_suppressed_dispatches;  // overflow: raw-only
+  }
+}
+
+void ShardedRtHost::ResolvePendingClean(ShardLoop& loop, bool trailing_steal) {
+  if (loop.pending_clean_count == 0) {
+    return;
+  }
+  if (trailing_steal) {
+    loop.iso.steal_suppressed_dispatches += loop.pending_clean_count;
+  } else {
+    for (size_t i = 0; i < loop.pending_clean_count; ++i) {
+      uint64_t lateness = loop.pending_clean[i];
+      loop.lateness_clean.Record(lateness);
+      if (loop.slo_budget != 0 && lateness > loop.slo_budget) {
+        ++loop.iso.slo_violations;
+      }
+    }
+  }
+  loop.pending_clean_count = 0;
+}
+
+uint64_t ShardedRtHost::CalibrateSpinGap() const {
+  // Median of a short spin burst: the typical clock-read-to-clock-read cost
+  // of one loop iteration. Median rather than mean so a hypervisor steal
+  // landing inside the burst cannot poison the calibration.
+  constexpr size_t kSamples = 1024;
+  std::array<uint64_t, kSamples> gaps;
+  uint64_t prev = clock_.NowTicks();
+  for (size_t i = 0; i < kSamples; ++i) {
+    CpuRelax();
+    uint64_t now = clock_.NowTicks();
+    gaps[i] = now - prev;
+    prev = now;
+  }
+  std::nth_element(gaps.begin(), gaps.begin() + kSamples / 2, gaps.end());
+  return gaps[kSamples / 2];
+}
+
+void ShardedRtHost::RunShardIsolated(size_t shard) {
+  ShardLoop& loop = *loops_[shard];
+  const ShardProfileConfig& prof = profiles_[shard];
+  SoftTimerFacility& facility = runtime_->shard_facility(shard);
+  // Startup calibration (CHRONOS-style cost model): the arm-to-fire overhead
+  // of the software backup is one spin check gap, so measure it and derive
+  // the two knobs from it unless the profile pins them. The steal threshold
+  // is a generous multiple of the median gap - far above scheduling jitter,
+  // far below any real preemption - and the compensation must be at least
+  // the threshold so that any backup fired late WITHOUT a detected steal
+  // would contradict the threshold, making backup_true_late structurally
+  // zero under kCompensated.
+  uint64_t median_gap = CalibrateSpinGap();
+  uint64_t steal_threshold =
+      prof.steal_threshold_ticks != 0
+          ? prof.steal_threshold_ticks
+          : std::max<uint64_t>(32 * std::max<uint64_t>(median_gap, 1), 4);
+  uint64_t backup_period = facility.ticks_per_backup_interval();
+  uint64_t compensation = 0;
+  if (prof.backup == IsolatedBackup::kCompensated) {
+    compensation = prof.backup_compensation_ticks != 0
+                       ? prof.backup_compensation_ticks
+                       : std::max<uint64_t>(steal_threshold, 16);
+    // A compensation rivaling the period would make the backup fire
+    // constantly; clamp and let steal classification absorb the rest.
+    compensation = std::min(compensation, backup_period / 2);
+  }
+  loop.iso.calibrated_gap_ticks = median_gap;
+  loop.iso.steal_threshold_ticks = steal_threshold;
+  loop.iso.compensation_ticks = compensation;
+  // Setup runs AFTER calibration so a timer it schedules (e.g. a bench's
+  // self-re-arm chain) is not already overdue by the calibration burst when
+  // the first check runs.
+  if (config_.shard_setup) {
+    config_.shard_setup(shard);
+  }
+
+  uint64_t prev_tick = clock_.NowTicks();
+  // Nominal deadline of the next software backup, and the (compensated)
+  // tick at which the loop actually performs it.
+  uint64_t backup_deadline = prev_tick + backup_period;
+  uint64_t backup_arm = backup_deadline - compensation;
+  // ordering: same relaxed-stop contract as RunShard - the loop re-polls
+  // continuously, so staleness costs at most one extra iteration.
+  while (!stop_.load(std::memory_order_relaxed)) {
+    uint64_t now = clock_.NowTicks();
+    uint64_t gap = now - prev_tick;
+    prev_tick = now;
+    bool steal = gap > steal_threshold;
+    // The previous check's dispatches were waiting on this gap's verdict.
+    ResolvePendingClean(loop, steal);
+    if (steal) {
+      ++loop.iso.steal_events;
+      loop.iso.stolen_ticks += gap;
+    }
+    if (gap > loop.iso.max_gap_ticks) {
+      loop.iso.max_gap_ticks = gap;
+    }
+    loop.check_tainted = steal;
+    ++loop.stats.polls;
+    ++loop.iso.spin_checks;
+    if (prof.backup != IsolatedBackup::kDisabled && now >= backup_arm) {
+      ++loop.stats.backup_checks;
+      ++loop.iso.backup_fires;
+      if (now <= backup_deadline) {
+        ++loop.iso.backup_on_time;
+      } else if (steal) {
+        ++loop.iso.backup_steal_late;
+      } else {
+        ++loop.iso.backup_true_late;
+      }
+      runtime_->OnBackupInterrupt(shard);
+      // Re-arm one period out from the fire (one-shot re-arm, so a long
+      // steal yields one late backup, not a burst of catch-up fires).
+      backup_deadline = now + backup_period;
+      backup_arm = backup_deadline - compensation;
+    } else {
+      runtime_->OnTriggerState(shard, TriggerSource::kIdleLoop);
+    }
+    if (config_.shard_tick) {
+      config_.shard_tick(shard);
+    }
+    CpuRelax();
+  }
+  // No trailing gap will ever vouch for the last check's dispatches;
+  // suppress them (they are in raw) rather than guess.
+  ResolvePendingClean(loop, /*trailing_steal=*/true);
+}
+
 ShardedRtHost::ShardLoopStats ShardedRtHost::shard_loop_stats(
     size_t shard) const {
   ShardLoopStats s = loops_[shard]->stats;
   // ordering: stats counter; monotonic, staleness acceptable by contract.
   s.wakeups = loops_[shard]->wakeups.load(std::memory_order_relaxed);
   return s;
+}
+
+ShardedRtHost::IsolatedShardStats ShardedRtHost::isolated_shard_stats(
+    size_t shard) const {
+  return loops_[shard]->iso;
+}
+
+const LatencyHistogram& ShardedRtHost::shard_lateness_raw(size_t shard) const {
+  return loops_[shard]->lateness_raw;
+}
+
+const LatencyHistogram& ShardedRtHost::shard_lateness_clean(
+    size_t shard) const {
+  return loops_[shard]->lateness_clean;
 }
 
 }  // namespace softtimer

@@ -1,0 +1,71 @@
+#include "src/stats/latency_histogram.h"
+
+namespace softtimer {
+
+uint64_t LatencyHistogram::BucketLower(size_t index) {
+  size_t tier = index / kSubBuckets;
+  size_t sub = index % kSubBuckets;
+  if (tier == 0) {
+    return sub;
+  }
+  // Tier t >= 1 spans [2^(t+3), 2^(t+4)) in sub-buckets of width 2^(t-1).
+  uint64_t width = 1ull << (tier - 1);
+  uint64_t base = width * kSubBuckets;
+  return base + sub * width;
+}
+
+uint64_t LatencyHistogram::BucketUpper(size_t index) {
+  size_t tier = index / kSubBuckets;
+  if (tier == 0) {
+    return BucketLower(index);
+  }
+  uint64_t width = 1ull << (tier - 1);
+  uint64_t lower = BucketLower(index);
+  // Saturate at the top of the 64-bit range (the last tier's final bucket).
+  return lower + width - 1 >= lower ? lower + width - 1 : UINT64_MAX;
+}
+
+uint64_t LatencyHistogram::Percentile(double p) const {
+  if (count_ == 0) {
+    return 0;
+  }
+  if (p <= 0.0) {
+    return min();
+  }
+  // Rank of the requested quantile, 1-based, clamped into [1, count_].
+  uint64_t rank =
+      static_cast<uint64_t>(p / 100.0 * static_cast<double>(count_) + 0.5);
+  if (rank < 1) {
+    rank = 1;
+  }
+  if (rank > count_) {
+    rank = count_;
+  }
+  uint64_t seen = 0;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    seen += counts_[i];
+    if (seen >= rank) {
+      uint64_t upper = BucketUpper(i);
+      return upper < max_ ? upper : max_;
+    }
+  }
+  return max_;
+}
+
+void LatencyHistogram::Merge(const LatencyHistogram& other) {
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    counts_[i] += other.counts_[i];
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  if (other.count_ != 0) {
+    if (other.min_ < min_) {
+      min_ = other.min_;
+    }
+    if (other.max_ > max_) {
+      max_ = other.max_;
+    }
+  }
+}
+
+}  // namespace softtimer

@@ -1,0 +1,108 @@
+// Fixed-bucket latency histogram for hot-path lateness instrumentation.
+//
+// HdrHistogram-style layout over uint64 tick values: a power-of-two tier per
+// leading-bit position, 16 linear sub-buckets per tier, so the relative
+// quantization error is bounded by 1/16 (~6%) at every magnitude while the
+// whole structure is one fixed array - Record() is a handful of bit
+// operations and one increment, no allocation ever, so it is safe inside
+// SOFTTIMER_HOT dispatch paths (the shard trigger loops feed one of these
+// per dispatched handler).
+//
+// Percentile() returns the UPPER bound of the sub-bucket containing the
+// requested rank: a reported percentile is always >= the true sample value,
+// so a benchmark gate of the form "p99.9 < budget" can only fail spuriously
+// toward safety, never pass spuriously. min/max/count/sum are tracked
+// exactly alongside the buckets.
+//
+// Both bench_rto's loss-phase lateness report and bench_shard_scaling's
+// isolated-shard SLO phase gate on this class, so the two benches share one
+// metric definition (see DESIGN.md section 14).
+
+#ifndef SOFTTIMER_SRC_STATS_LATENCY_HISTOGRAM_H_
+#define SOFTTIMER_SRC_STATS_LATENCY_HISTOGRAM_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace softtimer {
+
+class LatencyHistogram {
+ public:
+  // 16 linear buckets for values 0..15, then 16 sub-buckets per power-of-two
+  // tier up to the full 64-bit range.
+  static constexpr size_t kSubBucketBits = 4;
+  static constexpr size_t kSubBuckets = 1u << kSubBucketBits;
+  static constexpr size_t kTiers = 64 - kSubBucketBits;  // tiers past the base
+  static constexpr size_t kNumBuckets = kSubBuckets * (kTiers + 1);
+
+  // SOFTTIMER_HOT
+  void Record(uint64_t value) {
+    ++counts_[BucketIndex(value)];
+    ++count_;
+    sum_ += value;
+    if (value < min_) {
+      min_ = value;
+    }
+    if (value > max_) {
+      max_ = value;
+    }
+  }
+
+  uint64_t count() const { return count_; }
+  uint64_t sum() const { return sum_; }
+  double mean() const {
+    return count_ ? static_cast<double>(sum_) / static_cast<double>(count_)
+                  : 0.0;
+  }
+  // Exact extremes over everything recorded (0 when empty).
+  uint64_t min() const { return count_ ? min_ : 0; }
+  uint64_t max() const { return count_ ? max_ : 0; }
+
+  // Upper bound of the bucket holding the sample at rank ceil(p/100 * count),
+  // clamped to the exact max (the top bucket's nominal bound can exceed any
+  // recorded value). `p` in [0, 100]; 0 when empty.
+  uint64_t Percentile(double p) const;
+
+  void Merge(const LatencyHistogram& other);
+  void Reset() { *this = LatencyHistogram(); }
+
+  // Invokes fn(lower, upper, count) for every non-empty bucket in ascending
+  // value order; `upper` is inclusive. For JSON dumps and tests.
+  template <typename Fn>
+  void ForEachNonZero(Fn&& fn) const {
+    for (size_t i = 0; i < kNumBuckets; ++i) {
+      if (counts_[i] != 0) {
+        fn(BucketLower(i), BucketUpper(i), counts_[i]);
+      }
+    }
+  }
+
+  // Bucket geometry, exposed for tests.
+  static size_t BucketIndex(uint64_t value) {
+    if (value < kSubBuckets) {
+      return static_cast<size_t>(value);
+    }
+    // Leading-bit tier, then the next kSubBucketBits bits select the linear
+    // sub-bucket within it: tier t >= 1 spans [16*2^(t-1), 16*2^t) in 16
+    // sub-buckets of width 2^(t-1).
+    int msb = 63 - __builtin_clzll(value);
+    size_t tier = static_cast<size_t>(msb) - (kSubBucketBits - 1);
+    size_t sub = static_cast<size_t>(value >> (msb - kSubBucketBits)) &
+                 (kSubBuckets - 1);
+    return tier * kSubBuckets + sub;
+  }
+  static uint64_t BucketLower(size_t index);
+  static uint64_t BucketUpper(size_t index);
+
+ private:
+  std::array<uint64_t, kNumBuckets> counts_{};
+  uint64_t count_ = 0;
+  uint64_t sum_ = 0;
+  uint64_t min_ = UINT64_MAX;
+  uint64_t max_ = 0;
+};
+
+}  // namespace softtimer
+
+#endif  // SOFTTIMER_SRC_STATS_LATENCY_HISTOGRAM_H_

@@ -1,7 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <vector>
 
+#include "src/stats/latency_histogram.h"
 #include "src/stats/rate_ewma.h"
 #include "src/stats/sample_set.h"
 #include "src/stats/summary_stats.h"
@@ -155,6 +159,99 @@ TEST(RateEwmaTest, FirstObservationPrimes) {
   EXPECT_DOUBLE_EQ(e.value(), 15.0);
   e.Reset();
   EXPECT_FALSE(e.primed());
+}
+
+TEST(LatencyHistogramTest, BucketGeometryRoundTrips) {
+  // Values 0..15 are exact; above that, every bucket's bounds must agree
+  // with BucketIndex (lower maps into the bucket, lower-1 into the previous
+  // one) and tier t spans [16*2^(t-1), 16*2^t) in 16 equal sub-buckets.
+  for (uint64_t v = 0; v < 16; ++v) {
+    EXPECT_EQ(LatencyHistogram::BucketIndex(v), v);
+    EXPECT_EQ(LatencyHistogram::BucketLower(v), v);
+    EXPECT_EQ(LatencyHistogram::BucketUpper(v), v);
+  }
+  for (size_t i = 16; i < LatencyHistogram::kNumBuckets; ++i) {
+    uint64_t lo = LatencyHistogram::BucketLower(i);
+    uint64_t hi = LatencyHistogram::BucketUpper(i);
+    EXPECT_LE(lo, hi);
+    EXPECT_EQ(LatencyHistogram::BucketIndex(lo), i);
+    EXPECT_EQ(LatencyHistogram::BucketIndex(lo - 1), i - 1);
+    if (hi != UINT64_MAX) {
+      EXPECT_EQ(LatencyHistogram::BucketIndex(hi), i);
+    }
+  }
+  EXPECT_EQ(LatencyHistogram::BucketIndex(UINT64_MAX),
+            LatencyHistogram::kNumBuckets - 1);
+}
+
+TEST(LatencyHistogramTest, ExactStatsAndEmptyBehaviour) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_EQ(h.Percentile(99.0), 0u);
+  h.Record(7);
+  h.Record(1'000'000);
+  h.Record(3);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.sum(), 1'000'010u);
+  EXPECT_EQ(h.min(), 3u);
+  EXPECT_EQ(h.max(), 1'000'000u);  // max is exact, not a bucket bound
+  EXPECT_EQ(h.Percentile(100.0), 1'000'000u);
+}
+
+TEST(LatencyHistogramTest, PercentileIsConservativeUpperBound) {
+  // Against a sorted reference: the reported percentile must be >= the true
+  // sample at that rank (a gate "p < budget" can fail toward safety, never
+  // pass spuriously) and within the 1/16 relative quantization error.
+  LatencyHistogram h;
+  std::vector<uint64_t> ref;
+  uint64_t x = 1;
+  for (int i = 0; i < 5'000; ++i) {
+    x = x * 2862933555777941757ull + 3037000493ull;  // splmix-style LCG
+    uint64_t v = x >> (x % 50);                      // spread across tiers
+    h.Record(v);
+    ref.push_back(v);
+  }
+  std::sort(ref.begin(), ref.end());
+  for (double p : {10.0, 50.0, 90.0, 99.0, 99.9}) {
+    size_t rank = static_cast<size_t>(p / 100.0 * ref.size() + 0.5);
+    rank = std::min(std::max<size_t>(rank, 1), ref.size());
+    uint64_t truth = ref[rank - 1];
+    uint64_t reported = h.Percentile(p);
+    EXPECT_GE(reported, truth) << "p" << p;
+    // 2x bucket slop; subtract-form avoids uint64 overflow at the top tiers.
+    EXPECT_LE(reported - truth, truth / 8 + 1) << "p" << p;
+  }
+}
+
+TEST(LatencyHistogramTest, MergeAndForEachMatchSeparateStreams) {
+  LatencyHistogram a, b, all;
+  for (uint64_t v : {0ull, 5ull, 17ull, 300ull}) {
+    a.Record(v);
+    all.Record(v);
+  }
+  for (uint64_t v : {2ull, 17ull, 1'000'000ull}) {
+    b.Record(v);
+    all.Record(v);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_EQ(a.sum(), all.sum());
+  EXPECT_EQ(a.min(), all.min());
+  EXPECT_EQ(a.max(), all.max());
+  uint64_t total = 0;
+  uint64_t buckets = 0;
+  a.ForEachNonZero([&](uint64_t lo, uint64_t hi, uint64_t n) {
+    EXPECT_LE(lo, hi);
+    total += n;
+    ++buckets;
+  });
+  EXPECT_EQ(total, 7u);
+  EXPECT_EQ(buckets, 6u);  // the two 17s share one bucket
+  a.Reset();
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_EQ(a.Percentile(50.0), 0u);
 }
 
 }  // namespace

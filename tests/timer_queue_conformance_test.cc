@@ -414,6 +414,23 @@ TEST_P(TimerQueueConformanceTest, UpdateWhileDueToStillDueDeadlineClamps) {
   EXPECT_EQ(peer_fired, 1);
 }
 
+TEST_P(TimerQueueConformanceTest, UpdateUnchangedDeadlineStillFiresOnce) {
+  // A no-op re-arm (RFC 6298 restart recomputing the same RTO) must leave
+  // the event firing exactly once at its deadline, and the returned id is
+  // the one portable handle afterwards.
+  auto q = Make();
+  int fired = 0;
+  TimerId id = q->Schedule(100, [&] { ++fired; });
+  id = q->Update(id, 100);
+  ASSERT_TRUE(id.valid());
+  EXPECT_EQ(q->size(), 1u);
+  EXPECT_EQ(q->EarliestDeadline(), 100u);
+  EXPECT_EQ(q->ExpireUpTo(99), 0u);
+  EXPECT_EQ(q->ExpireUpTo(100), 1u);
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(q->Cancel(id));  // already fired, id is dead
+}
+
 TEST_P(TimerQueueConformanceTest, EarliestDeadlineTracksMin) {
   auto q = Make();
   EXPECT_FALSE(q->EarliestDeadline().has_value());
@@ -759,6 +776,29 @@ TEST(GroupedSortingQueueTest, TinyGroupCountMigrationAndCrossTierUpdates) {
   }
   EXPECT_EQ(fires, ref_fires);
   EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(GroupedSortingQueueTest, UpdateUnchangedDeadlineNeverRenamesId) {
+  GroupedSortingQueue q(/*granularity=*/1, /*group_count=*/4);
+  int fired = 0;
+  TimerId id = q.Schedule(100, [&] { ++fired; });
+  // The native O(1) Update relinks the node in place, so an unchanged
+  // deadline MUST return the id verbatim - callers cache ids across no-op
+  // re-arms and the stability guarantee is what lets them skip the remap.
+  for (int i = 0; i < 3; ++i) {
+    TimerId moved = q.Update(id, 100);
+    ASSERT_TRUE(moved.valid());
+    EXPECT_EQ(moved.value, id.value);
+  }
+  // A changed deadline keeps the id too on the native path, and the
+  // ORIGINAL handle - not just the returned one - still cancels the event.
+  TimerId moved = q.Update(id, 250);
+  ASSERT_TRUE(moved.valid());
+  EXPECT_EQ(moved.value, id.value);
+  EXPECT_EQ(q.EarliestDeadline(), 250u);
+  EXPECT_TRUE(q.Cancel(id));
+  EXPECT_EQ(q.size(), 0u);
+  EXPECT_EQ(fired, 0);
 }
 
 // Granularity > 1 wheels (not part of the heap's parameter space).
