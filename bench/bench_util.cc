@@ -70,6 +70,8 @@ BenchOptions ParseBenchOptions(int argc, char** argv) {
       opt.scale = std::atof(argv[i] + 8);
     } else if (std::strncmp(argv[i], "--dump-dir=", 11) == 0) {
       opt.dump_dir = argv[i] + 11;
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      opt.json_path = argv[i] + 7;
     }
   }
   return opt;

@@ -36,6 +36,8 @@ struct BenchOptions {
   bool full = false;
   // --dump-dir=PATH: benches with plottable outputs write CSVs there.
   std::string dump_dir;
+  // --json=PATH: benches with machine-readable reports write JSON there.
+  std::string json_path;
 };
 
 BenchOptions ParseBenchOptions(int argc, char** argv);

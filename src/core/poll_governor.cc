@@ -16,6 +16,10 @@ PollGovernor::PollGovernor(Config config)
   assert(config_.max_step_factor > 1.0);
   assert(config_.window_polls >= 1);
   interval_ = std::clamp(interval_, config_.min_interval_ticks, config_.max_interval_ticks);
+  // The window never outgrows window_polls; reserving here keeps the first
+  // window_polls OnPoll calls (push_back path) allocation-free, which the
+  // multi-queue claim+poll path is gated on.
+  window_.reserve(config_.window_polls);
 }
 
 void PollGovernor::ResetRate() {
@@ -24,6 +28,12 @@ void PollGovernor::ResetRate() {
   window_found_sum_ = 0;
   window_elapsed_sum_ = 0;
   resume_pending_ = true;
+}
+
+void PollGovernor::ReEngage() {
+  ResetRate();
+  interval_ = std::clamp(std::min(interval_, config_.initial_interval_ticks),
+                         config_.min_interval_ticks, config_.max_interval_ticks);
 }
 
 double PollGovernor::rate_estimate() const {

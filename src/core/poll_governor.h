@@ -58,6 +58,13 @@ class PollGovernor {
   // must not enter the rate estimate.
   void ResetRate();
 
+  // ResetRate plus an interval re-clamp for resuming after a pause whose
+  // traffic level is unknown (mode flip, trigger drought): the interval
+  // restarts at min(current, initial), re-clamped to the Config bounds, so a
+  // stale pre-pause interval cannot delay the first post-resume poll past
+  // where a fresh governor would put it.
+  void ReEngage();
+
   uint64_t current_interval_ticks() const { return interval_; }
   // Estimated packet arrival rate, packets per tick.
   double rate_estimate() const;

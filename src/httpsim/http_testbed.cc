@@ -74,6 +74,11 @@ HttpTestbed::RunResult HttpTestbed::Measure(SimDuration warmup, SimDuration wind
     farm->ResetStats();
   }
   SimDuration stolen_before = kernel_->cpu(0).stolen_time();
+  SimDuration busy_before = kernel_->cpu(0).busy_time();
+  uint64_t rx_before = 0;
+  for (auto& n : nics_) {
+    rx_before += n->stats().rx_packets;
+  }
 
   sim_.RunFor(window);
 
@@ -91,6 +96,16 @@ HttpTestbed::RunResult HttpTestbed::Measure(SimDuration warmup, SimDuration wind
   r.triggers = kernel_->stats().triggers;
   r.paced_interval_mean_us = server_->paced_intervals().mean();
   r.paced_interval_stddev_us = server_->paced_intervals().stddev();
+  uint64_t rx_after = 0;
+  for (auto& n : nics_) {
+    rx_after += n->stats().rx_packets;
+  }
+  r.rx_packets = rx_after - rx_before;
+  if (r.rx_packets > 0) {
+    r.busy_cpu_us_per_packet =
+        (kernel_->cpu(0).busy_time() - busy_before).ToSeconds() * 1e6 /
+        static_cast<double>(r.rx_packets);
+  }
   return r;
 }
 

@@ -61,6 +61,12 @@ class HttpTestbed {
     uint64_t triggers = 0;
     double paced_interval_mean_us = 0;
     double paced_interval_stddev_us = 0;
+    // NIC rx packets delivered to the server during the window (all links).
+    uint64_t rx_packets = 0;
+    // Busy CPU time (work + interrupt steals) per delivered rx packet, in
+    // microseconds: the CPU-efficiency metric shared with
+    // bench_poll_frontier's busy-ticks/packet frontier axis.
+    double busy_cpu_us_per_packet = 0;
   };
   // Runs `warmup`, resets all counters, runs `window`, and reports.
   RunResult Measure(SimDuration warmup, SimDuration window);

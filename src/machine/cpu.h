@@ -50,6 +50,11 @@ class Cpu {
   SimDuration work_time() const { return work_accum_; }
   // Cumulative CPU time consumed by Steal().
   SimDuration stolen_time() const { return stolen_accum_; }
+  // Total CPU time the machine was not idle (work + stolen): the numerator
+  // of every busy-CPU-time-per-packet efficiency metric, matching the
+  // per-thread CLOCK_THREAD_CPUTIME_ID accounting the real-thread benches
+  // use (bench_poll_frontier, bench_shard_scaling).
+  SimDuration busy_time() const { return work_accum_ + stolen_accum_; }
   // Jobs completed.
   uint64_t jobs_completed() const { return jobs_completed_; }
 

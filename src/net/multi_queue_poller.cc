@@ -1,0 +1,142 @@
+#include "src/net/multi_queue_poller.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace softtimer {
+
+MultiQueuePoller::MultiQueuePoller(Config config)
+    : config_(config), cores_(config.max_cores) {
+  assert(config_.max_cores >= 1);
+  assert(config_.max_per_poll >= 1);
+}
+
+size_t MultiQueuePoller::AddQueue(Queue* queue) {
+  assert(queue != nullptr);
+  queues_.push_back(std::make_unique<QueueState>(queue, config_.governor));
+  // New queues are due at once (deadline 0); the gate starts at 0 too, so no
+  // Lower() is needed here.
+  return queues_.size() - 1;
+}
+
+// SOFTTIMER_HOT
+size_t MultiQueuePoller::PollOnce(uint32_t core, uint64_t now_tick) {
+  assert(core < cores_.size());
+  CoreStats& cs = cores_[core].stats;
+
+  // Fast gate: one relaxed load proves nothing is due (the gate is always
+  // <= the true earliest deadline, so a future gate is conclusive).
+  uint64_t observed_gate = gate_.Load();
+  if (observed_gate > now_tick) {
+    ++cs.gate_skips;
+    return 0;
+  }
+
+  // Claim conflicts send us back to rescan - another core is making
+  // progress, so the bound only matters as a safety net against livelock
+  // between perfectly synchronized scanners.
+  size_t attempts = queues_.size() + 1;
+  while (attempts-- > 0) {
+    // Deadline-ordered scan: pick the most-overdue unclaimed due queue, and
+    // track the min over EVERY queue's peeked deadline (claimed included -
+    // their stale value undershoots what the owner will publish, which is
+    // exactly what makes the gate advance below safe; see queue_claim.h).
+    size_t best = kNone;
+    uint64_t best_deadline = std::numeric_limits<uint64_t>::max();
+    uint64_t min_seen = std::numeric_limits<uint64_t>::max();
+    for (size_t i = 0; i < queues_.size(); ++i) {
+      const QueueState& qs = *queues_[i];
+      uint64_t d = qs.claim.deadline_peek();
+      min_seen = std::min(min_seen, d);
+      if (d <= now_tick && d < best_deadline && !qs.claim.claimed_peek()) {
+        best = i;
+        best_deadline = d;
+      }
+    }
+    if (best == kNone) {
+      ++cs.scan_misses;
+      gate_.TryAdvance(observed_gate, min_seen);
+      return 0;
+    }
+    QueueState& qs = *queues_[best];
+    if (!qs.claim.TryClaim(core)) {
+      ++cs.claim_conflicts;
+      continue;
+    }
+    // Claim held: the exact deadline may have moved past `now` if another
+    // core polled this queue between our peek and our CAS. Hand it back
+    // untouched rather than polling early and distorting its governor.
+    uint64_t exact_deadline = qs.claim.deadline_owned();
+    if (exact_deadline > now_tick) {
+      ++cs.stale_claims;
+      qs.claim.Release(exact_deadline);
+      continue;
+    }
+
+    size_t found = qs.queue->Drain(config_.max_per_poll, now_tick);
+    uint64_t elapsed = qs.have_last_poll_tick
+                           ? now_tick - qs.last_poll_tick
+                           : qs.governor.current_interval_ticks();
+    qs.last_poll_tick = now_tick;
+    qs.have_last_poll_tick = true;
+    uint64_t next_interval = qs.governor.OnPoll(found, elapsed);
+    ++qs.stats.polls;
+    qs.stats.packets += found;
+    qs.stats.current_interval_ticks = next_interval;
+    qs.stats.last_owner = core + 1;
+    // ordering: published best-effort for achieved_quota() readers; the
+    // release store below is what publishes it to the next claim holder.
+    qs.quota_milli.store(
+        static_cast<uint32_t>(qs.governor.found_ewma() * 1000.0),
+        std::memory_order_relaxed);
+
+    uint64_t next_due = now_tick + next_interval;
+    qs.claim.Release(next_due);
+    gate_.Lower(next_due);
+
+    ++cs.polls;
+    cs.packets += found;
+    // ordering: monotonic throughput counter; see total_packets().
+    packets_total_.fetch_add(found, std::memory_order_relaxed);
+    return found;
+  }
+  return 0;
+}
+
+double MultiQueuePoller::achieved_quota() const {
+  if (queues_.empty()) {
+    return 0.0;
+  }
+  uint64_t sum_milli = 0;
+  for (const auto& qs : queues_) {
+    // ordering: best-effort snapshot; see PollOnce publish.
+    sum_milli += qs->quota_milli.load(std::memory_order_relaxed);
+  }
+  return static_cast<double>(sum_milli) /
+         (1000.0 * static_cast<double>(queues_.size()));
+}
+
+MultiQueuePoller::QueueStats MultiQueuePoller::queue_stats(size_t queue) const {
+  assert(queue < queues_.size());
+  return queues_[queue]->stats;
+}
+
+MultiQueuePoller::CoreStats MultiQueuePoller::core_stats(uint32_t core) const {
+  assert(core < cores_.size());
+  return cores_[core].stats;
+}
+
+bool MultiQueuePoller::ClaimQueueForTest(size_t queue, uint32_t core) {
+  assert(queue < queues_.size());
+  return queues_[queue]->claim.TryClaim(core);
+}
+
+void MultiQueuePoller::ReleaseQueueForTest(size_t queue,
+                                           uint64_t next_due_tick) {
+  assert(queue < queues_.size());
+  queues_[queue]->claim.Release(next_due_tick);
+  gate_.Lower(next_due_tick);
+}
+
+}  // namespace softtimer

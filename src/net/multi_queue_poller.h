@@ -1,0 +1,163 @@
+// MultiQueuePoller - M NIC rx queues served by N cores (M > N) through the
+// QueueClaim protocol (src/core/queue_claim.h), in the spirit of Metronome
+// (arXiv 2103.13263): timed intermittent polling where service capacity is
+// pooled across cores while poll-interval adaptation stays per-queue.
+//
+// The paper's Section 5.9 poller (SoftTimerNetPoller) binds ONE governed
+// poll stream to the whole NIC set. Here every queue keeps its own
+// PollGovernor - its own arrival-rate estimate and poll interval - while ANY
+// core's trigger loop may serve it:
+//
+//   PollOnce(core, now):
+//     1. gate check     - one relaxed load; if the set-wide next-due gate is
+//                         in the future, nothing can be due: return.
+//     2. scan           - walk the queues, peek claim + deadline, remember
+//                         the most OVERDUE unclaimed due queue (deadline-
+//                         ordered service keeps per-queue lateness bounded
+//                         even when queues outnumber cores).
+//     3. claim          - one CAS; on conflict, rescan (another core took
+//                         it; bounded by the queue count).
+//     4. poll + govern  - drain up to max_per_poll packets, feed the
+//                         governor (found, elapsed-since-last-poll; the
+//                         last-poll tick is claim-protected queue state, so
+//                         elapsed spans matter across owner changes).
+//     5. release        - publish the governor's next deadline, clear the
+//                         claim, fold the deadline into the gate.
+//
+// A core with no due queue advances the gate (NextDueGate::TryAdvance) so
+// the whole set can sleep until the earliest deadline; an idle core absorbs
+// queues from a busy one simply by winning the claim CAS first - there are
+// no handoff messages and no queue->core binding to rebalance.
+//
+// Threading: AddQueue() is setup-time only (before the serving threads
+// start). PollOnce() may be called from any number of threads concurrently;
+// next_due_tick() from anywhere. Aggregate accessors (achieved_quota,
+// total_packets) are safe anytime; per-queue/per-core stats structs are
+// quiesced reads (after the serving threads stop).
+
+#ifndef SOFTTIMER_SRC_NET_MULTI_QUEUE_POLLER_H_
+#define SOFTTIMER_SRC_NET_MULTI_QUEUE_POLLER_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/core/poll_governor.h"
+#include "src/core/queue_claim.h"
+#include "src/core/spsc_ring.h"  // kCacheLineBytes
+
+namespace softtimer {
+
+class MultiQueuePoller {
+ public:
+  // One NIC rx queue (or anything pollable). Drain() is only ever invoked
+  // under the queue's claim, i.e. by one core at a time - implementations
+  // need no internal locking against other drainers (producers are their
+  // own problem, as with real NIC descriptor rings).
+  class Queue {
+   public:
+    virtual ~Queue() = default;
+    // Processes up to max_packets pending packets; returns how many.
+    virtual size_t Drain(size_t max_packets, uint64_t now_tick) = 0;
+  };
+
+  struct Config {
+    // Per-queue governor configuration (every queue starts from the same
+    // config; adaptation then diverges per queue).
+    PollGovernor::Config governor;
+    // Max packets drained from one queue per poll.
+    size_t max_per_poll = 64;
+    // Upper bound on serving-core ids passed to PollOnce (stats sizing).
+    size_t max_cores = 16;
+  };
+
+  explicit MultiQueuePoller(Config config);
+
+  // Registers a queue; returns its index. Setup-time only: must complete
+  // before any thread calls PollOnce. The queue starts due immediately.
+  size_t AddQueue(Queue* queue);
+
+  // Serves at most one queue: claims the most-overdue unclaimed due queue,
+  // drains it under its governor, releases it with the updated deadline.
+  // Returns packets drained (0 = nothing was due or every due queue was
+  // claimed by another core). Call in a loop while it returns nonzero.
+  // `core` must be < Config::max_cores and unique per concurrent caller.
+  size_t PollOnce(uint32_t core, uint64_t now_tick);
+
+  // Set-wide earliest next-due hint (<= the true earliest deadline); the
+  // serving host bounds its sleep by this so no due queue is stranded.
+  uint64_t next_due_tick() const { return gate_.Load(); }
+
+  size_t num_queues() const { return queues_.size(); }
+
+  // Mean achieved packets-per-poll over all queues (each queue's governor
+  // found_ewma, published at release). The governor->pacer coupling signal:
+  // PacingWheelHost feeds this into PacingWheel max_batch. Safe anytime.
+  double achieved_quota() const;
+
+  // Total packets drained across all queues and cores. Safe anytime.
+  uint64_t total_packets() const {
+    // ordering: monotonic counter for progress/throughput readers; no other
+    // state is inferred from it.
+    return packets_total_.load(std::memory_order_relaxed);
+  }
+
+  struct QueueStats {
+    uint64_t polls = 0;
+    uint64_t packets = 0;
+    uint64_t current_interval_ticks = 0;
+    uint32_t last_owner = 0;  // core+1 of the last core to poll this queue
+  };
+  QueueStats queue_stats(size_t queue) const;  // quiesced read
+
+  struct CoreStats {
+    uint64_t polls = 0;           // successful claim->poll->release cycles
+    uint64_t packets = 0;
+    uint64_t gate_skips = 0;      // PollOnce returns at the gate fast check
+    uint64_t scan_misses = 0;     // full scan found nothing claimable
+    uint64_t claim_conflicts = 0; // lost a claim CAS to another core
+    uint64_t stale_claims = 0;    // claimed, then saw a future deadline
+  };
+  CoreStats core_stats(uint32_t core) const;  // quiesced read
+
+  // Test hooks: hold/release a queue's claim from outside PollOnce, to pin
+  // absorb-from-busy-owner behaviour deterministically.
+  bool ClaimQueueForTest(size_t queue, uint32_t core);
+  void ReleaseQueueForTest(size_t queue, uint64_t next_due_tick);
+
+ private:
+  static constexpr size_t kNone = static_cast<size_t>(-1);
+
+  // Per-queue state. The claim word is the lock for everything below it:
+  // governor, last-poll tick, and the plain stats are only touched by the
+  // claim holder and published by the release store.
+  struct alignas(kCacheLineBytes) QueueState {
+    explicit QueueState(Queue* q, const PollGovernor::Config& gc)
+        : queue(q), governor(gc) {}
+    QueueClaim<> claim;
+    Queue* queue;
+    PollGovernor governor;
+    uint64_t last_poll_tick = 0;
+    bool have_last_poll_tick = false;
+    QueueStats stats;
+    // Governor found_ewma x1000, published at release for achieved_quota()
+    // readers outside the claim.
+    std::atomic<uint32_t> quota_milli{0};
+  };
+
+  struct alignas(kCacheLineBytes) PerCore {
+    CoreStats stats;
+  };
+
+  Config config_;
+  std::vector<std::unique_ptr<QueueState>> queues_;
+  std::vector<PerCore> cores_;
+  NextDueGate<> gate_;
+  std::atomic<uint64_t> packets_total_{0};
+};
+
+}  // namespace softtimer
+
+#endif  // SOFTTIMER_SRC_NET_MULTI_QUEUE_POLLER_H_

@@ -20,8 +20,17 @@ void SoftTimerNetPoller::Start() {
   kernel_->soft_timers().AddDroughtListener([this](bool entering) {
     if (!entering && active_) {
       ++stats_.drought_resets;
-      governor_.ResetRate();
+      // ReEngage, not just ResetRate: the pending poll event was scheduled
+      // at the pre-drought interval, and traffic after a drought is
+      // unknown - left alone, the stream would re-engage one full stale
+      // interval late. Re-clamp to min(current, initial) within the Config
+      // bounds and reschedule at the re-clamped interval.
+      governor_.ReEngage();
       have_last_poll_tick_ = false;
+      if (pending_event_.valid()) {
+        kernel_->soft_timers().CancelSoftEvent(pending_event_);
+      }
+      ScheduleNext(governor_.current_interval_ticks());
     }
   });
   if (config_.interrupts_when_idle) {
@@ -67,13 +76,12 @@ void SoftTimerNetPoller::SetPolled(bool polled) {
       ++stats_.engages;
       // The pause must not read as a low arrival rate, and whatever sat in
       // the rings during the flip gets drained promptly.
-      governor_.ResetRate();
+      governor_.ReEngage();
       have_last_poll_tick_ = false;
       if (pending_event_.valid()) {
         kernel_->soft_timers().CancelSoftEvent(pending_event_);
       }
-      ScheduleNext(std::min<uint64_t>(governor_.current_interval_ticks(),
-                                      config_.governor.initial_interval_ticks));
+      ScheduleNext(governor_.current_interval_ticks());
     } else if (pending_event_.valid()) {
       kernel_->soft_timers().CancelSoftEvent(pending_event_);
       pending_event_ = SoftEventId{};

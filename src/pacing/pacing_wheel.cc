@@ -52,6 +52,14 @@ PacingWheel::PacingWheel(Config config) : config_(config) {
   }
 }
 
+void PacingWheel::set_max_batch(size_t max_batch) {
+  assert(!draining_ && "retune batches from control paths, not mid-drain");
+  config_.max_batch = std::max<size_t>(max_batch, 1);
+  if (batch_.capacity() < config_.max_batch) {
+    batch_.reserve(config_.max_batch);
+  }
+}
+
 PacedFlowId PacingWheel::AddFlow(const PacedFlowConfig& config) {
   assert(config.target_interval_ticks > 0);
   uint32_t index = slab_.Allocate();

@@ -147,6 +147,15 @@ class PacingWheel {
   uint64_t horizon_ticks() const { return config_.quantum_ticks * num_slots_; }
   uint32_t num_slots() const { return num_slots_; }
 
+  // Retunes the emit-batch flush threshold at runtime (floor 1). This is
+  // the governor->pacer coupling point: PacingWheelHost feeds the poll
+  // governor's achieved aggregation quota here so the emit batch size
+  // adapts to load exactly like the poll interval does. Growing the
+  // threshold re-reserves batch_ immediately (an allocation - call from
+  // control paths, not mid-drain); shrinking never releases capacity.
+  void set_max_batch(size_t max_batch);
+  size_t max_batch() const { return config_.max_batch; }
+
   bool contains(PacedFlowId id) const { return slab_.IsCurrent(id.value); }
   // True when the flow is registered and currently queued on the wheel.
   bool active(PacedFlowId id) const;

@@ -1,5 +1,6 @@
 #include "src/pacing/pacing_wheel_host.h"
 
+#include <algorithm>
 #include <cassert>
 
 namespace softtimer {
@@ -35,8 +36,25 @@ void PacingWheelHost::OnWheelEvent(const SoftTimerFacility::FireInfo& info) {
 size_t PacingWheelHost::DrainNow(uint64_t now_tick) {
   size_t granted = wheel_->Drain(now_tick, sink_);
   stats_.packets_granted += granted;
+  AdaptBatch();
   Rearm(now_tick);
   return granted;
+}
+
+void PacingWheelHost::AdaptBatch() {
+  if (!batch_adapt_.achieved_quota) {
+    return;
+  }
+  double quota = batch_adapt_.achieved_quota();
+  if (quota < 0.0) {
+    quota = 0.0;
+  }
+  auto target = static_cast<size_t>(quota * batch_adapt_.gain + 0.5);
+  target = std::clamp(target, batch_adapt_.min_batch, batch_adapt_.max_batch);
+  if (target != wheel_->max_batch()) {
+    wheel_->set_max_batch(target);
+    ++stats_.batch_retunes;
+  }
 }
 
 void PacingWheelHost::Rearm(uint64_t now_tick) {

@@ -25,6 +25,8 @@
 #define SOFTTIMER_SRC_PACING_PACING_WHEEL_HOST_H_
 
 #include <cstdint>
+#include <functional>
+#include <utility>
 
 #include "src/core/soft_timer_facility.h"
 #include "src/pacing/pacing_wheel.h"
@@ -45,6 +47,22 @@ class PacingWheelHost {
 
   // The sink every drain emits to. Must outlive the host (or be reset).
   void set_sink(PacingWheel::BatchSink* sink) { sink_ = sink; }
+
+  // Governor->pacer coupling (ISSUE/ROADMAP "load-adaptive emit batching"):
+  // when configured, every drain re-targets the wheel's max_batch from the
+  // poll governor's achieved aggregation quota (packets found per poll,
+  // e.g. MultiQueuePoller::achieved_quota or PollGovernor::found_ewma via a
+  // lambda). target = clamp(round(quota * gain), min_batch, max_batch) -
+  // heavy load (big quotas) flushes in big batches for amortization, light
+  // load flushes small for latency, tracking load exactly like the poll
+  // interval does.
+  struct BatchAdapt {
+    std::function<double()> achieved_quota;  // required to enable
+    size_t min_batch = 1;
+    size_t max_batch = 256;
+    double gain = 4.0;  // emit-batch packets per unit of achieved quota
+  };
+  void set_batch_adapt(BatchAdapt adapt) { batch_adapt_ = std::move(adapt); }
 
   PacingWheel* wheel() { return wheel_; }
   SoftTimerFacility* facility() { return facility_; }
@@ -73,6 +91,7 @@ class PacingWheelHost {
     uint64_t poll_drains = 0;   // polls that found due work
     uint64_t packets_granted = 0;
     uint64_t rearms = 0;        // soft events scheduled
+    uint64_t batch_retunes = 0; // drains that changed the wheel's max_batch
   };
   const Stats& stats() const { return stats_; }
 
@@ -80,6 +99,8 @@ class PacingWheelHost {
   void OnWheelEvent(const SoftTimerFacility::FireInfo& info);
   // Drains at `now_tick` and re-arms; returns packets granted.
   size_t DrainNow(uint64_t now_tick);
+  // Applies BatchAdapt (if configured) to the wheel's max_batch.
+  void AdaptBatch();
   // Ensures the armed event fires no later than the wheel's earliest
   // deadline (cancelling/rescheduling only when it would fire too late).
   void Rearm(uint64_t now_tick);
@@ -92,6 +113,7 @@ class PacingWheelHost {
   // Tick the armed event is guaranteed to have fired by (its wheel target);
   // UINT64_MAX when nothing is armed.
   uint64_t armed_for_ = UINT64_MAX;
+  BatchAdapt batch_adapt_;
   Stats stats_;
 };
 

@@ -92,6 +92,18 @@ size_t ShardedRtHost::SleepAndDispatch(size_t shard) {
     wake_tick = *deadline;
     backup_bound = false;
   }
+  if (config_.queue_work.next_due) {
+    // No due queue may wait out a full backup period just because every
+    // shard parked: the earliest queue deadline bounds the sleep exactly
+    // like the shard's own next soft-event deadline does. Each releasing
+    // shard folds its published deadline into the gate BEFORE it can reach
+    // this sleep, so the last shard to park always sees the earliest one.
+    uint64_t queue_due = config_.queue_work.next_due();
+    if (queue_due < wake_tick) {
+      wake_tick = queue_due;
+      backup_bound = false;
+    }
+  }
   {
     std::unique_lock<std::mutex> lock(loop.m);
     loop.gate.PrepareSleep();
@@ -128,6 +140,19 @@ void ShardedRtHost::RunShard(size_t shard) {
     runtime_->OnTriggerState(shard, TriggerSource::kIdleLoop);
     if (config_.shard_tick) {
       config_.shard_tick(shard);
+    }
+    if (config_.queue_work.poll) {
+      // Serve at most one claimed queue per iteration, interleaved with the
+      // shard's own trigger checks; as long as queues keep yielding packets
+      // the shard stays in its loop (the `continue` skips the sleep), which
+      // is how an idle shard absorbs queues from a busy one - it simply
+      // keeps winning claims the busy shard has no spare iterations for.
+      size_t drained = config_.queue_work.poll(shard, clock_.NowTicks());
+      ++loop.stats.queue_polls;
+      loop.stats.queue_packets += drained;
+      if (drained > 0) {
+        continue;
+      }
     }
     // ordering: same relaxed-stop contract as the loop condition above.
     if (stop_.load(std::memory_order_relaxed)) {

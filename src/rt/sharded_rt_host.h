@@ -123,6 +123,22 @@ class ShardedRtHost {
     // thread-compatible: it is only ever run by one shard at a time, but
     // that shard changes over time.
     std::function<size_t()> idle_work;
+    // M-on-N claimed queue polling (MultiQueuePoller, src/net). Unlike
+    // idle_work's single-owner arbiter, queue_work is served by EVERY
+    // kNormal shard concurrently - per-queue exclusivity is the callee's
+    // problem (the QueueClaim protocol). `poll` runs once per loop
+    // iteration (it claims and drains at most one due queue; the loop keeps
+    // serving while it returns packets), and `next_due` bounds the shard's
+    // sleep so no due queue waits for a backup interrupt when every shard
+    // has parked. Isolated shards never touch it - the core is dedicated.
+    struct QueueWork {
+      // (shard, now_tick) -> packets drained; typically
+      // MultiQueuePoller::PollOnce with shard as the core id.
+      std::function<size_t(size_t shard, uint64_t now_tick)> poll;
+      // Set-wide earliest next-due tick (MultiQueuePoller::next_due_tick).
+      std::function<uint64_t()> next_due;
+    };
+    QueueWork queue_work;
     // Per-shard hooks, each invoked on the shard's own loop thread (so they
     // may freely touch that shard's facility and shard-local state such as
     // a PacingWheelHost). `shard_setup` runs once, before the loop's first
@@ -167,6 +183,8 @@ class ShardedRtHost {
     uint64_t backup_checks = 0;  // checks attributed to the backup interrupt
     uint64_t wakeups = 0;        // producer pokes delivered to a sleeper
     uint64_t idle_work_runs = 0; // idle_work invocations by this shard
+    uint64_t queue_polls = 0;    // queue_work.poll invocations by this shard
+    uint64_t queue_packets = 0;  // packets those invocations drained
   };
   // Safe while running for `wakeups`; read the rest after Stop() (or accept
   // a torn-but-monotonic snapshot).

@@ -16,6 +16,7 @@
 #include "bench/alloc_probe.h"
 #include "src/core/clock_source.h"
 #include "src/core/soft_timer_facility.h"
+#include "src/net/multi_queue_poller.h"
 #include "src/pacing/pacing_wheel.h"
 #include "src/pacing/pacing_wheel_host.h"
 #include "src/sim/simulator.h"
@@ -231,6 +232,59 @@ TEST_P(PacingWheelAllocTest, SteadyStateEnqueueReRateDispatchAllocatesNothing) {
   cycle();
   EXPECT_EQ(AllocProbeAllocCount() - start, 0u);
   EXPECT_GT(sink_.packets - packets_before, 10'000u);
+}
+
+// --- multi-queue poller: the claim + poll fast path stays off the heap ----
+
+class FixedDrainQueue : public MultiQueuePoller::Queue {
+ public:
+  size_t Drain(size_t max_packets, uint64_t) override {
+    drains_ += 1;
+    return max_packets < 3 ? max_packets : 3;
+  }
+  uint64_t drains() const { return drains_; }
+
+ private:
+  uint64_t drains_ = 0;
+};
+
+TEST(MultiQueuePollerAllocTest, ClaimAndPollPathAllocatesNothing) {
+  // The BENCH_poll gate: once construction and AddQueue have sized the
+  // per-queue state, the whole PollOnce cycle - gate check, deadline scan,
+  // CAS claim, drain, governor update, release, gate publish - must never
+  // touch the heap, on the found-work path and on the gate-skip / scan-miss
+  // paths alike.
+  MultiQueuePoller::Config config;
+  config.governor.aggregation_quota = 2.0;
+  config.governor.min_interval_ticks = 10;
+  config.governor.max_interval_ticks = 200;
+  config.governor.initial_interval_ticks = 100;
+  MultiQueuePoller poller(config);
+  std::vector<FixedDrainQueue> queues(8);
+  for (auto& q : queues) {
+    poller.AddQueue(&q);
+  }
+  uint64_t now = 0;
+  auto cycle = [&] {
+    now += 50;
+    poller.PollOnce(0, now);  // serves at most one due queue
+    poller.PollOnce(1, now);  // another due queue, or a scan miss
+    poller.PollOnce(0, now);  // likely gate-skip once the gate advanced
+  };
+  for (int i = 0; i < 256; ++i) {
+    cycle();  // warmup (nothing here should grow, but mirror the idiom)
+  }
+  uint64_t start = AllocProbeAllocCount();
+  for (int i = 0; i < 10'000; ++i) {
+    cycle();
+  }
+  EXPECT_EQ(AllocProbeAllocCount() - start, 0u);
+  uint64_t drains = 0;
+  for (auto& q : queues) {
+    drains += q.drains();
+  }
+  EXPECT_GT(drains, 10'000u);
+  EXPECT_EQ(poller.total_packets(), 3 * drains);
 }
 
 std::string KindName(const ::testing::TestParamInfo<TimerQueueKind>& info) {

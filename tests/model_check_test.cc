@@ -29,6 +29,7 @@
 
 #include "src/check/model_atomic.h"
 #include "src/check/model_runtime.h"
+#include "src/core/queue_claim.h"
 #include "src/core/remote_pending.h"
 #include "src/core/spsc_ring.h"
 #include "src/rt/eventcount.h"
@@ -64,6 +65,12 @@ struct WeakDrainFenceOrdering : RemotePendingOrdering {
   // The PR 3 bug, reintroduced: without the store-load fence the owner's
   // flag clear sits in its store buffer while the ring sweep runs ahead.
   static constexpr std::memory_order kDrainFence = std::memory_order_release;
+};
+
+struct WeakClaimReleaseOrdering : QueueClaimOrdering {
+  // Claim handback without release: the next claimant's acquire CAS sees
+  // claim==0 but inherits none of the owner's governor/drain-state writes.
+  static constexpr std::memory_order kReleaseStore = std::memory_order_relaxed;
 };
 
 struct WeakSleepFenceOrdering : SleeperGateOrdering {
@@ -393,6 +400,138 @@ TEST(SleeperGateModel, MutationWeakSleepFenceLosesAWakeup) {
 
 TEST(SleeperGateModel, MutationWeakWakeFenceLosesAWakeup) {
   ExploreResult r = ExploreSleeperGate<WeakWakeFenceOrdering>();
+  ASSERT_FALSE(r.ok) << r.Summary();
+  EXPECT_NE(r.failure.find("MODEL_CHECK"), std::string::npos) << r.Summary();
+}
+
+// --- QueueClaim / NextDueGate: the M-on-N queue claim protocol ----------
+//
+// Mirrors MultiQueuePoller::PollOnce: two cores race a claim/poll/release
+// cycle on one queue. The claim word is the queue's lock - its release
+// store / acquire CAS pairing must publish the owner's plain governor-state
+// writes (modeled as one instrumented non-atomic counter) to the next
+// claimant. Exclusivity plus publication together are "no queue is ever
+// double-polled": the checker's race detector proves no two cycles touch
+// the governor bytes concurrently, and the final count proves every
+// successful claim ran exactly one poll.
+
+template <typename Ordering>
+ExploreResult ExploreQueueClaimCycle() {
+  ModelConfig cfg;
+  cfg.preemption_bound = 3;
+  return Explore(cfg, [](ModelExecution& ex) {
+    struct State {
+      QueueClaim<ModelCheckerTraits, Ordering> q;
+      uint32_t governor_state = 0;  // claim-protected plain state
+      int claims = 0;               // per-thread tallies, summed in Finally
+      int claims2 = 0;
+    };
+    auto st = std::make_shared<State>();
+    auto cycle = [st](uint32_t core, int* claims) {
+      if (st->q.TryClaim(core)) {
+        // The poll: mutate claim-protected state exactly like PollOnce
+        // mutates the queue's governor and last-poll tick.
+        ModelCheckerTraits::OnNonAtomicRead(&st->governor_state);
+        uint32_t v = st->governor_state;
+        ModelCheckerTraits::OnNonAtomicWrite(&st->governor_state);
+        st->governor_state = v + 1;
+        ++*claims;
+        st->q.Release(/*next_due_tick=*/10 + core);
+      }
+    };
+    ex.Thread([st, cycle] { cycle(0, &st->claims); });
+    ex.Thread([st, cycle] { cycle(1, &st->claims2); });
+    ex.Finally([st] {
+      // Every successful claim polled exactly once (and the race detector
+      // vouches that none of those polls overlapped).
+      MODEL_CHECK(st->governor_state ==
+                  static_cast<uint32_t>(st->claims + st->claims2));
+      MODEL_CHECK(st->claims + st->claims2 >= 1);  // someone always wins
+    });
+  });
+}
+
+TEST(QueueClaimModel, ShippedOrderingNeverDoublePollsAQueue) {
+  ExploreResult r = ExploreQueueClaimCycle<QueueClaimOrdering>();
+  EXPECT_TRUE(r.ok) << r.Summary();
+  EXPECT_TRUE(r.exhausted) << r.Summary();
+}
+
+TEST(QueueClaimModel, MutationWeakReleaseStoreIsCaughtAsGovernorRace) {
+  ExploreResult r = ExploreQueueClaimCycle<WeakClaimReleaseOrdering>();
+  ASSERT_FALSE(r.ok) << r.Summary();
+  EXPECT_NE(r.failure.find("data race"), std::string::npos) << r.Summary();
+}
+
+// --- NextDueGate: the no-stranded-queue invariant ------------------------
+//
+// The gate may only advance to a value that is <= every queue's true
+// next-due tick, else a due queue sleeps behind a future gate until the
+// backup interrupt (stranded). The shipped scan rule folds EVERY queue's
+// peeked deadline into the advance min - claimed queues included, because
+// their stale deadline word undershoots whatever the owner will publish.
+// The "weakened" variant here is the tempting wrong rule (skip claimed
+// queues: "the owner will fold its own deadline in when it releases"),
+// which strands the queue whenever the owner's release does NOT lower the
+// gate - e.g. MultiQueuePoller's stale-claim handback, modeled by thread A.
+
+template <bool kIncludeClaimedInAdvanceMin>
+ExploreResult ExploreGateAdvance() {
+  ModelConfig cfg;
+  cfg.preemption_bound = 3;
+  return Explore(cfg, [](ModelExecution& ex) {
+    struct State {
+      QueueClaim<ModelCheckerTraits> q;
+      NextDueGate<ModelCheckerTraits> gate;
+    };
+    auto st = std::make_shared<State>();
+    // Setup (controller, pre-execution): the queue was served earlier and
+    // its next poll is due at tick 10; the gate never rose above 0.
+    st->q.Release(10);
+    constexpr uint64_t kNow = 5;
+    ex.Thread([st] {  // core A: claims, finds the deadline in the future
+                      // (stale claim), hands back untouched - NO gate fold.
+      if (st->q.TryClaim(0)) {
+        uint64_t exact = st->q.deadline_owned();
+        if (exact > kNow) {
+          st->q.Release(exact);
+        } else {
+          st->q.Release(30);
+          st->gate.Lower(30);
+        }
+      }
+    });
+    ex.Thread([st] {  // core B: scan-miss path of PollOnce
+      uint64_t observed = st->gate.Load();
+      if (observed > kNow) {
+        return;  // gate skip
+      }
+      uint64_t d = st->q.deadline_peek();
+      bool claimed = st->q.claimed_peek();
+      if (d <= kNow && !claimed) {
+        return;  // would claim+poll; not this model's concern
+      }
+      uint64_t min_seen = d;
+      if (claimed && !kIncludeClaimedInAdvanceMin) {
+        min_seen = UINT64_MAX;  // the weakened rule: ignore claimed queues
+      }
+      st->gate.TryAdvance(observed, min_seen);
+    });
+    ex.Finally([st] {
+      // gate <= the queue's next-due tick, in every interleaving.
+      MODEL_CHECK(st->gate.Load() <= st->q.deadline_peek());
+    });
+  });
+}
+
+TEST(NextDueGateModel, ShippedAdvanceRuleNeverStrandsADueQueue) {
+  ExploreResult r = ExploreGateAdvance<true>();
+  EXPECT_TRUE(r.ok) << r.Summary();
+  EXPECT_TRUE(r.exhausted) << r.Summary();
+}
+
+TEST(NextDueGateModel, SkippingClaimedQueuesInAdvanceMinStrandsAQueue) {
+  ExploreResult r = ExploreGateAdvance<false>();
   ASSERT_FALSE(r.ok) << r.Summary();
   EXPECT_NE(r.failure.find("MODEL_CHECK"), std::string::npos) << r.Summary();
 }

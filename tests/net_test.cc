@@ -4,8 +4,12 @@
 
 #include <gtest/gtest.h>
 
+#include <functional>
 #include <vector>
 
+#include "src/core/clock_source.h"
+#include "src/fault/fault_injector.h"
+#include "src/fault/fault_plan.h"
 #include "src/machine/kernel.h"
 #include "src/net/link.h"
 #include "src/net/nic.h"
@@ -258,6 +262,94 @@ TEST(SoftTimerNetPollerTest, DrainsNicUnderBusyCpuAndTracksQuota) {
   double found_per_poll = static_cast<double>(poller.stats().packets) /
                           static_cast<double>(poller.stats().polls);
   EXPECT_NEAR(found_per_poll, 2.0, 0.8);
+}
+
+TEST(SoftTimerNetPollerTest, DroughtResetReclampsGovernorInterval) {
+  // Pin for the drought-recovery path: a quiet NIC walks the governor out to
+  // its (large) max interval; a trigger drought then starves the poll stream.
+  // When the drought ends the poller must re-engage at the *re-clamped*
+  // interval - min(current, initial) within the Config bounds - not resume
+  // one full stale max-interval later. Regression: the old listener only
+  // called ResetRate() and left both the stale interval and the stale
+  // pending event in place.
+  Simulator sim;
+  Kernel::Config kc;
+  kc.profile = MachineProfile::PentiumII300();
+  kc.idle_poll_jitter_sigma = 0;
+  kc.degradation.enabled = true;
+  kc.degradation.density_floor_checks_per_interval = 4;
+  Kernel kernel(&sim, kc);
+  kernel.cpu(0).Submit(SimDuration::Seconds(10));  // busy: polling stays engaged
+
+  Link::Config lc;
+  Link tx(&sim, lc);
+  Nic nic(&sim, &kernel, &tx, Nic::Config{});
+  nic.set_rx_handler([](const Packet&) {});
+
+  SoftTimerNetPoller::Config pc;
+  pc.governor.aggregation_quota = 2.0;
+  pc.governor.min_interval_ticks = 10;
+  pc.governor.max_interval_ticks = 20'000;  // 20 backup periods: very stale
+  pc.governor.initial_interval_ticks = 50;
+  SoftTimerNetPoller poller(&kernel, {&nic}, pc);
+  poller.Start();
+
+  // Record the measure tick at which the drought ends, the poll count at
+  // that instant, and the governor interval right after the poller's own
+  // drought listener ran (Start() registered it first, so it has already
+  // re-engaged by the time this one fires).
+  uint64_t end_tick = 0;
+  uint64_t polls_at_end = 0;
+  uint64_t interval_at_reset = 0;
+  kernel.soft_timers().AddDroughtListener([&](bool entering) {
+    if (!entering && end_tick == 0) {
+      end_tick = kernel.soft_timers().MeasureTime();
+      polls_at_end = poller.stats().polls;
+      interval_at_reset = poller.governor().current_interval_ticks();
+    }
+  });
+
+  // Dense syscall trigger churn (well above the density floor); no packets
+  // ever arrive, so every poll finds nothing and the interval doubles out to
+  // the max.
+  std::function<void()> churn = [&] {
+    kernel.Trigger(TriggerSource::kSyscall);
+    sim.ScheduleAfter(SimDuration::Micros(40), churn);
+  };
+  sim.ScheduleAfter(SimDuration::Micros(40), churn);
+
+  // 10-backup-period trigger drought at t = 250 ms.
+  fault::FaultPlan plan;
+  plan.trigger_droughts.push_back({250'000, 10'000});
+  SimClockSource true_clock(&sim, kc.measure_hz);
+  fault::FaultInjector inj(&true_clock, plan, /*seed=*/11);
+  inj.InstallOn(&kernel);
+
+  // Probe for the first poll after the drought ends.
+  uint64_t first_poll_tick = 0;
+  std::function<void()> probe = [&] {
+    if (end_tick != 0 && first_poll_tick == 0 &&
+        poller.stats().polls > polls_at_end) {
+      first_poll_tick = kernel.soft_timers().MeasureTime();
+    }
+    sim.ScheduleAfter(SimDuration::Micros(20), probe);
+  };
+  sim.ScheduleAfter(SimDuration::Micros(20), probe);
+
+  sim.RunUntil(SimTime::Zero() + SimDuration::Millis(240));
+  // Quiet traffic pegged the interval at the stale maximum.
+  EXPECT_EQ(poller.governor().current_interval_ticks(), 20'000u);
+
+  sim.RunUntil(SimTime::Zero() + SimDuration::Millis(300));
+  ASSERT_GE(poller.stats().drought_resets, 1u);
+  ASSERT_NE(end_tick, 0u);
+  // The reset re-clamped to min(current, initial) = the initial interval.
+  EXPECT_EQ(interval_at_reset, 50u);
+  // And the stream actually re-engaged promptly: the first post-drought poll
+  // lands within a small multiple of the initial interval, not one stale
+  // 20'000-tick max interval later.
+  ASSERT_NE(first_poll_tick, 0u);
+  EXPECT_LT(first_poll_tick - end_tick, 2'000u);
 }
 
 TEST(SoftTimerNetPollerTest, IdleCpuReenablesInterrupts) {

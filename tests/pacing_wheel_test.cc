@@ -410,5 +410,52 @@ TEST(PacingWheelHostTest, PollDrainsAheadOfArmedEvent) {
   EXPECT_EQ(sink.emits.size(), 1u);
 }
 
+TEST(PacingWheelHostTest, BatchAdaptTracksAchievedQuota) {
+  // Governor->pacer coupling: every drain re-targets the wheel's max_batch
+  // from the poll governor's achieved aggregation quota. Heavy load (big
+  // quota) widens the emit batch, light load narrows it, and an unchanged
+  // quota does not count as a retune.
+  ManualClock clock;
+  SoftTimerFacility facility(&clock, {});
+  PacingWheel wheel(Wheel(8, 4096, /*max_batch=*/16));
+  PacingWheelHost host(&facility, &wheel);
+  RecordingSink sink;
+  host.set_sink(&sink);
+
+  double quota = 0.5;
+  PacingWheelHost::BatchAdapt adapt;
+  adapt.achieved_quota = [&] { return quota; };
+  adapt.min_batch = 1;
+  adapt.max_batch = 64;
+  adapt.gain = 4.0;
+  host.set_batch_adapt(adapt);
+
+  PacedFlowId id = host.AddFlow(Flow(50, 5));
+  ASSERT_TRUE(host.Activate(id));
+  EXPECT_EQ(wheel.max_batch(), 16u);  // untouched until the first drain
+
+  clock.Advance(10);
+  ASSERT_EQ(host.Poll(), 1u);  // light load: round(0.5 * 4) = 2
+  EXPECT_EQ(wheel.max_batch(), 2u);
+  EXPECT_EQ(host.stats().batch_retunes, 1u);
+
+  quota = 16.0;  // load swing up: round(16 * 4) = 64 (the adapt ceiling)
+  clock.Advance(60);
+  ASSERT_EQ(host.Poll(), 1u);
+  EXPECT_EQ(wheel.max_batch(), 64u);
+  EXPECT_EQ(host.stats().batch_retunes, 2u);
+
+  clock.Advance(60);
+  ASSERT_EQ(host.Poll(), 1u);  // same quota: no retune recorded
+  EXPECT_EQ(wheel.max_batch(), 64u);
+  EXPECT_EQ(host.stats().batch_retunes, 2u);
+
+  quota = 0.05;  // load swing down: round(0.2) = 0, clamped to min_batch
+  clock.Advance(60);
+  ASSERT_EQ(host.Poll(), 1u);
+  EXPECT_EQ(wheel.max_batch(), 1u);
+  EXPECT_EQ(host.stats().batch_retunes, 3u);
+}
+
 }  // namespace
 }  // namespace softtimer

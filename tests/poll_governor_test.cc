@@ -125,6 +125,38 @@ TEST(PollGovernorTest, FirstPollAfterResetIgnoresIdleGap) {
   EXPECT_GT(bad_after, after);
 }
 
+TEST(PollGovernorTest, ReEngageReclampsStaleInterval) {
+  // After a pause (drought, interrupt-mode spell) the interval left behind by
+  // quiet traffic is stale. ReEngage restarts at min(current, initial),
+  // re-clamped to the Config bounds, and forgets the rate history.
+  PollGovernor::Config c = BaseConfig();
+  PollGovernor g(c);
+  for (int i = 0; i < 100; ++i) {
+    g.OnPoll(0, g.current_interval_ticks());  // silence: walk out to max
+  }
+  ASSERT_EQ(g.current_interval_ticks(), c.max_interval_ticks);
+  g.ReEngage();
+  EXPECT_EQ(g.current_interval_ticks(), c.initial_interval_ticks);
+  EXPECT_EQ(g.rate_estimate(), 0.0);
+
+  // An interval already below the initial survives the re-engage: resuming
+  // under heavy load must not slow the stream down.
+  for (int i = 0; i < 100; ++i) {
+    g.OnPoll(1000, g.current_interval_ticks());  // flood: walk down to min
+  }
+  ASSERT_EQ(g.current_interval_ticks(), c.min_interval_ticks);
+  g.ReEngage();
+  EXPECT_EQ(g.current_interval_ticks(), c.min_interval_ticks);
+
+  // The first post-ReEngage poll reports the whole pause as elapsed; with the
+  // history forgotten it must not slam the interval toward the maximum.
+  uint64_t after = g.OnPoll(1, 500'000);
+  EXPECT_LE(after, static_cast<uint64_t>(
+                       static_cast<double>(c.min_interval_ticks) *
+                           c.max_step_factor +
+                       1));
+}
+
 TEST(PollGovernorTest, ZeroElapsedIsTolerated) {
   PollGovernor g(BaseConfig());
   EXPECT_GE(g.OnPoll(5, 0), BaseConfig().min_interval_ticks);

@@ -42,6 +42,7 @@ ANNOTATION_LOOKBACK = 6
 TRAITS_SHIM_FILES = (
     "src/core/spsc_ring.h",
     "src/core/remote_pending.h",
+    "src/core/queue_claim.h",
     "src/rt/eventcount.h",
 )
 
