@@ -100,7 +100,9 @@ void DegradationPolicy::OnDispatchCost(uint32_t handler_tag, uint64_t cost_ticks
   if (handler_tag == 0 || config_.handler_budget_ticks == 0) {
     return;
   }
-  HandlerRecord& h = handlers_[handler_tag];
+  auto it = handlers_.find(handler_tag);
+  HandlerRecord& h =
+      it != handlers_.end() ? it->second : InternHandler(handler_tag);
   if (cost_ticks >= config_.handler_budget_ticks) {
     ++stats_.budget_overruns;
     h.clean_streak = 0;
@@ -118,6 +120,14 @@ void DegradationPolicy::OnDispatchCost(uint32_t handler_tag, uint64_t cost_ticks
       ++stats_.releases;
     }
   }
+}
+
+// SOFTTIMER_COLD: one-time handler-record interning - a tag allocates its
+// record on first sight only; every later dispatch-cost report for that tag
+// takes the find() hit above and stays allocation-free.
+DegradationPolicy::HandlerRecord& DegradationPolicy::InternHandler(
+    uint32_t handler_tag) {
+  return handlers_[handler_tag];
 }
 
 void DegradationPolicy::NoteDeferred(bool quarantine) {

@@ -149,6 +149,9 @@ class DegradationPolicy {
   void Escalate(uint64_t now_tick);
   void MaybeDeescalate();
   void NotifyDrought(bool entering);
+  // First sight of a handler tag: inserts its record (the only allocating
+  // step on the dispatch-cost path; see the definition's SOFTTIMER_COLD).
+  HandlerRecord& InternHandler(uint32_t handler_tag);
 
   Config config_;
   uint64_t x_;  // base ticks per backup interval

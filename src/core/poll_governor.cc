@@ -16,14 +16,14 @@ PollGovernor::PollGovernor(Config config)
   assert(config_.max_step_factor > 1.0);
   assert(config_.window_polls >= 1);
   interval_ = std::clamp(interval_, config_.min_interval_ticks, config_.max_interval_ticks);
-  // The window never outgrows window_polls; reserving here keeps the first
-  // window_polls OnPoll calls (push_back path) allocation-free, which the
-  // multi-queue claim+poll path is gated on.
-  window_.reserve(config_.window_polls);
+  // The window is sized once here and written in place from then on -
+  // OnPoll carries no append path at all, so the multi-queue claim+poll
+  // path it gates on is allocation-free by construction, not amortization.
+  window_.resize(config_.window_polls);
 }
 
 void PollGovernor::ResetRate() {
-  window_.clear();
+  window_count_ = 0;
   window_pos_ = 0;
   window_found_sum_ = 0;
   window_elapsed_sum_ = 0;
@@ -58,8 +58,8 @@ uint64_t PollGovernor::OnPoll(size_t packets_found, uint64_t elapsed_ticks) {
   }
   found_ewma_.Observe(static_cast<double>(packets_found));
   PollRecord rec{packets_found, elapsed_ticks};
-  if (window_.size() < config_.window_polls) {
-    window_.push_back(rec);
+  if (window_count_ < config_.window_polls) {
+    window_[window_count_++] = rec;
   } else {
     window_found_sum_ -= window_[window_pos_].found;
     window_elapsed_sum_ -= window_[window_pos_].elapsed;

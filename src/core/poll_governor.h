@@ -81,8 +81,11 @@ class PollGovernor {
   Config config_;
   uint64_t interval_;
   RateEwma found_ewma_;
-  // Circular buffer of the last window_polls observations.
+  // Circular buffer of the last window_polls observations. Sized once in
+  // the constructor; window_count_ tracks the filled prefix so the hot
+  // OnPoll path writes in place and never appends.
   std::vector<PollRecord> window_;
+  size_t window_count_ = 0;
   size_t window_pos_ = 0;
   uint64_t window_found_sum_ = 0;
   uint64_t window_elapsed_sum_ = 0;

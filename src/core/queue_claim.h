@@ -72,8 +72,9 @@ struct QueueClaimOrdering {
   static constexpr std::memory_order kDeadlineStore = std::memory_order_relaxed;
   // ordering: claimless deadline peek; see kDeadlineStore.
   static constexpr std::memory_order kDeadlineLoad = std::memory_order_relaxed;
-  // Release on the claim-word clear: publishes the owner's queue mutations
-  // (governor state, drain cursor, deadline word) to the next acquire-CAS.
+  // ordering: release on the claim-word clear - pairs with kClaimCas, so the
+  // next claim holder observes this owner's queue mutations (governor state,
+  // drain cursor, deadline word).
   static constexpr std::memory_order kReleaseStore = std::memory_order_release;
 };
 

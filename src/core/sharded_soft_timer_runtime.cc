@@ -24,6 +24,10 @@ void RemoteIdMap::Insert(uint64_t key, uint64_t value) {
   if (table_.empty() || (size_ + 1) * 10 >= table_.size() * 7) {
     Grow();
   }
+  InsertNoGrow(key, value);
+}
+
+void RemoteIdMap::InsertNoGrow(uint64_t key, uint64_t value) {
   size_t i = SlotFor(key);
   while (table_[i].key != 0) {
     if (table_[i].key == key) {
@@ -89,6 +93,9 @@ bool RemoteIdMap::Erase(uint64_t key) {
   return true;
 }
 
+// SOFTTIMER_COLD: amortized rehash - the cross-core drain runs the table at
+// its doubled capacity in steady state, so growth happens only while the
+// remote-id population is still climbing toward its peak.
 void RemoteIdMap::Grow() {
   std::vector<Entry> old = std::move(table_);
   size_t cap = old.empty() ? 64 : old.size() * 2;
@@ -96,7 +103,7 @@ void RemoteIdMap::Grow() {
   size_ = 0;
   for (const Entry& e : old) {
     if (e.key != 0) {
-      Insert(e.key, e.value);
+      InsertNoGrow(e.key, e.value);
     }
   }
 }

@@ -91,6 +91,9 @@ class RemoteIdMap {
     return static_cast<size_t>(key ^ (key >> 31));
   }
   size_t SlotFor(uint64_t key) const { return Mix(key) & (table_.size() - 1); }
+  // Probe-and-place without the load-factor check; shared by Insert and the
+  // rehash loop in Grow so the two never recurse into each other.
+  void InsertNoGrow(uint64_t key, uint64_t value);
   void Grow();
 
   std::vector<Entry> table_;

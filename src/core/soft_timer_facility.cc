@@ -155,11 +155,7 @@ bool SoftTimerFacility::CancelSoftEvent(SoftEventId id) {
   // Only a policy-mode deferral ever remaps an id, so the no-policy path
   // never probes the map.
   if (!ok && policy_ && !deferred_remap_.empty()) {
-    auto it = deferred_remap_.find(id.value);
-    if (it != deferred_remap_.end()) {
-      ok = queue_->Cancel(it->second);
-      deferred_remap_.erase(it);
-    }
+    ok = CancelViaDeferredRemap(id.value);
   }
   if (ok) {
     ++stats_.cancelled;
@@ -169,6 +165,20 @@ bool SoftTimerFacility::CancelSoftEvent(SoftEventId id) {
       event_retired_fn_(event_retired_ctx_, cookie);
     }
   }
+  return ok;
+}
+
+// SOFTTIMER_COLD: policy-mode deferral fallback - only reached when a
+// quarantine/batch-cap deferral relinked the event under a new id, which the
+// policy bounds to degraded regimes; the no-policy fast path is gated off
+// this entirely (policy_ check above), so its zero-alloc contract holds.
+bool SoftTimerFacility::CancelViaDeferredRemap(uint64_t id_value) {
+  auto it = deferred_remap_.find(id_value);
+  if (it == deferred_remap_.end()) {
+    return false;
+  }
+  bool ok = queue_->Cancel(it->second);
+  deferred_remap_.erase(it);
   return ok;
 }
 

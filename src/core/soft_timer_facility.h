@@ -301,6 +301,12 @@ class SoftTimerFacility {
   // May move `handler` out (into the deferred node).
   void RunOrDeferFired(const TimerFired& fired, Handler& handler);
 
+  // Policy-mode cancel fallback: a deferral may have relinked the event
+  // under a new TimerId; probes the remap table and cancels through it.
+  // Never reached on the no-policy fast path (see the definition's
+  // SOFTTIMER_COLD rationale).
+  bool CancelViaDeferredRemap(uint64_t id_value);
+
   // Slow path of the no-policy check: expires due timers and refreshes the
   // next-deadline gate from the queue.
   size_t ExpireDue(TriggerSource source);

@@ -82,12 +82,24 @@ PacedFlowId PacingWheel::AddFlow(const PacedFlowConfig& config) {
   return PacedFlowId{PackTimerIdValue(index, node.generation)};
 }
 
+// SOFTTIMER_COLD: amortized slot-vector growth - entered only when a slot
+// sits exactly at capacity, and capacity jumps straight to the global
+// high-water mark, so steady state re-enters only when the process-wide
+// occupancy record is broken (see slot_capacity_high_water_).
+void PacingWheel::GrowSlotEntries(Slot& slot) {
+  size_t doubled = slot.entries.capacity() == 0 ? 8 : slot.entries.capacity() * 2;
+  slot.entries.reserve(std::max<size_t>(doubled, slot_capacity_high_water_));
+}
+
 void PacingWheel::ParkNode(uint32_t index, PacedFlowNode& node) {
   uint32_t oi = OuterSlotIndexFor(node.deadline);
   Slot& slot = outer_slots_[oi];
   node.slot = kOuterPacingSlotBase + oi;
   node.next = static_cast<uint32_t>(slot.entries.size());
-  slot.entries.push_back(index);
+  if (slot.entries.size() == slot.entries.capacity()) {
+    GrowSlotEntries(slot);
+  }
+  slot.entries.push_back(index);  // lint:allow-alloc
   if (node.deadline < slot.min_deadline) {
     slot.min_deadline = node.deadline;
   }
@@ -140,14 +152,10 @@ void PacingWheel::LinkNode(uint32_t index, PacedFlowNode& node) {
   Slot& slot = slots_[s];
   node.slot = s;
   node.next = static_cast<uint32_t>(slot.entries.size());
-  if (slot.entries.size() == slot.entries.capacity() &&
-      slot.entries.capacity() < slot_capacity_high_water_) {
-    // Growing anyway: jump to the global occupancy record instead of
-    // re-walking the geometric schedule this vector's predecessors already
-    // paid for (see slot_capacity_high_water_ in the header).
-    slot.entries.reserve(slot_capacity_high_water_);
+  if (slot.entries.size() == slot.entries.capacity()) {
+    GrowSlotEntries(slot);
   }
-  slot.entries.push_back(index);
+  slot.entries.push_back(index);  // lint:allow-alloc
   if (slot.entries.capacity() > slot_capacity_high_water_) {
     slot_capacity_high_water_ = static_cast<uint32_t>(slot.entries.capacity());
   }

@@ -255,6 +255,10 @@ void RtoEngine::OnRtoFire(uint64_t packed,
   ArmSegmentTimer(index, conn, slot);
 }
 
+// SOFTTIMER_COLD: transport give-up - reached only after the full RFC 6298
+// backoff ladder is exhausted (max_retries consecutive losses on one
+// segment), which DegradationPolicy counts as a connection reset; the
+// steady-state fire path rearms and returns long before this.
 void RtoEngine::AbortConnection(uint32_t index, Conn& conn) {
   void* ctx = conn.ctx;
   ++stats_.give_ups;

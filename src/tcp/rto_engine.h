@@ -115,7 +115,7 @@ class RtoEngine {
   // its RTO timer at the connection's current (backed-off) RTO. Returns
   // false when the window is full (caller must wait for an ACK) or the id
   // is stale. seq_end must be strictly increasing per connection.
-  // SOFTTIMER_HOT
+  // Hot path - marked SOFTTIMER_HOT at the definition.
   bool OnSegmentSent(uint64_t conn_id, uint64_t seq_end);
 
   // Cumulative ACK: retires every in-flight segment with seq_end <=
@@ -125,7 +125,7 @@ class RtoEngine {
   // refreshed RTO (RFC 6298 step 5.3) through the runtime's reschedule
   // path - a single in-place update per survivor, not a cancel+schedule
   // pair. Returns segments retired.
-  // SOFTTIMER_HOT
+  // Hot path - marked SOFTTIMER_HOT at the definition.
   size_t OnCumulativeAck(uint64_t conn_id, uint64_t ack_seq);
 
   // --- introspection (tests / benches) ----------------------------------

@@ -5,6 +5,13 @@
 
 namespace softtimer {
 
+// SOFTTIMER_COLD: amortized heap-vector growth - entered only when the entry
+// count breaks its previous capacity high-water mark; after warmup the heap
+// runs at capacity and Schedule's push_back below never reallocates.
+void HeapTimerQueue::GrowHeap() {
+  heap_.reserve(heap_.capacity() == 0 ? 64 : heap_.capacity() * 2);
+}
+
 // SOFTTIMER_HOT
 TimerId HeapTimerQueue::Schedule(uint64_t deadline_tick, TimerPayload payload) {
   if (deadline_tick < cursor_) {
@@ -14,7 +21,9 @@ TimerId HeapTimerQueue::Schedule(uint64_t deadline_tick, TimerPayload payload) {
   Node& n = slab_.at(index);
   n.payload = std::move(payload);
   n.deadline = deadline_tick;
-  // Amortized: capacity sits at the live high-water mark after warmup.
+  if (heap_.size() == heap_.capacity()) {
+    GrowHeap();
+  }
   heap_.push_back(HeapEntry{deadline_tick, next_seq_++, index, n.generation});  // lint:allow-alloc
   std::push_heap(heap_.begin(), heap_.end(), EntryAfter{});
   ++live_count_;

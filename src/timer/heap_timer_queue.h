@@ -82,6 +82,9 @@ class HeapTimerQueue : public TimerQueue {
   void SkimCancelled() const;
   // Drops every stale entry and re-heapifies, in place.
   void Compact() const;
+  // Capacity growth for heap_, split out so Schedule's push_back never takes
+  // the reallocating branch (see the SOFTTIMER_COLD marker on the definition).
+  void GrowHeap();
 
   // Deadlines below this are clamped up to it (same semantics as the
   // wheels): a past deadline fires on the next ExpireUpTo.

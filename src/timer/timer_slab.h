@@ -221,6 +221,10 @@ class TimerSlab {
   }
 
  private:
+  // SOFTTIMER_COLD: amortized slab growth - entered only when the free list
+  // is empty, i.e. when the live-timer population breaks its previous peak;
+  // steady state runs at capacity and recycles freed nodes without ever
+  // re-entering (the zero-alloc schedule/cancel contract of DESIGN.md §5).
   void Grow() {
     // Prefer re-materializing a released chunk (keeps the index space dense
     // and honours its generation floor) over appending a new one.

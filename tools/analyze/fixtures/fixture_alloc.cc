@@ -1,0 +1,9 @@
+// Seeded violation: the allocation sits two calls below the marked entry,
+// where the body-only regex lint cannot see it.
+
+int* TransitiveAllocInner() { return new int(7); }
+
+int* TransitiveAlloc() { return TransitiveAllocInner(); }
+
+// SOFTTIMER_HOT
+int* HotAllocEntry() { return TransitiveAlloc(); }

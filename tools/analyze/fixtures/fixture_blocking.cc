@@ -1,0 +1,30 @@
+// Seeded violations: (a) a std::mutex lock two calls below the marked entry,
+// (b) a callee explicitly declared blocking via SOFTTIMER_BLOCKING whose body
+// alone would look harmless.
+
+#include <mutex>
+
+namespace {
+std::mutex g_mu;
+}  // namespace
+
+void DeepLock() {
+  g_mu.lock();
+  g_mu.unlock();
+}
+
+void MidLayer() { DeepLock(); }
+
+// SOFTTIMER_HOT
+void HotBlockingEntry() { MidLayer(); }
+
+// SOFTTIMER_BLOCKING: parks the caller until an operator pokes the config
+// reload eventfd; the body below is a stand-in, the annotation is
+// authoritative.
+void WaitForConfigReload() {
+  volatile int spin = 0;
+  (void)spin;
+}
+
+// SOFTTIMER_HOT
+void HotCallsDeclaredBlocking() { WaitForConfigReload(); }

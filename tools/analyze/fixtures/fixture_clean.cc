@@ -1,0 +1,14 @@
+// A clean hot closure: arithmetic only, plus a placement new (which does not
+// allocate and must not be classified as hot-alloc).
+
+#include <new>
+
+// SOFTTIMER_HOT
+long CleanHotSum(long a, long b) { return a * 31 + b; }
+
+namespace {
+alignas(long) char g_clean_slot[sizeof(long)];
+}  // namespace
+
+// SOFTTIMER_HOT
+long* CleanHotPlacement(long v) { return new (g_clean_slot) long(v); }

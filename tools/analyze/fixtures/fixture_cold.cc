@@ -1,0 +1,14 @@
+// SOFTTIMER_COLD must prune traversal: the error path allocates, but it is
+// runtime-guarded off the hot loop, so the closure check stops at the call.
+
+// SOFTTIMER_COLD: error path behind a branch the steady-state loop never
+// takes; allocation here is acceptable.
+int* ColdErrorPath() { return new int(42); }
+
+// SOFTTIMER_HOT
+int HotWithColdBranch(int err) {
+  if (err != 0) {
+    return *ColdErrorPath();
+  }
+  return 0;
+}

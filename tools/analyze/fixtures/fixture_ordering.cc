@@ -1,0 +1,13 @@
+// Seeded violation: the ordering rationale names a pairing site that does not
+// exist anywhere in the analyzed tree.
+
+#include <atomic>
+
+namespace {
+std::atomic<int> g_flag{0};
+}  // namespace
+
+void PublishBroken() {
+  // ordering: pairs with kNoSuchAcquire on the consumer side.
+  g_flag.store(1, std::memory_order_release);
+}

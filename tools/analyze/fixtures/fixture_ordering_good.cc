@@ -1,0 +1,21 @@
+// A well-formed pairing: the release store names kAcqLoad, whose definition
+// line carries the opposite polarity, so the pairing graph resolves.
+
+#include <atomic>
+
+// ordering: acquire for the reader side; pairs with the release store below.
+inline constexpr auto kAcqLoad = std::memory_order_acquire;
+
+namespace {
+std::atomic<int> g_ready{0};
+}  // namespace
+
+void PublishGood() {
+  // ordering: publishes the payload; pairs with kAcqLoad on the reader.
+  g_ready.store(1, std::memory_order_release);
+}
+
+int ReadGood() {
+  // ordering: kAcqLoad observes the release publish in PublishGood.
+  return g_ready.load(kAcqLoad);
+}

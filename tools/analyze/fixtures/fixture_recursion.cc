@@ -1,0 +1,11 @@
+// Seeded violation: a mutual-recursion cycle inside the hot closure -
+// unbounded stack depth inside a borrowed trigger state.
+
+int PingPongB(int n);
+
+int PingPongA(int n) { return n <= 0 ? 0 : PingPongB(n - 1); }
+
+int PingPongB(int n) { return PingPongA(n); }
+
+// SOFTTIMER_HOT
+int HotRecursionEntry(int n) { return PingPongA(n); }

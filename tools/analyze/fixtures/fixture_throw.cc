@@ -1,0 +1,9 @@
+// Seeded violation: the throw hides behind a helper; the marked body itself
+// contains no `throw` token for the regex lint to catch.
+
+void ThrowingHelper(int v) {
+  if (v < 0) throw v;
+}
+
+// SOFTTIMER_HOT
+void HotThrowEntry(int v) { ThrowingHelper(v); }

@@ -4,11 +4,14 @@
 Three rules, all enforced as a CI gate (and locally via `ctest -L lint`):
 
 1. hot-path-alloc: a function definition preceded by a `// SOFTTIMER_HOT`
-   marker line must not allocate or type-erase. Forbidden inside the marked
-   body: operator new, make_unique/make_shared, malloc, std::function<,
-   push_back(, emplace_back(, .resize(, .reserve(. A line carrying
-   `// lint:allow-alloc` is waived - reserved for amortized growth paths
-   that sit at capacity in steady state (document why next to the waiver).
+   marker line (the marker must be a standalone comment line, optionally
+   with a `: rationale` tail - prose that merely mentions the word does not
+   mark) must not allocate, type-erase, or throw. Forbidden inside the
+   marked body: operator new, make_unique/make_shared, malloc, calloc,
+   realloc, aligned_alloc, strdup, throw, std::function<, push_back(,
+   emplace_back(, .resize(, .reserve(. A line carrying `// lint:allow-alloc`
+   is waived - reserved for amortized growth paths that sit at capacity in
+   steady state (document why next to the waiver).
 
 2. raw-atomic-in-shim: files templated on the atomics-traits shim
    (TRAITS_SHIM_FILES below) must not name std::atomic< or
@@ -33,7 +36,11 @@ import os
 import re
 import sys
 
-HOT_MARKER = "// SOFTTIMER_HOT"
+# Standalone marker line, optionally carrying a rationale tail. Kept in sync
+# with tools/analyze/hot_closure.py's MARKER_RE so both tools mark the same
+# functions; prose mentioning the word (e.g. "marked SOFTTIMER_HOT at the
+# definition") is not a marker.
+HOT_MARKER_RE = re.compile(r"^\s*//\s*SOFTTIMER_HOT\b\s*(?::.*)?$")
 ALLOW_ALLOC = "lint:allow-alloc"
 ANNOTATION_LOOKBACK = 6
 
@@ -51,6 +58,11 @@ FORBIDDEN_IN_HOT = (
     (re.compile(r"\bmake_unique\b"), "make_unique"),
     (re.compile(r"\bmake_shared\b"), "make_shared"),
     (re.compile(r"\bmalloc\s*\("), "malloc"),
+    (re.compile(r"\bcalloc\s*\("), "calloc"),
+    (re.compile(r"\brealloc\s*\("), "realloc"),
+    (re.compile(r"\baligned_alloc\s*\("), "aligned_alloc"),
+    (re.compile(r"\bstrdup\s*\("), "strdup"),
+    (re.compile(r"\bthrow\b"), "throw"),
     (re.compile(r"std::function<"), "std::function"),
     (re.compile(r"\bpush_back\s*\("), "push_back"),
     (re.compile(r"\bemplace_back\s*\("), "emplace_back"),
@@ -82,7 +94,7 @@ def check_hot_functions(path, lines, findings):
     i = 0
     n = len(lines)
     while i < n:
-        if HOT_MARKER not in lines[i]:
+        if not HOT_MARKER_RE.match(lines[i]):
             i += 1
             continue
         marker_line = i + 1  # 1-indexed, for messages
@@ -202,6 +214,67 @@ def self_test():
         "void Cold() { v.push_back(1); }",
     ]
     run("marker scope ends at body", hot_ends, check_hot_functions, "x.cc", [])
+
+    for token, stmt in (
+        ("calloc", "p = calloc(4, 16);"),
+        ("realloc", "p = realloc(p, 32);"),
+        ("aligned_alloc", "p = aligned_alloc(64, 256);"),
+        ("strdup", "s = strdup(name);"),
+        ("throw", "throw std::runtime_error(\"late\");"),
+    ):
+        body = ["// SOFTTIMER_HOT", "void Hot() {", f"  {stmt}", "}"]
+        run(f"{token} fires", body, check_hot_functions, "x.cc",
+            ["hot-path-alloc"])
+
+    hot_multiline_sig = [
+        "// SOFTTIMER_HOT",
+        "void Hot(int first,",
+        "         int second,",
+        "         int third) {",
+        "  v.push_back(first);",
+        "}",
+    ]
+    run("multi-line signature after marker", hot_multiline_sig,
+        check_hot_functions, "x.cc", ["hot-path-alloc"])
+
+    hot_nested = [
+        "// SOFTTIMER_HOT",
+        "void Hot() {",
+        "  if (cond) {",
+        "    for (int i = 0; i < n; ++i) {",
+        "      x += i;",
+        "    }",
+        "  }",
+        "}",
+        "void Cold() { v.push_back(1); }",
+    ]
+    run("nested braces terminate scope correctly", hot_nested,
+        check_hot_functions, "x.cc", [])
+
+    hot_nested_violation = [
+        "// SOFTTIMER_HOT",
+        "void Hot() {",
+        "  if (cond) {",
+        "    v.push_back(1);",
+        "  }",
+        "}",
+    ]
+    run("violation inside nested scope fires", hot_nested_violation,
+        check_hot_functions, "x.cc", ["hot-path-alloc"])
+
+    marker_prose = [
+        "// Hot path - marked SOFTTIMER_HOT at the definition.",
+        "void NotMarkedHere() { v.push_back(1); }",
+    ]
+    run("prose mention is not a marker", marker_prose, check_hot_functions,
+        "x.cc", [])
+
+    marker_rationale = [
+        "// SOFTTIMER_HOT: per-packet fast path",
+        "void Hot() { v.push_back(1); }",
+    ]
+    run("marker with rationale tail still marks", marker_rationale,
+        check_hot_functions, "x.cc", ["hot-path-alloc"])
 
     raw_atomic = ["std::atomic<int> x;"]
     run("raw atomic fires", raw_atomic, check_raw_atomics,
